@@ -1,0 +1,279 @@
+// Benchmarks regenerating every table and figure of the paper, plus the
+// ablations called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches measure the analysis that produces each figure's series
+// over a shared survey (world generation and crawling are amortized into
+// one-time setup); the Survey* benches measure the crawl itself.
+package dnstrust
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+
+	"dnstrust/internal/analysis"
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/mincut"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+)
+
+// benchScale is the default corpus size for benchmark studies. Override
+// the full paper scale by running cmd/dnssurvey -names 593160.
+const benchScale = 6000
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+	benchErr   error
+)
+
+func sharedBenchStudy(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = NewStudy(context.Background(), Options{Seed: 1, Names: benchScale})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+func benchExperiment(b *testing.B, id string) {
+	s := sharedBenchStudy(b)
+	var exp Experiment
+	for _, e := range Experiments() {
+		if e.ID == id {
+			exp = e
+		}
+	}
+	if exp.Run == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Run(context.Background(), s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range rows {
+			if !c.Holds {
+				b.Fatalf("%s / %s does not hold: %s vs %s", c.Experiment, c.Quantity, c.Paper, c.Measured)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure1DelegationGraph(b *testing.B) { benchExperiment(b, "Figure 1") }
+func BenchmarkFigure2TCBSizeCDF(b *testing.B)      { benchExperiment(b, "Figure 2") }
+func BenchmarkFigure3GTLDTCB(b *testing.B)         { benchExperiment(b, "Figure 3") }
+func BenchmarkFigure4CCTLDTCB(b *testing.B)        { benchExperiment(b, "Figure 4") }
+func BenchmarkFigure5VulnerableInTCB(b *testing.B) { benchExperiment(b, "Figure 5") }
+func BenchmarkFigure6TCBSafety(b *testing.B)       { benchExperiment(b, "Figure 6") }
+func BenchmarkFigure7Bottlenecks(b *testing.B)     { benchExperiment(b, "Figure 7") }
+func BenchmarkFigure8NamesControlled(b *testing.B) { benchExperiment(b, "Figure 8") }
+func BenchmarkFigure9EduOrgControl(b *testing.B)   { benchExperiment(b, "Figure 9") }
+func BenchmarkTableATCBSummary(b *testing.B)       { benchExperiment(b, "T-A") }
+func BenchmarkTableBPoisoning(b *testing.B)        { benchExperiment(b, "T-B") }
+func BenchmarkTableCFBIHijack(b *testing.B)        { benchExperiment(b, "T-C") }
+func BenchmarkTableDUkraineWorstCase(b *testing.B) { benchExperiment(b, "T-D") }
+
+// BenchmarkSurveyCrawl measures the full crawl pipeline (walk + probe)
+// at a small scale per iteration.
+func BenchmarkSurveyCrawl(b *testing.B) {
+	world, err := topology.Generate(topology.GenParams{Seed: 3, Names: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := topology.NewDirectTransport(world.Registry)
+		r, err := world.Registry.Resolver(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := crawler.Run(context.Background(), r, world.Corpus,
+			world.Registry.ProbeFunc(tr), crawler.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTransportDirect vs ...Wire quantify the cost of full
+// wire-format framing on every query (the codec is exercised either way
+// by the network tests; this isolates pack/unpack overhead).
+func BenchmarkAblationTransportDirect(b *testing.B) { benchTransport(b, false) }
+func BenchmarkAblationTransportWire(b *testing.B)   { benchTransport(b, true) }
+
+func benchTransport(b *testing.B, wire bool) {
+	world, err := topology.Generate(topology.GenParams{Seed: 3, Names: 400})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tr resolver.Transport = topology.NewDirectTransport(world.Registry)
+		if wire {
+			tr = topology.NewWireTransport(world.Registry)
+		}
+		r, err := world.Registry.Resolver(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := crawler.Run(context.Background(), r, world.Corpus, nil,
+			crawler.Config{SkipVersionProbe: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationClosureSCC measures the shared-closure computation
+// (SCC condensation; one pass prices every zone) against the naive
+// per-name alternative measured by BenchmarkAblationClosureNaive.
+func BenchmarkAblationClosureSCC(b *testing.B) {
+	s := sharedBenchStudy(b)
+	snap := s.Survey.Snapshot
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := rebuildGraph(snap)
+		// Touch every name's TCB so lazy costs are comparable.
+		var total int
+		for _, n := range s.Survey.Names {
+			total += g.TCBSize(n)
+		}
+		if total == 0 {
+			b.Fatal("empty TCBs")
+		}
+	}
+}
+
+// BenchmarkAblationClosureNaive walks each name's dependencies from
+// scratch (per-name BFS over zones) instead of sharing zone closures.
+func BenchmarkAblationClosureNaive(b *testing.B) {
+	s := sharedBenchStudy(b)
+	snap := s.Survey.Snapshot
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total int
+		for _, n := range s.Survey.Names {
+			total += naiveTCBSize(snap, n)
+		}
+		if total == 0 {
+			b.Fatal("empty TCBs")
+		}
+	}
+}
+
+// naiveTCBSize recomputes one name's TCB by BFS over the snapshot,
+// without any cross-name sharing — the ablation baseline.
+func naiveTCBSize(snap *resolver.Snapshot, name string) int {
+	servers := map[string]bool{}
+	seenZone := map[string]bool{}
+	var stack []string
+	stack = append(stack, snap.NameChain[name]...)
+	for len(stack) > 0 {
+		apex := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seenZone[apex] {
+			continue
+		}
+		seenZone[apex] = true
+		zi := snap.Zones[apex]
+		if zi == nil {
+			continue
+		}
+		for _, h := range zi.NSHosts {
+			servers[h] = true
+			stack = append(stack, snap.HostChain[h]...)
+		}
+	}
+	return len(servers)
+}
+
+func rebuildGraph(snap *resolver.Snapshot) graphLike {
+	return crawler.FromSnapshot(snap).Graph
+}
+
+type graphLike interface {
+	TCBSize(name string) int
+}
+
+// BenchmarkAblationMinCutDinic vs ...ANDORBound compare the paper's
+// per-name digraph min-cut against the global AND/OR tree-cost fixpoint
+// (an upper bound on the true minimum hijack, exact on trees).
+func BenchmarkAblationMinCutDinic(b *testing.B) {
+	s := sharedBenchStudy(b)
+	names := s.Survey.Names
+	if len(names) > 500 {
+		names = names[:500]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := analysis.Bottlenecks(context.Background(), s.Survey, names, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Names == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkAblationMinCutANDORBound(b *testing.B) {
+	s := sharedBenchStudy(b)
+	names := s.Survey.Names
+	if len(names) > 500 {
+		names = names[:500]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := analysis.ANDORHijackBound(s.Survey, names)
+		if len(out) != len(names) {
+			b.Fatal("missing results")
+		}
+	}
+}
+
+// BenchmarkMinCutSingle measures one per-name min-cut end to end.
+func BenchmarkMinCutSingle(b *testing.B) {
+	s := sharedBenchStudy(b)
+	name := s.Survey.Names[0]
+	vuln := func(h string) bool { return s.Survey.Vulnerable(h) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := s.Survey.Graph.Digraph(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mincut.Analyze(d, vuln); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHijackMonteCarlo measures attack-simulation trials.
+func BenchmarkHijackMonteCarlo(b *testing.B) {
+	s := sharedBenchStudy(b)
+	name := s.Survey.Names[0]
+	res, err := s.Bottleneck(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	atk, err := s.Attack(res.Cut, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frac, err := atk.MonteCarlo(name, 100, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if frac != 1 {
+			b.Fatalf("min-cut compromise gave trial fraction %v", frac)
+		}
+	}
+}

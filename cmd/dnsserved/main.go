@@ -1,0 +1,77 @@
+// Command dnsserved boots a scenario world as real DNS servers on
+// loopback sockets and keeps them running so external tools (dig,
+// drill, other resolvers) can explore the synthetic Internet by hand.
+//
+// Usage:
+//
+//	dnsserved -world fbi
+//	dig @127.0.0.1 -p <root port> www.fbi.gov A +norecurse
+//
+// Each nameserver of the world gets its own UDP+TCP listener; the
+// printed table maps host names to socket addresses. Interrupt to stop.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"dnstrust/internal/topology"
+)
+
+func main() {
+	world := flag.String("world", "fbi", "world: figure1 | fbi | ukraine | gen")
+	names := flag.Int("names", 500, "corpus size for -world gen")
+	seed := flag.Int64("seed", 1, "seed for -world gen")
+	flag.Parse()
+
+	var reg *topology.Registry
+	switch *world {
+	case "figure1":
+		reg = topology.Figure1World()
+	case "fbi":
+		reg = topology.FBIWorld()
+	case "ukraine":
+		reg = topology.UkraineWorld()
+	case "gen":
+		w, err := topology.Generate(topology.GenParams{Seed: *seed, Names: *names})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsserved: %v\n", err)
+			os.Exit(1)
+		}
+		reg = w.Registry
+	default:
+		fmt.Fprintf(os.Stderr, "dnsserved: unknown world %q\n", *world)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	live, err := topology.StartLive(ctx, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnsserved: %v\n", err)
+		os.Exit(1)
+	}
+	defer live.Close()
+
+	fmt.Printf("serving %d nameservers on loopback\n\n", live.NumServers())
+	fmt.Printf("%-34s %-22s %s\n", "host", "address", "version.bind")
+	for _, host := range reg.Servers() {
+		si := reg.Server(host)
+		banner := si.Banner
+		if banner == "" {
+			banner = "(hidden)"
+		}
+		fmt.Printf("%-34s %-22s %s\n", host, live.Addr(host), banner)
+	}
+	fmt.Printf("\nroot servers:")
+	for _, rs := range reg.RootServers() {
+		fmt.Printf(" %s=%s", rs.Host, live.Addr(rs.Host))
+	}
+	fmt.Println("\n\ninterrupt to stop")
+	<-ctx.Done()
+	fmt.Println("\nshutting down")
+}

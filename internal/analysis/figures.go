@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"sort"
+
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/dnsname"
+)
+
+// TCBSizes returns |TCB(name)| for each name (Figure 2's raw data).
+// Names missing from the survey are skipped.
+func TCBSizes(s *crawler.Survey, names []string) []int {
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		if sz := s.Graph.TCBSize(n); sz >= 0 {
+			out = append(out, sz)
+		}
+	}
+	return out
+}
+
+// TLDAverage is one bar of Figure 3 or 4.
+type TLDAverage struct {
+	TLD     string
+	Kind    dnsname.Kind
+	Names   int
+	MeanTCB float64
+}
+
+// TLDAverages computes the mean TCB size per top-level domain, sorted by
+// decreasing mean — the bars of Figures 3 (generic) and 4 (country-code).
+func TLDAverages(s *crawler.Survey, names []string) []TLDAverage {
+	sum := map[string]float64{}
+	cnt := map[string]int{}
+	for _, n := range names {
+		sz := s.Graph.TCBSize(n)
+		if sz < 0 {
+			continue
+		}
+		tld := dnsname.TLD(n)
+		sum[tld] += float64(sz)
+		cnt[tld]++
+	}
+	out := make([]TLDAverage, 0, len(sum))
+	for tld, total := range sum {
+		out = append(out, TLDAverage{
+			TLD:     tld,
+			Kind:    dnsname.KindOf(tld),
+			Names:   cnt[tld],
+			MeanTCB: total / float64(cnt[tld]),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanTCB != out[j].MeanTCB {
+			return out[i].MeanTCB > out[j].MeanTCB
+		}
+		return out[i].TLD < out[j].TLD
+	})
+	return out
+}
+
+// FilterKind keeps the averages of one TLD class.
+func FilterKind(avgs []TLDAverage, kind dnsname.Kind) []TLDAverage {
+	var out []TLDAverage
+	for _, a := range avgs {
+		if a.Kind == kind {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// MacroAverage averages per-TLD means (each TLD weighted equally), the
+// quantity behind the paper's "gTLD average 87 / ccTLD average 209".
+func MacroAverage(avgs []TLDAverage) float64 {
+	if len(avgs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range avgs {
+		sum += a.MeanTCB
+	}
+	return sum / float64(len(avgs))
+}
+
+// VulnInTCB returns, per name, the number of TCB members with known
+// exploits (Figure 5's raw data).
+func VulnInTCB(s *crawler.Survey, names []string) []int {
+	vulnID := vulnerableIDs(s)
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		ids, err := s.Graph.TCBIDs(n)
+		if err != nil {
+			continue
+		}
+		c := 0
+		for _, id := range ids {
+			if vulnID[id] {
+				c++
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TCBSafety returns, per name, the percentage of TCB members with no
+// known exploits (Figure 6's raw data). Names with empty TCBs are
+// reported 100% safe.
+func TCBSafety(s *crawler.Survey, names []string) []float64 {
+	vulnID := vulnerableIDs(s)
+	out := make([]float64, 0, len(names))
+	for _, n := range names {
+		ids, err := s.Graph.TCBIDs(n)
+		if err != nil {
+			continue
+		}
+		if len(ids) == 0 {
+			out = append(out, 100)
+			continue
+		}
+		safe := 0
+		for _, id := range ids {
+			if !vulnID[id] {
+				safe++
+			}
+		}
+		out = append(out, 100*float64(safe)/float64(len(ids)))
+	}
+	return out
+}
+
+// AffectedNames counts the names with at least one vulnerable TCB member
+// (the paper's 264599-of-593160, i.e. 45%).
+func AffectedNames(s *crawler.Survey, names []string) int {
+	n := 0
+	for _, c := range VulnInTCB(s, names) {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// vulnerableIDs builds a host-id-indexed vulnerability lookup.
+func vulnerableIDs(s *crawler.Survey) []bool {
+	hosts := s.Graph.Hosts()
+	out := make([]bool, len(hosts))
+	for id, h := range hosts {
+		out[id] = s.Vulnerable(h)
+	}
+	return out
+}
+
+// SafetyCurve renders Figure 6: names sorted by TCB safety percentage,
+// plotted as (rank percentile, safety%).
+type SafetyPoint struct {
+	RankPct float64
+	Safety  float64
+}
+
+// SafetyDistribution sorts the per-name safety percentages ascending and
+// samples them (Figure 6's curve).
+func SafetyDistribution(safety []float64, maxPoints int) []SafetyPoint {
+	cp := make([]float64, len(safety))
+	copy(cp, safety)
+	sort.Float64s(cp)
+	var pts []SafetyPoint
+	n := len(cp)
+	if n == 0 {
+		return nil
+	}
+	step := 1
+	if maxPoints > 0 && n > maxPoints {
+		step = n / maxPoints
+	}
+	for i := 0; i < n; i += step {
+		pts = append(pts, SafetyPoint{
+			RankPct: 100 * float64(i+1) / float64(n),
+			Safety:  cp[i],
+		})
+	}
+	return pts
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"dnstrust/internal/crawler"
+)
+
+// Summary carries the paper's headline in-text numbers.
+type Summary struct {
+	// Names surveyed successfully.
+	Names int
+	// Servers discovered (the paper's 166771).
+	Servers int
+	// VulnerableServers have known exploits (the paper's 27141, 17%).
+	VulnerableServers int
+	// AffectedNames have >= 1 vulnerable TCB member (the paper's 264599, 45%).
+	AffectedNames int
+	// TCB is the distribution of TCB sizes (mean 46, median 26).
+	TCB *CDF
+	// VulnPerTCB is the distribution of vulnerable-server counts per TCB
+	// (mean 4.1).
+	VulnPerTCB *CDF
+	// DirectMean is the mean number of directly trusted servers (the NS
+	// set of the name's own zone) — the paper's 2.2; the rest of the TCB
+	// is transitive trust.
+	DirectMean float64
+	// OwnedMean is the mean number of TCB servers inside the name's own
+	// registered domain (in-bailiwick operation).
+	OwnedMean float64
+}
+
+// Summarize computes the headline statistics over the given names.
+func Summarize(s *crawler.Survey, names []string) *Summary {
+	sizes := TCBSizes(s, names)
+	vulns := VulnInTCB(s, names)
+
+	var ownedSum, directSum float64
+	counted := 0
+	for _, n := range names {
+		owned, _, err := s.Graph.OwnedServers(n)
+		if err != nil {
+			continue
+		}
+		direct, err := s.Graph.DirectNS(n)
+		if err != nil {
+			continue
+		}
+		ownedSum += float64(len(owned))
+		directSum += float64(len(direct))
+		counted++
+	}
+	ownedMean, directMean := 0.0, 0.0
+	if counted > 0 {
+		ownedMean = ownedSum / float64(counted)
+		directMean = directSum / float64(counted)
+	}
+
+	affected := 0
+	for _, v := range vulns {
+		if v > 0 {
+			affected++
+		}
+	}
+
+	return &Summary{
+		Names:             len(sizes),
+		Servers:           s.Graph.NumHosts(),
+		VulnerableServers: s.VulnerableHosts(),
+		AffectedNames:     affected,
+		TCB:               NewCDF(sizes),
+		VulnPerTCB:        NewCDF(vulns),
+		DirectMean:        directMean,
+		OwnedMean:         ownedMean,
+	}
+}

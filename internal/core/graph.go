@@ -1,0 +1,432 @@
+// Package core implements the paper's primary contribution: delegation
+// graphs and transitive trust analysis. From a crawl snapshot it builds
+// the zone-level dependency graph, computes each name's trusted computing
+// base (TCB) — the transitive closure of every nameserver that could
+// participate in resolving the name — and materializes per-name
+// server-level delegation digraphs for bottleneck (min-cut) analysis and
+// Figure-1-style visualization.
+//
+// Closures are computed once per *zone*, not per name: the zone dependency
+// digraph is condensed with Tarjan's SCC algorithm (cross-domain NS cycles
+// are real in DNS) and server sets are unioned bottom-up over the
+// condensation DAG. A survey of half a million names touches each zone
+// closure once.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/resolver"
+)
+
+// Graph is the zone-level dependency structure extracted from a crawl.
+// Build one with Build; it is immutable (and safe for concurrent use)
+// afterwards.
+type Graph struct {
+	// Interned nameserver hosts.
+	hosts  []string
+	hostID map[string]int32
+
+	// Interned zones ("" excluded: the paper excludes root servers).
+	zones  []string
+	zoneID map[string]int32
+
+	// zoneNS[z] lists the NS host ids of zone z, sorted.
+	zoneNS [][]int32
+	// hostChain[h] lists the zone ids on host h's address chain
+	// (TLD-first). Hosts whose chain walk failed have nil chains: they
+	// are still TCB members but contribute no further dependencies.
+	hostChain [][]int32
+
+	// nameChain maps each surveyed name to its chain zone ids.
+	nameChain map[string][]int32
+
+	// closure[z] is the sorted set of host ids transitively reachable
+	// from zone z (z's NS hosts, their chains' NS hosts, and so on).
+	closure [][]int32
+	// zoneAdj[z] lists the zones z depends on (the chains of its NS
+	// hosts), deduplicated.
+	zoneAdj [][]int32
+}
+
+// Build constructs the dependency graph from a crawl snapshot and
+// precomputes all zone closures.
+func Build(snap *resolver.Snapshot) *Graph {
+	g := &Graph{
+		hostID:    make(map[string]int32),
+		zoneID:    make(map[string]int32),
+		nameChain: make(map[string][]int32, len(snap.NameChain)),
+	}
+
+	// Intern zones (root excluded) and their NS hosts.
+	apexes := make([]string, 0, len(snap.Zones))
+	for apex := range snap.Zones {
+		if apex == "" {
+			continue
+		}
+		apexes = append(apexes, apex)
+	}
+	sort.Strings(apexes)
+	for _, apex := range apexes {
+		g.internZone(apex)
+	}
+	g.zoneNS = make([][]int32, len(g.zones))
+	for _, apex := range apexes {
+		zi := snap.Zones[apex]
+		ids := make([]int32, 0, len(zi.NSHosts))
+		for _, h := range zi.NSHosts {
+			ids = append(ids, g.internHost(h))
+		}
+		sortUnique(&ids)
+		g.zoneNS[g.zoneID[apex]] = ids
+	}
+
+	// Host chains.
+	g.hostChain = make([][]int32, len(g.hosts))
+	for host, chain := range snap.HostChain {
+		hid, ok := g.hostID[host]
+		if !ok {
+			continue // resolved during crawl but not an NS host of any zone
+		}
+		g.hostChain[hid] = g.internChain(chain)
+	}
+
+	// Name chains.
+	for name, chain := range snap.NameChain {
+		g.nameChain[name] = g.internChain(chain)
+	}
+
+	g.computeClosures()
+	return g
+}
+
+func (g *Graph) internZone(apex string) int32 {
+	if id, ok := g.zoneID[apex]; ok {
+		return id
+	}
+	id := int32(len(g.zones))
+	g.zones = append(g.zones, apex)
+	g.zoneID[apex] = id
+	return id
+}
+
+func (g *Graph) internHost(host string) int32 {
+	if id, ok := g.hostID[host]; ok {
+		return id
+	}
+	id := int32(len(g.hosts))
+	g.hosts = append(g.hosts, host)
+	g.hostID[host] = id
+	return id
+}
+
+func (g *Graph) internChain(chain []string) []int32 {
+	ids := make([]int32, 0, len(chain))
+	for _, apex := range chain {
+		if apex == "" {
+			continue
+		}
+		if id, ok := g.zoneID[apex]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// NumZones reports the number of zones in the graph (root excluded).
+func (g *Graph) NumZones() int { return len(g.zones) }
+
+// NumHosts reports the number of distinct nameserver hosts.
+func (g *Graph) NumHosts() int { return len(g.hosts) }
+
+// Hosts returns all nameserver host names; the slice is shared, do not
+// modify.
+func (g *Graph) Hosts() []string { return g.hosts }
+
+// Host returns the host name for an interned id.
+func (g *Graph) Host(id int32) string { return g.hosts[id] }
+
+// HostID returns the interned id of host and whether it exists.
+func (g *Graph) HostID(host string) (int32, bool) {
+	id, ok := g.hostID[dnsname.Canonical(host)]
+	return id, ok
+}
+
+// Zones returns all zone apexes; the slice is shared, do not modify.
+func (g *Graph) Zones() []string { return g.zones }
+
+// ZoneNS returns the NS host ids of a zone apex.
+func (g *Graph) ZoneNS(apex string) []int32 {
+	id, ok := g.zoneID[dnsname.Canonical(apex)]
+	if !ok {
+		return nil
+	}
+	return g.zoneNS[id]
+}
+
+// HostChainZones returns the zone apexes on host's address chain.
+func (g *Graph) HostChainZones(host string) []string {
+	id, ok := g.hostID[dnsname.Canonical(host)]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(g.hostChain[id]))
+	for _, zid := range g.hostChain[id] {
+		out = append(out, g.zones[zid])
+	}
+	return out
+}
+
+// Names returns the surveyed names in sorted order.
+func (g *Graph) Names() []string {
+	out := make([]string, 0, len(g.nameChain))
+	for n := range g.nameChain {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NameChainZones returns the zone apexes on a surveyed name's chain.
+func (g *Graph) NameChainZones(name string) []string {
+	chain, ok := g.nameChain[dnsname.Canonical(name)]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(chain))
+	for _, zid := range chain {
+		out = append(out, g.zones[zid])
+	}
+	return out
+}
+
+// zoneDeps returns the zone-level dependency targets of zone z: every
+// zone on the address chain of every NS host of z.
+func (g *Graph) zoneDeps(z int32) []int32 {
+	var deps []int32
+	for _, h := range g.zoneNS[z] {
+		deps = append(deps, g.hostChain[h]...)
+	}
+	sortUnique(&deps)
+	return deps
+}
+
+// computeClosures condenses the zone dependency digraph with Tarjan's
+// algorithm and unions server sets bottom-up over the condensation DAG.
+func (g *Graph) computeClosures() {
+	n := len(g.zones)
+	g.closure = make([][]int32, n)
+	if n == 0 {
+		return
+	}
+
+	// Iterative Tarjan SCC.
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	adj := make([][]int32, n)
+	for z := 0; z < n; z++ {
+		adj[z] = g.zoneDeps(int32(z))
+	}
+	g.zoneAdj = adj
+
+	var stack []int32
+	var sccCount int32
+	var sccMembers [][]int32
+
+	type frame struct {
+		v    int32
+		edge int
+	}
+	var next int32
+	var callStack []frame
+	for start := int32(0); start < int32(n); start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: start})
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.edge < len(adj[f.v]) {
+				w := adj[f.v][f.edge]
+				f.edge++
+				if index[w] == unvisited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && low[f.v] > index[w] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[p.v] > low[v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var members []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = sccCount
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				sccMembers = append(sccMembers, members)
+				sccCount++
+			}
+		}
+	}
+
+	// Tarjan emits SCCs in reverse topological order: successors of an
+	// SCC always have smaller component ids, so one forward pass suffices.
+	sccClosure := make([][]int32, sccCount)
+	for c := int32(0); c < sccCount; c++ {
+		var set []int32
+		for _, z := range sccMembers[c] {
+			set = append(set, g.zoneNS[z]...)
+		}
+		// Successor SCCs.
+		succ := map[int32]bool{}
+		for _, z := range sccMembers[c] {
+			for _, w := range adj[z] {
+				if comp[w] != c {
+					succ[comp[w]] = true
+				}
+			}
+		}
+		for sc := range succ {
+			set = append(set, sccClosure[sc]...)
+		}
+		sortUnique(&set)
+		sccClosure[c] = set
+	}
+	for z := 0; z < n; z++ {
+		g.closure[z] = sccClosure[comp[int32(z)]]
+	}
+}
+
+// ZoneClosure returns the sorted host ids transitively reachable from a
+// zone apex (its full server dependency set).
+func (g *Graph) ZoneClosure(apex string) []int32 {
+	id, ok := g.zoneID[dnsname.Canonical(apex)]
+	if !ok {
+		return nil
+	}
+	return g.closure[id]
+}
+
+// TCBIDs returns the sorted host ids of name's trusted computing base:
+// the union of the closures of every zone on its delegation chain. Root
+// servers are excluded (chains never include the root).
+func (g *Graph) TCBIDs(name string) ([]int32, error) {
+	chain, ok := g.nameChain[dnsname.Canonical(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: name %q not in survey", name)
+	}
+	var tcb []int32
+	for _, z := range chain {
+		tcb = append(tcb, g.closure[z]...)
+	}
+	sortUnique(&tcb)
+	return tcb, nil
+}
+
+// TCB returns the host names of name's trusted computing base, sorted.
+func (g *Graph) TCB(name string) ([]string, error) {
+	ids, err := g.TCBIDs(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, g.hosts[id])
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// TCBSize returns |TCB(name)|, or -1 for unknown names.
+func (g *Graph) TCBSize(name string) int {
+	ids, err := g.TCBIDs(name)
+	if err != nil {
+		return -1
+	}
+	return len(ids)
+}
+
+// DirectNS returns the nameserver hosts of name's authoritative zone —
+// the servers the name's owner directly chose and trusts (the paper's
+// "only 2.2 servers are administered by the nameowner"; everything else
+// in the TCB is transitive).
+func (g *Graph) DirectNS(name string) ([]string, error) {
+	chain, ok := g.nameChain[dnsname.Canonical(name)]
+	if !ok || len(chain) == 0 {
+		return nil, fmt.Errorf("core: name %q not in survey", name)
+	}
+	az := chain[len(chain)-1]
+	out := make([]string, 0, len(g.zoneNS[az]))
+	for _, id := range g.zoneNS[az] {
+		out = append(out, g.hosts[id])
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// OwnedServers splits name's TCB into servers administered by the name's
+// owner (same registered domain) and external servers — the paper's
+// "only 2.2 servers are administered by the nameowner on average".
+func (g *Graph) OwnedServers(name string) (owned, external []string, err error) {
+	tcb, err := g.TCB(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	rd, rdErr := dnsname.RegisteredDomain(name)
+	for _, h := range tcb {
+		hrd, err2 := dnsname.RegisteredDomain(h)
+		if rdErr == nil && err2 == nil && hrd == rd {
+			owned = append(owned, h)
+		} else {
+			external = append(external, h)
+		}
+	}
+	return owned, external, nil
+}
+
+// sortUnique sorts and deduplicates a slice of ids in place.
+func sortUnique(ids *[]int32) {
+	s := *ids
+	if len(s) < 2 {
+		return
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	*ids = out
+}

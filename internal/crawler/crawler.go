@@ -1,0 +1,232 @@
+// Package crawler implements the survey engine: it walks the delegation
+// dependencies of a whole corpus of names concurrently, probes every
+// discovered nameserver's version.bind banner, and produces the survey
+// dataset the paper's analyses run on.
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dnstrust/internal/core"
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/vulndb"
+)
+
+// Config tunes a survey run.
+type Config struct {
+	// Workers is the walk parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// SkipVersionProbe disables banner collection (banners come back
+	// empty, i.e. optimistically safe).
+	SkipVersionProbe bool
+	// Progress, when non-nil, receives the number of names completed so
+	// far at coarse intervals.
+	Progress func(done, total int)
+}
+
+// Survey is the complete dataset of one crawl: the dependency snapshot,
+// the banner of every discovered server, and the vulnerability analysis
+// against the BIND matrix.
+type Survey struct {
+	// Graph is the dependency graph built from the crawl.
+	Graph *core.Graph
+	// Snapshot is the raw walker output.
+	Snapshot *resolver.Snapshot
+	// Names lists the successfully surveyed names.
+	Names []string
+	// Failed maps names that could not be walked to their errors.
+	Failed map[string]error
+	// Banner maps every discovered nameserver host to its version.bind
+	// answer ("" when hidden or unreachable).
+	Banner map[string]string
+	// Vulns maps hosts to their known exploits (absent = none known).
+	Vulns map[string][]vulndb.Vuln
+	// DB is the vulnerability matrix the survey was scored against.
+	DB *vulndb.DB
+}
+
+// Vulnerable reports whether a host has at least one known exploit.
+func (s *Survey) Vulnerable(host string) bool {
+	return len(s.Vulns[dnsname.Canonical(host)]) > 0
+}
+
+// Compromisable reports whether a host has an exploit yielding control
+// (code execution or cache poisoning), not just denial of service.
+func (s *Survey) Compromisable(host string) bool {
+	for _, v := range s.Vulns[dnsname.Canonical(host)] {
+		if v.Class == vulndb.ClassExec || v.Class == vulndb.ClassPoison {
+			return true
+		}
+	}
+	return false
+}
+
+// VulnerableHosts returns the number of discovered hosts with known
+// exploits (the paper's 27141-of-166771).
+func (s *Survey) VulnerableHosts() int {
+	n := 0
+	for _, host := range s.Graph.Hosts() {
+		if s.Vulnerable(host) {
+			n++
+		}
+	}
+	return n
+}
+
+// FromSnapshot packages an existing walker snapshot as a Survey with no
+// fingerprinting performed (callers may fill Banner/Vulns themselves).
+// Useful for hand-built scenario worlds.
+func FromSnapshot(snap *resolver.Snapshot) *Survey {
+	s := &Survey{
+		Graph:    core.Build(snap),
+		Snapshot: snap,
+		Failed:   snap.Failed,
+		Banner:   make(map[string]string),
+		Vulns:    make(map[string][]vulndb.Vuln),
+		DB:       vulndb.Default(),
+	}
+	for name := range snap.NameChain {
+		s.Names = append(s.Names, name)
+	}
+	sort.Strings(s.Names)
+	return s
+}
+
+// Run crawls the corpus over the given resolver and version prober.
+// probe fetches the version.bind banner of a nameserver host; pass nil to
+// skip fingerprinting.
+func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(ctx context.Context, host string) (string, error), cfg Config) (*Survey, error) {
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("crawler: empty corpus")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	w := resolver.NewWalker(r)
+
+	type walkOut struct {
+		name  string
+		chain []string
+		err   error
+	}
+	in := make(chan string)
+	out := make(chan walkOut)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range in {
+				chain, err := w.WalkName(ctx, name)
+				out <- walkOut{name: name, chain: chain, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(in)
+		for _, name := range corpus {
+			select {
+			case in <- name:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	chains := make(map[string][]string, len(corpus))
+	failed := map[string]error{}
+	done := 0
+	for res := range out {
+		done++
+		if cfg.Progress != nil && done%1000 == 0 {
+			cfg.Progress(done, len(corpus))
+		}
+		if res.err != nil {
+			failed[res.name] = res.err
+			continue
+		}
+		chains[res.name] = res.chain
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	snap := w.Snapshot(chains, failed)
+	graph := core.Build(snap)
+
+	s := &Survey{
+		Graph:    graph,
+		Snapshot: snap,
+		Failed:   failed,
+		Banner:   make(map[string]string),
+		Vulns:    make(map[string][]vulndb.Vuln),
+		DB:       vulndb.Default(),
+	}
+	for name := range chains {
+		s.Names = append(s.Names, name)
+	}
+	sort.Strings(s.Names)
+
+	// Fingerprint every discovered nameserver.
+	if probe != nil && !cfg.SkipVersionProbe {
+		if err := s.probeAll(ctx, probe, workers); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Survey) probeAll(ctx context.Context, probe func(ctx context.Context, host string) (string, error), workers int) error {
+	hosts := s.Graph.Hosts()
+	type probeOut struct {
+		host   string
+		banner string
+	}
+	in := make(chan string)
+	out := make(chan probeOut)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for host := range in {
+				banner, err := probe(ctx, host)
+				if err != nil {
+					banner = "" // unreachable: optimistically safe
+				}
+				out <- probeOut{host: host, banner: banner}
+			}
+		}()
+	}
+	go func() {
+		defer close(in)
+		for _, h := range hosts {
+			select {
+			case in <- h:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	for po := range out {
+		s.Banner[po.host] = po.banner
+		if vulns := s.DB.VulnsForBanner(po.banner); len(vulns) > 0 {
+			s.Vulns[po.host] = vulns
+		}
+	}
+	return ctx.Err()
+}

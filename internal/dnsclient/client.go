@@ -1,0 +1,219 @@
+// Package dnsclient implements a DNS query client: UDP with retries and
+// timeouts, automatic TCP fallback on truncation, and response sanity
+// checks (ID match, question echo). It is the transport the survey
+// crawler uses when talking to real sockets.
+package dnsclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/dnswire"
+)
+
+// Errors surfaced by Exchange.
+var (
+	// ErrIDMismatch indicates a response whose ID differs from the query;
+	// the response is discarded and the read retried until the deadline.
+	ErrIDMismatch = errors.New("dnsclient: response ID mismatch")
+	// ErrQuestionMismatch indicates a response echoing a different question.
+	ErrQuestionMismatch = errors.New("dnsclient: response question mismatch")
+	// ErrTimeout indicates all retries were exhausted.
+	ErrTimeout = errors.New("dnsclient: query timed out")
+)
+
+// Config tunes a Client. The zero value gets sensible survey defaults.
+type Config struct {
+	// Timeout bounds one query attempt; default 2s.
+	Timeout time.Duration
+	// Retries is the number of UDP attempts before giving up; default 2.
+	Retries int
+	// DisableTCPFallback turns off the RFC-mandated retry-over-TCP on
+	// truncation (useful for testing truncation behaviour itself).
+	DisableTCPFallback bool
+}
+
+// Client issues DNS queries. It is safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New creates a Client.
+func New(cfg Config) *Client {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	return &Client{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return uint16(c.rng.Intn(1 << 16))
+}
+
+// Query sends a single question to addr and returns the validated reply.
+func (c *Client) Query(ctx context.Context, addr, name string, typ dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	msg := dnswire.NewQuery(c.nextID(), dnsname.Canonical(name), typ, class)
+	return c.Exchange(ctx, addr, msg)
+}
+
+// VersionBind probes addr for its version.bind banner. It returns the
+// banner, or "" when the server hides it (REFUSED or empty answers) —
+// matching the survey's optimistic treatment of hidden servers.
+func (c *Client) VersionBind(ctx context.Context, addr string) (string, error) {
+	resp, err := c.Query(ctx, addr, "version.bind", dnswire.TypeTXT, dnswire.ClassCHAOS)
+	if err != nil {
+		return "", err
+	}
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
+		return "", nil
+	}
+	if txt, ok := resp.Answers[0].Data.(dnswire.TXT); ok && len(txt.Text) > 0 {
+		return txt.Text[0], nil
+	}
+	return "", nil
+}
+
+// Exchange performs the UDP query/response round trip for msg against
+// addr, retrying on timeouts and falling back to TCP when the response
+// arrives truncated.
+func (c *Client) Exchange(ctx context.Context, addr string, msg *dnswire.Message) (*dnswire.Message, error) {
+	pkt, err := msg.Pack()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := c.exchangeUDP(ctx, addr, msg, pkt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Truncated && !c.cfg.DisableTCPFallback {
+			tcpResp, err := c.exchangeTCP(ctx, addr, msg, pkt)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return tcpResp, nil
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrTimeout
+	}
+	return nil, fmt.Errorf("%w (after %d attempts): %v", ErrTimeout, c.cfg.Retries, lastErr)
+}
+
+func (c *Client) exchangeUDP(ctx context.Context, addr string, msg *dnswire.Message, pkt []byte) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: c.cfg.Timeout}
+	conn, err := d.DialContext(ctx, "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.cfg.Timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(pkt); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep listening until deadline
+		}
+		if err := validate(msg, resp); err != nil {
+			continue // mismatched ID/question: not our answer
+		}
+		return resp, nil
+	}
+}
+
+func (c *Client) exchangeTCP(ctx context.Context, addr string, msg *dnswire.Message, pkt []byte) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: c.cfg.Timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.cfg.Timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 2+len(pkt))
+	out[0], out[1] = byte(len(pkt)>>8), byte(len(pkt))
+	copy(out[2:], pkt)
+	if _, err := conn.Write(out); err != nil {
+		return nil, err
+	}
+	var lenbuf [2]byte
+	if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	msglen := int(lenbuf[0])<<8 | int(lenbuf[1])
+	body := make([]byte, msglen)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return nil, err
+	}
+	resp, err := dnswire.Unpack(body)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(msg, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// validate enforces that resp answers msg: matching ID, QR set, and the
+// question echoed verbatim.
+func validate(msg, resp *dnswire.Message) error {
+	if resp.ID != msg.ID {
+		return ErrIDMismatch
+	}
+	if !resp.Response {
+		return ErrQuestionMismatch
+	}
+	if len(resp.Questions) != len(msg.Questions) {
+		return ErrQuestionMismatch
+	}
+	for i := range msg.Questions {
+		if resp.Questions[i] != msg.Questions[i] {
+			return ErrQuestionMismatch
+		}
+	}
+	return nil
+}

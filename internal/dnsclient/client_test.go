@@ -1,0 +1,130 @@
+package dnsclient
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dnstrust/internal/dnswire"
+)
+
+func TestValidate(t *testing.T) {
+	q := dnswire.NewQuery(77, "example.com", dnswire.TypeA, dnswire.ClassINET)
+
+	good := q.Reply()
+	if err := validate(q, good); err != nil {
+		t.Errorf("valid reply rejected: %v", err)
+	}
+
+	badID := q.Reply()
+	badID.ID = 78
+	if err := validate(q, badID); err != ErrIDMismatch {
+		t.Errorf("got %v, want ErrIDMismatch", err)
+	}
+
+	notResponse := q.Reply()
+	notResponse.Response = false
+	if err := validate(q, notResponse); err != ErrQuestionMismatch {
+		t.Errorf("got %v, want ErrQuestionMismatch", err)
+	}
+
+	wrongQ := q.Reply()
+	wrongQ.Questions[0].Name = "evil.com"
+	if err := validate(q, wrongQ); err != ErrQuestionMismatch {
+		t.Errorf("got %v, want ErrQuestionMismatch", err)
+	}
+
+	noQ := q.Reply()
+	noQ.Questions = nil
+	if err := validate(q, noQ); err != ErrQuestionMismatch {
+		t.Errorf("got %v, want ErrQuestionMismatch", err)
+	}
+}
+
+func TestExchangeTimeout(t *testing.T) {
+	// A bound-but-silent UDP socket: queries must time out after retries.
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := New(Config{Timeout: 100 * time.Millisecond, Retries: 2})
+	start := time.Now()
+	_, err = c.Query(context.Background(), conn.LocalAddr().String(), "example.com", dnswire.TypeA, dnswire.ClassINET)
+	if err == nil {
+		t.Fatal("query against silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("gave up after %v; retries not attempted", elapsed)
+	}
+}
+
+func TestExchangeContextCancelled(t *testing.T) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(Config{Timeout: time.Second})
+	if _, err := c.Query(ctx, conn.LocalAddr().String(), "example.com", dnswire.TypeA, dnswire.ClassINET); err == nil {
+		t.Fatal("cancelled context should abort the query")
+	}
+}
+
+func TestIgnoresForgedResponses(t *testing.T) {
+	// A server that first sends a response with the wrong ID, then the
+	// real answer: the client must skip the forgery and accept the real one.
+	srv, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		buf := make([]byte, 4096)
+		n, peer, err := srv.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			return
+		}
+		forged := q.Reply()
+		forged.ID ^= 0xFFFF
+		fp, _ := forged.Pack()
+		srv.WriteTo(fp, peer)
+
+		real := q.Reply()
+		real.Answers = []dnswire.RR{{
+			Name: q.Questions[0].Name, Class: dnswire.ClassINET, TTL: 60,
+			Data: dnswire.TXT{Text: []string{"genuine"}},
+		}}
+		rp, _ := real.Pack()
+		srv.WriteTo(rp, peer)
+	}()
+	c := New(Config{Timeout: time.Second})
+	resp, err := c.Query(context.Background(), srv.LocalAddr().String(), "example.com", dnswire.TypeTXT, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("got %d answers", len(resp.Answers))
+	}
+	if txt := resp.Answers[0].Data.(dnswire.TXT).Text[0]; txt != "genuine" {
+		t.Errorf("accepted %q", txt)
+	}
+}
+
+func TestNextIDVaries(t *testing.T) {
+	c := New(Config{})
+	seen := map[uint16]bool{}
+	for i := 0; i < 64; i++ {
+		seen[c.nextID()] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("nextID produced only %d distinct values in 64 draws", len(seen))
+	}
+}

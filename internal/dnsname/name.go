@@ -1,0 +1,243 @@
+// Package dnsname implements the domain-name algebra used throughout the
+// survey: canonicalization, label manipulation, ancestry tests, and
+// registered-domain ("bailiwick") extraction against a 2004-era TLD table.
+//
+// Names are represented in canonical form: lower case, no trailing dot,
+// labels separated by single dots. The DNS root is the empty string "".
+package dnsname
+
+import (
+	"errors"
+	"strings"
+)
+
+// MaxNameLength is the maximum length of a domain name in presentation
+// format (RFC 1035 §2.3.4 limits wire names to 255 octets; presentation
+// format without the trailing dot is bounded by 253 bytes).
+const MaxNameLength = 253
+
+// MaxLabelLength is the maximum length of a single label (RFC 1035 §2.3.4).
+const MaxLabelLength = 63
+
+// Errors returned by Check.
+var (
+	ErrEmptyLabel    = errors.New("dnsname: empty label")
+	ErrLabelTooLong  = errors.New("dnsname: label exceeds 63 octets")
+	ErrNameTooLong   = errors.New("dnsname: name exceeds 253 octets")
+	ErrBadCharacter  = errors.New("dnsname: invalid character in label")
+	ErrHyphenEdge    = errors.New("dnsname: label starts or ends with hyphen")
+	ErrNotSubdomain  = errors.New("dnsname: not a subdomain")
+	ErrNoRegisteredD = errors.New("dnsname: no registered domain (name is a TLD or the root)")
+)
+
+// Canonical returns the canonical form of name: lower-cased, with any
+// trailing dot removed. The root name ("." or "") canonicalizes to "".
+func Canonical(name string) string {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return ""
+	}
+	// Fast path: already lower case.
+	lower := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			lower = false
+			break
+		}
+	}
+	if lower {
+		return name
+	}
+	return strings.ToLower(name)
+}
+
+// Check validates a canonical name against RFC 1035 host-name rules,
+// extended with underscore (seen in real DNS, e.g. service labels).
+// The root name "" is valid.
+func Check(name string) error {
+	if name == "" {
+		return nil
+	}
+	if len(name) > MaxNameLength {
+		return ErrNameTooLong
+	}
+	for _, label := range strings.Split(name, ".") {
+		if err := checkLabel(label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkLabel(label string) error {
+	if label == "" {
+		return ErrEmptyLabel
+	}
+	if len(label) > MaxLabelLength {
+		return ErrLabelTooLong
+	}
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '-':
+			if i == 0 || i == len(label)-1 {
+				return ErrHyphenEdge
+			}
+		case c == '_':
+		case c >= 'A' && c <= 'Z':
+			// Canonical names are lower case; treat upper case as invalid
+			// so that Check doubles as a canonicalization check.
+			return ErrBadCharacter
+		default:
+			return ErrBadCharacter
+		}
+	}
+	return nil
+}
+
+// Labels splits a canonical name into its labels, least significant first
+// is NOT applied: labels appear in presentation order (www, cs, cornell,
+// edu). The root name yields a nil slice.
+func Labels(name string) []string {
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// CountLabels reports the number of labels in the canonical name.
+// The root has zero labels.
+func CountLabels(name string) int {
+	if name == "" {
+		return 0
+	}
+	return strings.Count(name, ".") + 1
+}
+
+// Parent returns the immediate parent domain of a canonical name and true,
+// or "", false when name is the root.
+func Parent(name string) (string, bool) {
+	if name == "" {
+		return "", false
+	}
+	i := strings.IndexByte(name, '.')
+	if i < 0 {
+		return "", true // TLD's parent is the root
+	}
+	return name[i+1:], true
+}
+
+// TLD returns the top-level domain of a canonical name, or "" for the root.
+func TLD(name string) string {
+	if name == "" {
+		return ""
+	}
+	i := strings.LastIndexByte(name, '.')
+	if i < 0 {
+		return name
+	}
+	return name[i+1:]
+}
+
+// IsSubdomain reports whether child is equal to or lies underneath parent.
+// Every name is a subdomain of the root "".
+func IsSubdomain(child, parent string) bool {
+	if parent == "" {
+		return true
+	}
+	if child == parent {
+		return true
+	}
+	return strings.HasSuffix(child, "."+parent)
+}
+
+// Ancestors returns every ancestor of name from the name itself down to the
+// TLD, excluding the root. For "www.cs.cornell.edu" it returns
+// ["www.cs.cornell.edu", "cs.cornell.edu", "cornell.edu", "edu"].
+func Ancestors(name string) []string {
+	if name == "" {
+		return nil
+	}
+	out := make([]string, 0, CountLabels(name))
+	for {
+		out = append(out, name)
+		p, ok := Parent(name)
+		if !ok || p == "" {
+			return out
+		}
+		name = p
+	}
+}
+
+// CommonSuffix returns the longest common domain suffix of two canonical
+// names (label-aligned), or "" when they share none.
+func CommonSuffix(a, b string) string {
+	la, lb := Labels(a), Labels(b)
+	i, j := len(la)-1, len(lb)-1
+	n := 0
+	for i >= 0 && j >= 0 && la[i] == lb[j] {
+		n++
+		i--
+		j--
+	}
+	if n == 0 {
+		return ""
+	}
+	return strings.Join(la[len(la)-n:], ".")
+}
+
+// Join concatenates a relative label sequence onto a domain, producing a
+// canonical name. Join("www", "cornell.edu") == "www.cornell.edu".
+// Joining onto the root returns the relative part itself.
+func Join(relative, domain string) string {
+	relative = Canonical(relative)
+	domain = Canonical(domain)
+	switch {
+	case relative == "":
+		return domain
+	case domain == "":
+		return relative
+	default:
+		return relative + "." + domain
+	}
+}
+
+// Compare orders two canonical names by DNS canonical ordering
+// (RFC 4034 §6.1): by reversed label sequence, comparing labels
+// byte-wise. It returns -1, 0 or +1.
+func Compare(a, b string) int {
+	la, lb := Labels(a), Labels(b)
+	i, j := len(la)-1, len(lb)-1
+	for i >= 0 && j >= 0 {
+		if c := strings.Compare(la[i], lb[j]); c != 0 {
+			return c
+		}
+		i--
+		j--
+	}
+	switch {
+	case i >= 0:
+		return 1
+	case j >= 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// WireLength returns the encoded length of the canonical name in DNS wire
+// format (sum of label lengths plus one length octet each, plus the
+// terminating zero octet).
+func WireLength(name string) int {
+	if name == "" {
+		return 1
+	}
+	n := 1 // terminating zero octet
+	for _, label := range Labels(name) {
+		n += 1 + len(label)
+	}
+	return n
+}

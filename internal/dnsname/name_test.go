@@ -1,0 +1,264 @@
+package dnsname
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{".", ""},
+		{"com", "com"},
+		{"com.", "com"},
+		{"WWW.CS.Cornell.EDU", "www.cs.cornell.edu"},
+		{"www.cs.cornell.edu.", "www.cs.cornell.edu"},
+		{"a.gtld-servers.net", "a.gtld-servers.net"},
+	}
+	for _, c := range cases {
+		if got := Canonical(c.in); got != c.want {
+			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Canonical(s)
+		return Canonical(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	valid := []string{
+		"", "com", "cornell.edu", "www.cs.cornell.edu",
+		"a1.nstld.com", "reston-ns2.telemail.net", "_tcp.example.com",
+		"xn--80ak6aa92e.ua", "1.2.3.com",
+	}
+	for _, n := range valid {
+		if err := Check(n); err != nil {
+			t.Errorf("Check(%q) = %v, want nil", n, err)
+		}
+	}
+	invalid := []struct {
+		name string
+		want error
+	}{
+		{"a..b", ErrEmptyLabel},
+		{".leading", ErrEmptyLabel},
+		{strings.Repeat("a", 64) + ".com", ErrLabelTooLong},
+		{strings.Repeat("abcdefgh.", 30) + "com", ErrNameTooLong},
+		{"UPPER.com", ErrBadCharacter},
+		{"sp ace.com", ErrBadCharacter},
+		{"-lead.com", ErrHyphenEdge},
+		{"trail-.com", ErrHyphenEdge},
+		{"bang!.com", ErrBadCharacter},
+	}
+	for _, c := range invalid {
+		if err := Check(c.name); err != c.want {
+			t.Errorf("Check(%q) = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLabelsAndCount(t *testing.T) {
+	if got := Labels(""); got != nil {
+		t.Errorf("Labels(root) = %v, want nil", got)
+	}
+	got := Labels("www.cs.cornell.edu")
+	want := []string{"www", "cs", "cornell", "edu"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Labels = %v, want %v", got, want)
+	}
+	for name, n := range map[string]int{"": 0, "edu": 1, "cornell.edu": 2, "www.cs.cornell.edu": 4} {
+		if got := CountLabels(name); got != n {
+			t.Errorf("CountLabels(%q) = %d, want %d", name, got, n)
+		}
+	}
+}
+
+func TestParent(t *testing.T) {
+	cases := []struct {
+		in, parent string
+		ok         bool
+	}{
+		{"", "", false},
+		{"edu", "", true},
+		{"cornell.edu", "edu", true},
+		{"www.cs.cornell.edu", "cs.cornell.edu", true},
+	}
+	for _, c := range cases {
+		p, ok := Parent(c.in)
+		if p != c.parent || ok != c.ok {
+			t.Errorf("Parent(%q) = %q,%v want %q,%v", c.in, p, ok, c.parent, c.ok)
+		}
+	}
+}
+
+func TestTLD(t *testing.T) {
+	for in, want := range map[string]string{
+		"":                   "",
+		"com":                "com",
+		"cornell.edu":        "edu",
+		"www.rkc.lviv.ua":    "ua",
+		"a.gtld-servers.net": "net",
+	} {
+		if got := TLD(in); got != want {
+			t.Errorf("TLD(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestIsSubdomain(t *testing.T) {
+	cases := []struct {
+		child, parent string
+		want          bool
+	}{
+		{"www.cs.cornell.edu", "cornell.edu", true},
+		{"cornell.edu", "cornell.edu", true},
+		{"cornell.edu", "", true},
+		{"", "", true},
+		{"mycornell.edu", "cornell.edu", false},
+		{"cornell.edu", "cs.cornell.edu", false},
+		{"edu", "com", false},
+	}
+	for _, c := range cases {
+		if got := IsSubdomain(c.child, c.parent); got != c.want {
+			t.Errorf("IsSubdomain(%q,%q) = %v, want %v", c.child, c.parent, got, c.want)
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	got := Ancestors("www.cs.cornell.edu")
+	want := []string{"www.cs.cornell.edu", "cs.cornell.edu", "cornell.edu", "edu"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ancestors = %v, want %v", got, want)
+	}
+	if got := Ancestors(""); got != nil {
+		t.Errorf("Ancestors(root) = %v, want nil", got)
+	}
+	if got := Ancestors("com"); !reflect.DeepEqual(got, []string{"com"}) {
+		t.Errorf("Ancestors(com) = %v", got)
+	}
+}
+
+func TestCommonSuffix(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"www.cs.cornell.edu", "cit.cornell.edu", "cornell.edu"},
+		{"a.com", "b.net", ""},
+		{"x.y.z", "x.y.z", "x.y.z"},
+		{"cornell.edu", "edu", "edu"},
+		{"", "a.com", ""},
+	}
+	for _, c := range cases {
+		if got := CommonSuffix(c.a, c.b); got != c.want {
+			t.Errorf("CommonSuffix(%q,%q) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	cases := []struct{ rel, dom, want string }{
+		{"www", "cornell.edu", "www.cornell.edu"},
+		{"", "cornell.edu", "cornell.edu"},
+		{"www", "", "www"},
+		{"A.B", "C.d", "a.b.c.d"},
+	}
+	for _, c := range cases {
+		if got := Join(c.rel, c.dom); got != c.want {
+			t.Errorf("Join(%q,%q) = %q, want %q", c.rel, c.dom, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	// RFC 4034 canonical ordering sorts by reversed labels.
+	ordered := []string{"", "com", "example.com", "www.example.com", "net", "a.net"}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%q,%q) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	gen := randomNameGen()
+	antisym := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	reflexive := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := gen(r)
+		return Compare(a, a) == 0
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+}
+
+func TestWireLength(t *testing.T) {
+	for in, want := range map[string]int{
+		"":            1,
+		"com":         5,  // 3com0
+		"cornell.edu": 13, // 7cornell3edu0
+	} {
+		if got := WireLength(in); got != want {
+			t.Errorf("WireLength(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsSubdomainAncestorsAgree(t *testing.T) {
+	gen := randomNameGen()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		name := gen(r)
+		for _, anc := range Ancestors(name) {
+			if !IsSubdomain(name, anc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomNameGen returns a generator of random valid canonical names.
+func randomNameGen() func(*rand.Rand) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	return func(r *rand.Rand) string {
+		n := 1 + r.Intn(5)
+		labels := make([]string, n)
+		for i := range labels {
+			l := make([]byte, 1+r.Intn(8))
+			for j := range l {
+				l[j] = alphabet[r.Intn(len(alphabet))]
+			}
+			labels[i] = string(l)
+		}
+		return strings.Join(labels, ".")
+	}
+}

@@ -1,0 +1,342 @@
+// Package dnsserver implements a concurrent authoritative DNS server over
+// UDP and TCP on the standard net package. Each server instance plays the
+// role of one nameserver of the synthetic Internet: it serves a set of
+// zones authoritatively and answers CHAOS version.bind probes with a
+// configurable BIND banner, which is how the survey fingerprinting works.
+package dnsserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/dnszone"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Zones lists the zones this server answers for authoritatively.
+	Zones []*dnszone.Zone
+	// VersionBanner is returned for CH TXT version.bind queries.
+	// Empty means the probe is REFUSED (a "hidden" server).
+	VersionBanner string
+	// Logger receives per-request diagnostics; nil disables logging.
+	Logger *log.Logger
+	// ReadTimeout bounds TCP reads; zero means 5s.
+	ReadTimeout time.Duration
+}
+
+// Server is a running authoritative nameserver bound to one UDP and one
+// TCP socket on the same address.
+type Server struct {
+	cfg   Config
+	zones *ZoneSet
+
+	udp *net.UDPConn
+	tcp *net.TCPListener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ZoneSet indexes zones for longest-suffix matching.
+type ZoneSet struct {
+	byOrigin map[string]*dnszone.Zone
+}
+
+// NewZoneSet builds an index over the given zones. Duplicate origins are
+// an error: one server must not serve two copies of a zone.
+func NewZoneSet(zones []*dnszone.Zone) (*ZoneSet, error) {
+	zs := &ZoneSet{byOrigin: make(map[string]*dnszone.Zone, len(zones))}
+	for _, z := range zones {
+		if _, dup := zs.byOrigin[z.Origin()]; dup {
+			return nil, fmt.Errorf("dnsserver: duplicate zone %q", z.Origin())
+		}
+		zs.byOrigin[z.Origin()] = z
+	}
+	return zs, nil
+}
+
+// Match returns the zone with the longest origin that is an ancestor of
+// name, or nil.
+func (zs *ZoneSet) Match(name string) *dnszone.Zone {
+	name = dnsname.Canonical(name)
+	for {
+		if z, ok := zs.byOrigin[name]; ok {
+			return z
+		}
+		if name == "" {
+			// Check for a root zone before giving up happens above; done.
+			return nil
+		}
+		p, _ := dnsname.Parent(name)
+		name = p
+	}
+}
+
+// Origins returns the zone origins in sorted order.
+func (zs *ZoneSet) Origins() []string {
+	out := make([]string, 0, len(zs.byOrigin))
+	for o := range zs.byOrigin {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Start binds addr (host:port; port 0 picks an ephemeral port shared by
+// UDP and TCP) and begins serving until Close or ctx cancellation.
+func Start(ctx context.Context, addr string, cfg Config) (*Server, error) {
+	zs, err := NewZoneSet(cfg.Zones)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 5 * time.Second
+	}
+	s := &Server{cfg: cfg, zones: zs}
+
+	tcpL, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: tcp listen: %w", err)
+	}
+	// Bind UDP on the port TCP got, so both share an address.
+	tcpAddr := tcpL.Addr().(*net.TCPAddr)
+	udpConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: tcpAddr.IP, Port: tcpAddr.Port})
+	if err != nil {
+		tcpL.Close()
+		return nil, fmt.Errorf("dnsserver: udp listen: %w", err)
+	}
+	s.tcp = tcpL.(*net.TCPListener)
+	s.udp = udpConn
+
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			s.Close()
+		}()
+	}
+	return s, nil
+}
+
+// Addr returns the bound address (identical for UDP and TCP).
+func (s *Server) Addr() net.Addr { return s.udp.LocalAddr() }
+
+// Close stops the listeners and waits for in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.udp.Close()
+	s.tcp.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("udp read: %v", err)
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func(pkt []byte, peer *net.UDPAddr) {
+			defer s.wg.Done()
+			resp := s.handle(pkt, true)
+			if resp == nil {
+				return
+			}
+			if _, err := s.udp.WriteToUDP(resp, peer); err != nil && !s.isClosed() {
+				s.logf("udp write to %v: %v", peer, err)
+			}
+		}(pkt, peer)
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("tcp accept: %v", err)
+			continue
+		}
+		s.wg.Add(1)
+		go func(conn net.Conn) {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveTCPConn(conn)
+		}(conn)
+	}
+}
+
+// serveTCPConn handles length-prefixed DNS messages on one connection
+// (RFC 1035 §4.2.2), allowing multiple queries per connection.
+func (s *Server) serveTCPConn(conn net.Conn) {
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		var lenbuf [2]byte
+		if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+			return // EOF or timeout ends the conversation
+		}
+		msglen := int(lenbuf[0])<<8 | int(lenbuf[1])
+		if msglen == 0 {
+			return
+		}
+		pkt := make([]byte, msglen)
+		if _, err := io.ReadFull(conn, pkt); err != nil {
+			return
+		}
+		resp := s.handle(pkt, false)
+		if resp == nil {
+			return
+		}
+		out := make([]byte, 2+len(resp))
+		out[0], out[1] = byte(len(resp)>>8), byte(len(resp))
+		copy(out[2:], resp)
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+// handle processes one raw request and returns the packed response, or nil
+// to drop the request (unparseable queries are dropped, as real servers
+// drop noise rather than amplify it).
+func (s *Server) handle(pkt []byte, udp bool) []byte {
+	req, err := dnswire.Unpack(pkt)
+	if err != nil {
+		return nil
+	}
+	if req.Response || len(req.Questions) != 1 {
+		return nil
+	}
+	resp := s.respond(req)
+	out, err := resp.Pack()
+	if err != nil {
+		s.logf("pack response: %v", err)
+		return nil
+	}
+	if udp && len(out) > dnswire.MaxUDPSize {
+		// Truncate: header + question only, TC set, client retries on TCP.
+		trunc := req.Reply()
+		trunc.RCode = resp.RCode
+		trunc.Truncated = true
+		out, err = trunc.Pack()
+		if err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// respond builds the full response message for a single-question query.
+func (s *Server) respond(req *dnswire.Message) *dnswire.Message {
+	return Respond(s.zones, s.cfg.VersionBanner, req)
+}
+
+// Respond computes the authoritative response a server with the given zone
+// set and version banner gives to req. It is exported so that in-memory
+// transports can reuse the exact semantics of the network server.
+func Respond(zones *ZoneSet, banner string, req *dnswire.Message) *dnswire.Message {
+	q := req.Questions[0]
+	resp := req.Reply()
+
+	if req.Opcode != dnswire.OpcodeQuery {
+		resp.RCode = dnswire.RCodeNotImpl
+		return resp
+	}
+
+	// CHAOS class: version.bind fingerprinting.
+	if q.Class == dnswire.ClassCHAOS {
+		name := dnsname.Canonical(q.Name)
+		if (q.Type == dnswire.TypeTXT || q.Type == dnswire.TypeANY) && name == "version.bind" {
+			if banner == "" {
+				resp.RCode = dnswire.RCodeRefused
+				return resp
+			}
+			resp.Authoritative = true
+			resp.Answers = []dnswire.RR{{
+				Name: "version.bind", Class: dnswire.ClassCHAOS, TTL: 0,
+				Data: dnswire.TXT{Text: []string{banner}},
+			}}
+			return resp
+		}
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+
+	if q.Class != dnswire.ClassINET {
+		resp.RCode = dnswire.RCodeNotImpl
+		return resp
+	}
+
+	zone := zones.Match(q.Name)
+	if zone == nil {
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	res := zone.Lookup(q.Name, q.Type)
+	switch res.Kind {
+	case dnszone.KindAnswer:
+		resp.Authoritative = true
+		resp.Answers = res.Answer
+	case dnszone.KindNoData:
+		resp.Authoritative = true
+		resp.Authority = res.Authority
+	case dnszone.KindNXDomain:
+		resp.Authoritative = true
+		resp.RCode = dnswire.RCodeNXDomain
+		resp.Authority = res.Authority
+	case dnszone.KindDelegation:
+		resp.Authority = res.Authority
+		resp.Additional = res.Additional
+	default:
+		resp.RCode = dnswire.RCodeRefused
+	}
+	return resp
+}

@@ -1,0 +1,307 @@
+package dnsserver
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dnstrust/internal/dnsclient"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/dnszone"
+)
+
+func testZone(t *testing.T) *dnszone.Zone {
+	t.Helper()
+	z := dnszone.New("fbi.gov")
+	z.AddNS("dns.sprintip.com")
+	z.AddNS("dns2.sprintip.com")
+	if err := z.AddAddress("www.fbi.gov", netip.MustParseAddr("32.97.253.16")); err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := Start(context.Background(), "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, s.Addr().String()
+}
+
+func TestServeAuthoritativeAnswer(t *testing.T) {
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}, VersionBanner: "BIND 8.2.4"})
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	resp, err := c.Query(context.Background(), addr, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Authoritative || resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("unexpected response: %s", resp)
+	}
+	if got := resp.Answers[0].Data.(dnswire.A).Addr.String(); got != "32.97.253.16" {
+		t.Errorf("answer = %s", got)
+	}
+}
+
+func TestServeNXDomainAndNoData(t *testing.T) {
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}})
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	resp, err := c.Query(context.Background(), addr, "missing.fbi.gov", dnswire.TypeA, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("RCode = %v, want NXDOMAIN", resp.RCode)
+	}
+	if len(resp.Authority) != 1 || resp.Authority[0].Type() != dnswire.TypeSOA {
+		t.Error("negative answer must carry SOA")
+	}
+	resp, err = c.Query(context.Background(), addr, "www.fbi.gov", dnswire.TypeMX, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 0 {
+		t.Errorf("NODATA response wrong: %s", resp)
+	}
+}
+
+func TestServeReferral(t *testing.T) {
+	z := dnszone.New("gov")
+	z.AddNS("a.gov-servers.net")
+	if err := z.Delegate("fbi.gov", "dns.sprintip.com", "dns2.sprintip.com"); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{z}})
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	resp, err := c.Query(context.Background(), addr, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Authoritative {
+		t.Error("referral must not be authoritative")
+	}
+	if len(resp.Authority) != 2 {
+		t.Errorf("referral NS count = %d, want 2", len(resp.Authority))
+	}
+}
+
+func TestVersionBind(t *testing.T) {
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}, VersionBanner: "BIND 8.2.4"})
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	banner, err := c.VersionBind(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banner != "BIND 8.2.4" {
+		t.Errorf("banner = %q", banner)
+	}
+}
+
+func TestVersionBindHidden(t *testing.T) {
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}})
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	banner, err := c.VersionBind(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banner != "" {
+		t.Errorf("hidden server returned banner %q", banner)
+	}
+}
+
+func TestRefusesForeignZone(t *testing.T) {
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}})
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	resp, err := c.Query(context.Background(), addr, "www.cornell.edu", dnswire.TypeA, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("RCode = %v, want REFUSED", resp.RCode)
+	}
+}
+
+func TestTruncationAndTCPFallback(t *testing.T) {
+	// Build a zone whose answer exceeds 512 bytes: many TXT records.
+	z := dnszone.New("big.test")
+	z.AddNS("ns1.big.test")
+	for i := 0; i < 40; i++ {
+		z.MustAddRR(dnswire.RR{
+			Name: "fat.big.test", Class: dnswire.ClassINET, TTL: 60,
+			Data: dnswire.TXT{Text: []string{strings.Repeat("x", 200)}},
+		})
+	}
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{z}})
+
+	// Without fallback we must see the TC bit.
+	noFallback := dnsclient.New(dnsclient.Config{Timeout: time.Second, DisableTCPFallback: true})
+	resp, err := noFallback.Query(context.Background(), addr, "fat.big.test", dnswire.TypeTXT, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatal("expected truncated UDP response")
+	}
+	if len(resp.Answers) != 0 {
+		t.Error("truncated response should carry no answers")
+	}
+
+	// With fallback the client must transparently retry over TCP.
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	resp, err = c.Query(context.Background(), addr, "fat.big.test", dnswire.TypeTXT, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Error("TCP response still truncated")
+	}
+	if len(resp.Answers) != 40 {
+		t.Errorf("TCP answers = %d, want 40", len(resp.Answers))
+	}
+}
+
+func TestMalformedPacketsDropped(t *testing.T) {
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}})
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 512)
+	if n, err := conn.Read(buf); err == nil {
+		t.Errorf("server answered %d bytes to garbage; must drop", n)
+	}
+	// The server must still answer well-formed queries afterwards.
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	if _, err := c.Query(context.Background(), addr, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET); err != nil {
+		t.Fatalf("server wedged after garbage: %v", err)
+	}
+}
+
+func TestNotImplOpcodeAndClass(t *testing.T) {
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}})
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	msg := dnswire.NewQuery(42, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET)
+	msg.Opcode = dnswire.OpcodeStatus
+	resp, err := c.Exchange(context.Background(), addr, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNotImpl {
+		t.Errorf("STATUS opcode: RCode = %v, want NOTIMP", resp.RCode)
+	}
+	resp, err = c.Query(context.Background(), addr, "www.fbi.gov", dnswire.TypeA, dnswire.Class(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNotImpl {
+		t.Errorf("HS class: RCode = %v, want NOTIMP", resp.RCode)
+	}
+}
+
+func TestChaosNonVersionRefused(t *testing.T) {
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}, VersionBanner: "BIND 9.2.3"})
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	resp, err := c.Query(context.Background(), addr, "hostname.bind", dnswire.TypeTXT, dnswire.ClassCHAOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("hostname.bind: RCode = %v, want REFUSED", resp.RCode)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	_, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}, VersionBanner: "BIND 9.2.3"})
+	c := dnsclient.New(dnsclient.Config{Timeout: 2 * time.Second, Retries: 3})
+	const n = 50
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := c.Query(context.Background(), addr, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET)
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent query failed: %v", err)
+		}
+	}
+}
+
+func TestGracefulClose(t *testing.T) {
+	s, addr := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+	c := dnsclient.New(dnsclient.Config{Timeout: 200 * time.Millisecond, Retries: 1})
+	if _, err := c.Query(context.Background(), addr, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET); err == nil {
+		t.Error("closed server still answering")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := Start(ctx, "127.0.0.1:0", Config{Zones: []*dnszone.Zone{testZone(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	c := dnsclient.New(dnsclient.Config{Timeout: 100 * time.Millisecond, Retries: 1})
+	for time.Now().Before(deadline) {
+		if _, err := c.Query(context.Background(), s.Addr().String(), "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET); err != nil {
+			return // server went down as expected
+		}
+	}
+	t.Error("server still answering after context cancellation")
+}
+
+func TestZoneSet(t *testing.T) {
+	parent := dnszone.New("gov")
+	child := dnszone.New("fbi.gov")
+	zs, err := NewZoneSet([]*dnszone.Zone{parent, child})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := zs.Match("www.fbi.gov"); z != child {
+		t.Error("longest match must pick the child zone")
+	}
+	if z := zs.Match("usdoj.gov"); z != parent {
+		t.Error("fallback to parent zone failed")
+	}
+	if z := zs.Match("example.com"); z != nil {
+		t.Error("unrelated name matched a zone")
+	}
+	if _, err := NewZoneSet([]*dnszone.Zone{parent, dnszone.New("gov")}); err == nil {
+		t.Error("duplicate zone origins must be rejected")
+	}
+	if got := zs.Origins(); len(got) != 2 || got[0] != "fbi.gov" {
+		t.Errorf("Origins = %v", got)
+	}
+}
+
+func TestZoneSetRootZone(t *testing.T) {
+	root := dnszone.New("")
+	zs, err := NewZoneSet([]*dnszone.Zone{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := zs.Match("anything.at.all"); z != root {
+		t.Error("root zone must match every name")
+	}
+}

@@ -1,0 +1,104 @@
+package dnswire
+
+import "fmt"
+
+// Header is the 12-octet DNS message header (RFC 1035 §4.1.1), with the
+// flag bits broken out and the section counts kept implicit (they are
+// derived from the message's slices when packing).
+type Header struct {
+	ID                 uint16
+	Response           bool // QR
+	Opcode             Opcode
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	RCode              RCode
+}
+
+const headerLen = 12
+
+// appendHeader packs the header with explicit section counts.
+func (h Header) appendHeader(buf []byte, qd, an, ns, ar int) ([]byte, error) {
+	for _, n := range [...]int{qd, an, ns, ar} {
+		if n > int(^uint16(0)) {
+			return nil, ErrTooManyRecords
+		}
+	}
+	var flags uint16
+	if h.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xF) << 11
+	if h.Authoritative {
+		flags |= 1 << 10
+	}
+	if h.Truncated {
+		flags |= 1 << 9
+	}
+	if h.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.RCode & 0xF)
+	buf = appendUint16(buf, h.ID)
+	buf = appendUint16(buf, flags)
+	buf = appendUint16(buf, uint16(qd))
+	buf = appendUint16(buf, uint16(an))
+	buf = appendUint16(buf, uint16(ns))
+	buf = appendUint16(buf, uint16(ar))
+	return buf, nil
+}
+
+// unpackHeader decodes the header and returns it with the section counts.
+func unpackHeader(msg []byte) (h Header, qd, an, ns, ar int, err error) {
+	if len(msg) < headerLen {
+		return Header{}, 0, 0, 0, 0, ErrShortMessage
+	}
+	h.ID = uint16(msg[0])<<8 | uint16(msg[1])
+	flags := uint16(msg[2])<<8 | uint16(msg[3])
+	h.Response = flags&(1<<15) != 0
+	h.Opcode = Opcode(flags >> 11 & 0xF)
+	h.Authoritative = flags&(1<<10) != 0
+	h.Truncated = flags&(1<<9) != 0
+	h.RecursionDesired = flags&(1<<8) != 0
+	h.RecursionAvailable = flags&(1<<7) != 0
+	h.RCode = RCode(flags & 0xF)
+	qd = int(uint16(msg[4])<<8 | uint16(msg[5]))
+	an = int(uint16(msg[6])<<8 | uint16(msg[7]))
+	ns = int(uint16(msg[8])<<8 | uint16(msg[9]))
+	ar = int(uint16(msg[10])<<8 | uint16(msg[11]))
+	return h, qd, an, ns, ar, nil
+}
+
+func (h Header) String() string {
+	return fmt.Sprintf("id=%d %s %s qr=%t aa=%t tc=%t rd=%t ra=%t",
+		h.ID, h.Opcode, h.RCode, h.Response, h.Authoritative, h.Truncated,
+		h.RecursionDesired, h.RecursionAvailable)
+}
+
+func appendUint16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func appendUint32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func readUint16(msg []byte, off int) (uint16, int, error) {
+	if off+2 > len(msg) {
+		return 0, 0, ErrShortMessage
+	}
+	return uint16(msg[off])<<8 | uint16(msg[off+1]), off + 2, nil
+}
+
+func readUint32(msg []byte, off int) (uint32, int, error) {
+	if off+4 > len(msg) {
+		return 0, 0, ErrShortMessage
+	}
+	v := uint32(msg[off])<<24 | uint32(msg[off+1])<<16 |
+		uint32(msg[off+2])<<8 | uint32(msg[off+3])
+	return v, off + 4, nil
+}

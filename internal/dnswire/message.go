@@ -1,0 +1,253 @@
+package dnswire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Question is a single entry of the question section (RFC 1035 §4.1.2).
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", presentName(q.Name), q.Class, q.Type)
+}
+
+// RR is a resource record: the shared preamble plus typed RDATA.
+type RR struct {
+	Name  string
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// Type returns the RR type, derived from the RDATA payload.
+func (r RR) Type() Type {
+	if r.Data == nil {
+		return TypeNone
+	}
+	return r.Data.RType()
+}
+
+func (r RR) String() string {
+	return fmt.Sprintf("%s %d %s %s %s",
+		presentName(r.Name), r.TTL, r.Class, r.Type(), r.Data)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a standard query for one question.
+func NewQuery(id uint16, name string, typ Type, class Class) *Message {
+	return &Message{
+		Header:    Header{ID: id, Opcode: OpcodeQuery},
+		Questions: []Question{{Name: name, Type: typ, Class: class}},
+	}
+}
+
+// Reply builds a response skeleton for m: same ID, question echoed,
+// QR set, and the RD flag copied as RFC 1035 requires.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		Header: Header{
+			ID:               m.ID,
+			Response:         true,
+			Opcode:           m.Opcode,
+			RecursionDesired: m.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// Pack encodes the message with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack encodes the message with name compression, appending to buf.
+// buf must be empty (compression offsets are message-relative).
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("dnswire: AppendPack requires an empty buffer, got %d bytes", len(buf))
+	}
+	c := NewCompressor()
+	buf, err := m.appendHeader(buf, len(m.Questions), len(m.Answers), len(m.Authority), len(m.Additional))
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range m.Questions {
+		if buf, err = appendQuestion(buf, q, c); err != nil {
+			return nil, err
+		}
+	}
+	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if buf, err = appendRR(buf, rr, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(buf) > MaxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	return buf, nil
+}
+
+func appendQuestion(buf []byte, q Question, c *Compressor) ([]byte, error) {
+	buf, err := AppendName(buf, q.Name, c)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendUint16(buf, uint16(q.Type))
+	buf = appendUint16(buf, uint16(q.Class))
+	return buf, nil
+}
+
+func appendRR(buf []byte, rr RR, c *Compressor) ([]byte, error) {
+	if rr.Data == nil {
+		return nil, fmt.Errorf("dnswire: RR %q has no RDATA", rr.Name)
+	}
+	buf, err := AppendName(buf, rr.Name, c)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendUint16(buf, uint16(rr.Type()))
+	buf = appendUint16(buf, uint16(rr.Class))
+	buf = appendUint32(buf, rr.TTL)
+	// Reserve RDLENGTH, pack RDATA, then patch the length in.
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	buf, err = rr.Data.appendRData(buf, c)
+	if err != nil {
+		return nil, err
+	}
+	rdlen := len(buf) - lenAt - 2
+	if rdlen > int(^uint16(0)) {
+		return nil, ErrMessageTooLarge
+	}
+	buf[lenAt] = byte(rdlen >> 8)
+	buf[lenAt+1] = byte(rdlen)
+	return buf, nil
+}
+
+// Unpack decodes a complete DNS message. It rejects trailing garbage,
+// implausible counts, and malformed names (including compression loops).
+func Unpack(msg []byte) (*Message, error) {
+	h, qd, an, ns, ar, err := unpackHeader(msg)
+	if err != nil {
+		return nil, err
+	}
+	// Each question needs >= 5 bytes and each RR >= 11; reject counts that
+	// cannot possibly fit to avoid large allocations from hostile headers.
+	if qd*5+(an+ns+ar)*11 > len(msg)-headerLen {
+		return nil, ErrTooManyRecords
+	}
+	m := &Message{Header: h}
+	off := headerLen
+	m.Questions = make([]Question, 0, qd)
+	for i := 0; i < qd; i++ {
+		var q Question
+		if q, off, err = unpackQuestion(msg, off); err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []struct {
+		name  string
+		count int
+		out   *[]RR
+	}{
+		{"answer", an, &m.Answers},
+		{"authority", ns, &m.Authority},
+		{"additional", ar, &m.Additional},
+	} {
+		if sec.count == 0 {
+			continue
+		}
+		*sec.out = make([]RR, 0, sec.count)
+		for i := 0; i < sec.count; i++ {
+			var rr RR
+			if rr, off, err = unpackRR(msg, off); err != nil {
+				return nil, fmt.Errorf("%s %d: %w", sec.name, i, err)
+			}
+			*sec.out = append(*sec.out, rr)
+		}
+	}
+	if off != len(msg) {
+		return nil, ErrTrailingBytes
+	}
+	return m, nil
+}
+
+func unpackQuestion(msg []byte, off int) (Question, int, error) {
+	var q Question
+	var err error
+	if q.Name, off, err = UnpackName(msg, off); err != nil {
+		return Question{}, 0, err
+	}
+	var v uint16
+	if v, off, err = readUint16(msg, off); err != nil {
+		return Question{}, 0, err
+	}
+	q.Type = Type(v)
+	if v, off, err = readUint16(msg, off); err != nil {
+		return Question{}, 0, err
+	}
+	q.Class = Class(v)
+	return q, off, nil
+}
+
+func unpackRR(msg []byte, off int) (RR, int, error) {
+	var rr RR
+	var err error
+	if rr.Name, off, err = UnpackName(msg, off); err != nil {
+		return RR{}, 0, err
+	}
+	var typ, class, rdlen uint16
+	if typ, off, err = readUint16(msg, off); err != nil {
+		return RR{}, 0, err
+	}
+	if class, off, err = readUint16(msg, off); err != nil {
+		return RR{}, 0, err
+	}
+	rr.Class = Class(class)
+	if rr.TTL, off, err = readUint32(msg, off); err != nil {
+		return RR{}, 0, err
+	}
+	if rdlen, off, err = readUint16(msg, off); err != nil {
+		return RR{}, 0, err
+	}
+	if rr.Data, err = unpackRData(msg, off, int(rdlen), Type(typ)); err != nil {
+		return RR{}, 0, err
+	}
+	return rr, off + int(rdlen), nil
+}
+
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; %s\n", m.Header)
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, ";; question: %s\n", q)
+	}
+	for _, sec := range []struct {
+		name string
+		rrs  []RR
+	}{
+		{"answer", m.Answers}, {"authority", m.Authority}, {"additional", m.Additional},
+	} {
+		for _, rr := range sec.rrs {
+			fmt.Fprintf(&sb, "%s\t; %s\n", rr, sec.name)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+// Package dnswire implements the DNS wire format of RFC 1034/1035 from
+// scratch on the standard library: message header, questions, resource
+// records, RDATA for the record types the survey needs, and domain-name
+// compression (encode and decode, loop-safe).
+//
+// The package follows the allocation-conscious decoding style of layered
+// packet libraries: unpacking walks a []byte with explicit offsets and
+// never re-slices past bounds without checking, and packing appends into a
+// caller-provided buffer.
+package dnswire
+
+import "fmt"
+
+// Type is a DNS RR type (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// RR types used by the survey. The crawler needs A/NS/CNAME/SOA for
+// delegation walking, TXT for version.bind, and AAAA/MX/PTR for realism.
+const (
+	TypeNone  Type = 0
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+	TypeANY   Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeNone: "NONE", TypeA: "A", TypeNS: "NS", TypeCNAME: "CNAME",
+	TypeSOA: "SOA", TypePTR: "PTR", TypeMX: "MX", TypeTXT: "TXT",
+	TypeAAAA: "AAAA", TypeOPT: "OPT", TypeANY: "ANY",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class. The survey uses IN for ordinary resolution and
+// CH (CHAOS) for version.bind probes.
+type Class uint16
+
+const (
+	ClassINET  Class = 1
+	ClassCHAOS Class = 3
+	ClassANY   Class = 255
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassCHAOS:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// Opcode is the kind of query (RFC 1035 §4.1.1).
+type Opcode uint8
+
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeIQuery Opcode = 1
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeIQuery:
+		return "IQUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	default:
+		return fmt.Sprintf("OPCODE%d", uint8(o))
+	}
+}
+
+// RCode is a response code (RFC 1035 §4.1.1).
+type RCode uint8
+
+const (
+	RCodeSuccess  RCode = 0 // NOERROR
+	RCodeFormat   RCode = 1 // FORMERR
+	RCodeServFail RCode = 2 // SERVFAIL
+	RCodeNXDomain RCode = 3 // NXDOMAIN
+	RCodeNotImpl  RCode = 4 // NOTIMP
+	RCodeRefused  RCode = 5 // REFUSED
+)
+
+func (r RCode) String() string {
+	switch r {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormat:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImpl:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// MaxUDPSize is the classic maximum DNS/UDP payload (RFC 1035 §2.3.4).
+// Messages longer than this must be truncated over UDP and retried on TCP.
+const MaxUDPSize = 512
+
+// MaxMessageSize bounds any DNS message (TCP length prefix is 16 bits).
+const MaxMessageSize = 1<<16 - 1

@@ -1,0 +1,151 @@
+package dnszone
+
+import (
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/dnswire"
+)
+
+// ResultKind classifies the outcome of an authoritative lookup.
+type ResultKind int
+
+const (
+	// KindNotInZone means the queried name is not within this zone at all.
+	KindNotInZone ResultKind = iota
+	// KindAnswer means authoritative records were found (possibly a CNAME
+	// the client must chase).
+	KindAnswer
+	// KindNoData means the name exists but has no records of the type.
+	KindNoData
+	// KindNXDomain means the name does not exist in the zone.
+	KindNXDomain
+	// KindDelegation means the name lies beneath a zone cut; the Result
+	// carries the referral NS set and available glue.
+	KindDelegation
+)
+
+func (k ResultKind) String() string {
+	switch k {
+	case KindAnswer:
+		return "answer"
+	case KindNoData:
+		return "nodata"
+	case KindNXDomain:
+		return "nxdomain"
+	case KindDelegation:
+		return "delegation"
+	default:
+		return "not-in-zone"
+	}
+}
+
+// Result is the outcome of Zone.Lookup, structured as the three response
+// sections an authoritative server would emit.
+type Result struct {
+	Kind ResultKind
+	// Answer holds matching records (KindAnswer).
+	Answer []dnswire.RR
+	// Authority holds the referral NS set (KindDelegation) or the SOA
+	// (negative answers).
+	Authority []dnswire.RR
+	// Additional holds glue addresses for referral nameservers.
+	Additional []dnswire.RR
+}
+
+// Lookup runs the RFC 1034 §4.3.2 algorithm for a single question against
+// this zone's authoritative data.
+func (z *Zone) Lookup(name string, qtype dnswire.Type) Result {
+	name = dnsname.Canonical(name)
+	if !dnsname.IsSubdomain(name, z.origin) {
+		return Result{Kind: KindNotInZone}
+	}
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+
+	// Delegation cut between origin and name: emit a referral, unless the
+	// query is for the cut's NS set itself at the apex of the cut... no:
+	// NS queries at a cut are also answered with a referral by a purely
+	// authoritative parent (the child holds the authoritative set).
+	if cut := z.cutCoveringLocked(name); cut != "" {
+		return z.referralLocked(cut)
+	}
+
+	byType, exists := z.records[name]
+	if !exists {
+		// The name may still be an "empty non-terminal": an interior name
+		// with descendants but no records. Those exist and yield NODATA.
+		if z.hasDescendantLocked(name) {
+			return z.negativeLocked(KindNoData)
+		}
+		return z.negativeLocked(KindNXDomain)
+	}
+
+	// CNAME handling: if the name owns a CNAME and the query is for a
+	// different type, answer with the CNAME for the client to chase.
+	if qtype != dnswire.TypeCNAME && qtype != dnswire.TypeANY {
+		if cname, ok := byType[dnswire.TypeCNAME]; ok {
+			return Result{Kind: KindAnswer, Answer: cloneRRs(cname)}
+		}
+	}
+
+	if qtype == dnswire.TypeANY {
+		var all []dnswire.RR
+		for _, rrs := range byType {
+			all = append(all, rrs...)
+		}
+		if len(all) == 0 {
+			return z.negativeLocked(KindNoData)
+		}
+		return Result{Kind: KindAnswer, Answer: cloneRRs(all)}
+	}
+
+	rrs, ok := byType[qtype]
+	if !ok || len(rrs) == 0 {
+		return z.negativeLocked(KindNoData)
+	}
+	return Result{Kind: KindAnswer, Answer: cloneRRs(rrs)}
+}
+
+// referralLocked builds the delegation response for a known cut.
+func (z *Zone) referralLocked(cut string) Result {
+	res := Result{Kind: KindDelegation, Authority: cloneRRs(z.cuts[cut])}
+	for _, rr := range res.Authority {
+		host := rr.Data.(dnswire.NS).Host
+		if g, ok := z.glue[host]; ok {
+			res.Additional = append(res.Additional, cloneRRs(g)...)
+		}
+	}
+	return res
+}
+
+// negativeLocked builds an NXDOMAIN/NODATA response carrying the SOA.
+func (z *Zone) negativeLocked(kind ResultKind) Result {
+	return Result{
+		Kind: kind,
+		Authority: []dnswire.RR{{
+			Name: z.origin, Class: dnswire.ClassINET,
+			TTL: z.soa.Minimum, Data: z.soa,
+		}},
+	}
+}
+
+// hasDescendantLocked reports whether any authoritative owner name or cut
+// lies strictly beneath name.
+func (z *Zone) hasDescendantLocked(name string) bool {
+	for owner := range z.records {
+		if owner != name && dnsname.IsSubdomain(owner, name) {
+			return true
+		}
+	}
+	for cut := range z.cuts {
+		if cut != name && dnsname.IsSubdomain(cut, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneRRs(rrs []dnswire.RR) []dnswire.RR {
+	out := make([]dnswire.RR, len(rrs))
+	copy(out, rrs)
+	return out
+}

@@ -1,0 +1,314 @@
+// Package hijack simulates attacks on the delegation structure: given a
+// set of compromised (and optionally denial-of-serviced) nameservers, it
+// decides whether a name's resolution is unaffected, partially
+// hijackable, or completely hijacked — and cross-validates the min-cut
+// bottleneck predictions of the analysis empirically.
+//
+// Semantics follow §3.2 of the paper. A resolution strategy picks one
+// nameserver per zone on each delegation chain (recursively for
+// nameserver addresses). The attacker diverts a strategy when it touches
+// any compromised server. A *complete* hijack means every strategy is
+// diverted; *partial* means at least one but not all.
+package hijack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dnstrust/internal/core"
+	"dnstrust/internal/dnsname"
+)
+
+// Verdict classifies a name under an attack.
+type Verdict int
+
+const (
+	// Unaffected: no compromised server appears in the name's TCB.
+	Unaffected Verdict = iota
+	// Partial: some strategies are diverted, but clean ones remain.
+	Partial
+	// Complete: every resolution strategy is diverted.
+	Complete
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Complete:
+		return "complete"
+	case Partial:
+		return "partial"
+	default:
+		return "unaffected"
+	}
+}
+
+// Attack is an immutable attack scenario over a dependency graph.
+type Attack struct {
+	g *core.Graph
+	// compromised servers answer queries with forged data.
+	compromised map[int32]bool
+	// downed servers are denial-of-serviced: unusable, but not forging.
+	downed map[int32]bool
+
+	// usable[h] is the fixpoint: h can be cleanly used by a resolver.
+	usable []bool
+	// zoneClean[z]: some nameserver of z is cleanly usable.
+	zoneClean []bool
+	// grounded[h]: h's address comes from root glue (TLD servers) or its
+	// chain is unknown (optimistic).
+	grounded []bool
+	// hostChains[h] holds chain zone indices for non-grounded hosts.
+	hostChains [][]int
+	// zoneIndex maps apex -> zone index.
+	zoneIndex map[string]int
+}
+
+// New builds an attack scenario. Unknown host names are rejected: an
+// attack against a server the survey never saw is a scenario bug.
+func New(g *core.Graph, compromised, downed []string) (*Attack, error) {
+	a := &Attack{
+		g:           g,
+		compromised: make(map[int32]bool, len(compromised)),
+		downed:      make(map[int32]bool, len(downed)),
+	}
+	for _, h := range compromised {
+		id, ok := g.HostID(h)
+		if !ok {
+			return nil, fmt.Errorf("hijack: unknown server %q", h)
+		}
+		a.compromised[id] = true
+	}
+	for _, h := range downed {
+		id, ok := g.HostID(h)
+		if !ok {
+			return nil, fmt.Errorf("hijack: unknown server %q", h)
+		}
+		a.downed[id] = true
+	}
+	a.fixpoint()
+	return a, nil
+}
+
+// fixpoint computes clean usability as a least fixpoint:
+//
+//	usable(h)    = !compromised(h) && !downed(h) &&
+//	               (grounded(h) || every zone on chain(h) is clean)
+//	zoneClean(z) = some h in NS(z) is usable
+//
+// Grounded hosts are TLD servers (root-glue bootstrap) and hosts whose
+// chains the survey could not resolve (treated optimistically).
+func (a *Attack) fixpoint() {
+	g := a.g
+	zones := g.Zones()
+	hosts := g.Hosts()
+	a.usable = make([]bool, len(hosts))
+	a.zoneClean = make([]bool, len(zones))
+
+	zoneID := make(map[string]int, len(zones))
+	for i, apex := range zones {
+		zoneID[apex] = i
+	}
+	a.zoneIndex = zoneID
+	grounded := make([]bool, len(hosts))
+	for _, apex := range zones {
+		if dnsname.CountLabels(apex) == 1 {
+			for _, h := range g.ZoneNS(apex) {
+				grounded[h] = true
+			}
+		}
+	}
+	hostChains := make([][]int, len(hosts))
+	for hid, host := range hosts {
+		chain := g.HostChainZones(host)
+		if len(chain) == 0 {
+			grounded[hid] = true
+			continue
+		}
+		// Glue waiver: a server that is an NS of its own authoritative
+		// zone is reached through the parent's referral glue, so its own
+		// zone is not a dependency of its address (the parent zones on
+		// the chain still are).
+		az := chain[len(chain)-1]
+		for _, ns := range g.ZoneNS(az) {
+			if ns == int32(hid) {
+				chain = chain[:len(chain)-1]
+				break
+			}
+		}
+		if len(chain) == 0 {
+			grounded[hid] = true
+			continue
+		}
+		for _, apex := range chain {
+			hostChains[hid] = append(hostChains[hid], zoneID[apex])
+		}
+	}
+	a.grounded = grounded
+	a.hostChains = hostChains
+
+	// Iterate to fixpoint; each pass only flips false->true, so at most
+	// |hosts|+|zones| passes; in practice a handful.
+	for changed := true; changed; {
+		changed = false
+		for hid := range hosts {
+			if a.usable[hid] || a.compromised[int32(hid)] || a.downed[int32(hid)] {
+				continue
+			}
+			ok := true
+			if !grounded[hid] {
+				for _, z := range hostChains[hid] {
+					if !a.zoneClean[z] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				a.usable[hid] = true
+				changed = true
+			}
+		}
+		for zi, apex := range zones {
+			if a.zoneClean[zi] {
+				continue
+			}
+			for _, h := range g.ZoneNS(apex) {
+				if a.usable[h] {
+					a.zoneClean[zi] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// Verdict classifies name under this attack.
+func (a *Attack) Verdict(name string) (Verdict, error) {
+	chain := a.g.NameChainZones(name)
+	if chain == nil {
+		return Unaffected, fmt.Errorf("hijack: name %q not in survey", name)
+	}
+	complete := false
+	for _, apex := range chain {
+		if !a.zoneClean[a.zoneIndex[apex]] {
+			complete = true
+			break
+		}
+	}
+	if complete {
+		return Complete, nil
+	}
+	// Partial iff any compromised server sits in the TCB.
+	ids, err := a.g.TCBIDs(name)
+	if err != nil {
+		return Unaffected, err
+	}
+	for _, id := range ids {
+		if a.compromised[id] {
+			return Partial, nil
+		}
+	}
+	return Unaffected, nil
+}
+
+// CleanlyUsable reports the fixpoint value for one server.
+func (a *Attack) CleanlyUsable(host string) bool {
+	id, ok := a.g.HostID(host)
+	if !ok {
+		return false
+	}
+	return a.usable[id]
+}
+
+// TrialDiverted simulates one random resolution strategy for name and
+// reports whether the attacker diverted it. It picks one usable-looking
+// server per zone uniformly at random (compromised servers answer
+// normally from the resolver's perspective, so they are picked too) and
+// recurses into the chosen server's address chain.
+func (a *Attack) TrialDiverted(name string, rng *rand.Rand) (bool, error) {
+	chain := a.g.NameChainZones(name)
+	if chain == nil {
+		return false, fmt.Errorf("hijack: name %q not in survey", name)
+	}
+	for _, apex := range chain {
+		diverted, err := a.trialZone(apex, rng, 0)
+		if err != nil {
+			return false, err
+		}
+		if diverted {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+const maxTrialDepth = 64
+
+// trialZone picks one server of the zone at random and checks whether
+// using it gets diverted (it is compromised, or its address resolution
+// gets diverted). Denial-of-serviced servers are re-picked, as a real
+// resolver retries; if everything is down the strategy fails closed
+// (counts as diverted — the attacker has silenced the zone).
+func (a *Attack) trialZone(apex string, rng *rand.Rand, depth int) (bool, error) {
+	if depth > maxTrialDepth {
+		// Resolution too deep to terminate: a degenerate strategy; the
+		// resolver would give up, which is a denial, not a clean answer.
+		return true, nil
+	}
+	servers := a.g.ZoneNS(apex)
+	if len(servers) == 0 {
+		return true, nil
+	}
+	candidates := make([]int32, 0, len(servers))
+	for _, h := range servers {
+		if !a.downed[h] {
+			candidates = append(candidates, h)
+		}
+	}
+	if len(candidates) == 0 {
+		return true, nil
+	}
+	h := candidates[rng.Intn(len(candidates))]
+	if a.compromised[h] {
+		return true, nil
+	}
+	// The server must be contacted by address: resolve its chain unless
+	// grounded (root glue).
+	if a.grounded[h] {
+		return false, nil
+	}
+	for _, z := range a.hostChains[h] {
+		diverted, err := a.trialZoneIdx(z, rng, depth+1)
+		if err != nil {
+			return false, err
+		}
+		if diverted {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// trialZoneIdx is trialZone keyed by zone index.
+func (a *Attack) trialZoneIdx(z int, rng *rand.Rand, depth int) (bool, error) {
+	return a.trialZone(a.g.Zones()[z], rng, depth)
+}
+
+// MonteCarlo runs n random strategies and reports the fraction diverted.
+// A complete hijack gives 1.0; a clean name gives 0.0. Deterministic for
+// a fixed seed.
+func (a *Attack) MonteCarlo(name string, n int, seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	diverted := 0
+	for i := 0; i < n; i++ {
+		d, err := a.TrialDiverted(name, rng)
+		if err != nil {
+			return 0, err
+		}
+		if d {
+			diverted++
+		}
+	}
+	return float64(diverted) / float64(n), nil
+}

@@ -1,0 +1,268 @@
+package mincut
+
+import (
+	"container/heap"
+	"math"
+)
+
+// The AND/OR model of complete hijack. A resolution for a name is clean
+// when, for EVERY zone on its delegation chain, SOME nameserver of that
+// zone is cleanly usable: not compromised, and its own address chain
+// clean in the same sense. An attacker achieves a complete hijack by
+// falsifying the formula: pick any zone on the chain and "kill" all of
+// its servers, where killing a server means either compromising it
+// (paying its weight) or completely hijacking its address resolution
+// (recursively). The tree-cost relaxation satisfies
+//
+//	killHost(h) = min(weight(h), minOverChain(h))
+//	minOverChain(h) = min over z in chain(h) of killZone(z)   (Inf if grounded)
+//	killZone(z) = sum over h in NS(z) of killHost(h)
+//
+// All functions are superior (each value >= every argument), so Knuth's
+// grammar-problem generalization of Dijkstra computes the least fixpoint
+// in O(E log V) despite the cyclic zone dependencies.
+//
+// Semantics note: the sum prices each branch independently, so a single
+// compromise that serves two branches (shared substructure) is paid
+// twice. The result is therefore an UPPER BOUND on the true minimum
+// complete-hijack cost, tight on tree-shaped dependency structures; the
+// exact shared-structure optimum is a monotone-formula falsification
+// problem and NP-hard in general. On survey-shaped inputs the bound
+// still never exceeds the per-name digraph min-cut (property-tested).
+//
+// The values are global — independent of the surveyed name — so one run
+// prices every zone, and a name's answer is the cheapest zone on its own
+// chain.
+
+// ANDORInput describes the global delegation structure.
+type ANDORInput struct {
+	// HostWeight is the cost of compromising each host.
+	HostWeight []int64
+	// ZoneNS lists, per zone, the interned host ids of its nameservers.
+	ZoneNS [][]int32
+	// HostChain lists, per host, the zone ids of its address chain.
+	// An empty chain means the host is grounded (root/TLD glue): its
+	// address resolution cannot be hijacked.
+	HostChain [][]int32
+	// Grounded marks hosts whose addresses come from root glue even
+	// though they have a chain (TLD servers).
+	Grounded []bool
+}
+
+// ANDORResult carries the fixpoint values.
+type ANDORResult struct {
+	// KillHost[h] is the minimum cost to make host h unusable.
+	KillHost []int64
+	// KillZone[z] is the minimum cost to make zone z completely
+	// unusable (falsify its entire NS set).
+	KillZone []int64
+}
+
+// KillName returns the tree-relaxed complete-hijack cost bound for a
+// name with the given chain zone ids: the cheapest zone on the chain.
+func (r *ANDORResult) KillName(chain []int32) int64 {
+	best := Inf
+	for _, z := range chain {
+		if r.KillZone[z] < best {
+			best = r.KillZone[z]
+		}
+	}
+	return best
+}
+
+// pqItem is a priority-queue entry for Knuth's algorithm.
+type pqItem struct {
+	value int64
+	node  int32 // host id (>= 0) or ^zone id (< 0)
+}
+
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].value < p[j].value }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// SolveANDOR computes the least fixpoint of the kill equations.
+// Duplicate entries in ZoneNS lists are treated as sets.
+func SolveANDOR(in ANDORInput) *ANDORResult {
+	nh, nz := len(in.HostWeight), len(in.ZoneNS)
+	// Deduplicate NS lists: killZone sums each member once.
+	dedupedNS := make([][]int32, nz)
+	for z, hosts := range in.ZoneNS {
+		seen := make(map[int32]bool, len(hosts))
+		for _, h := range hosts {
+			if !seen[h] {
+				seen[h] = true
+				dedupedNS[z] = append(dedupedNS[z], h)
+			}
+		}
+	}
+	in.ZoneNS = dedupedNS
+
+	// Hosts caught in glue-less dependency cycles are unusable even with
+	// no attacker at all (their address can never be resolved cleanly);
+	// their kill cost is zero. Compute inherent usability as a least
+	// fixpoint before pricing attacks. Real survey inputs ground such
+	// hosts optimistically, but the solver must be correct regardless.
+	usable := make([]bool, nh)
+	zoneClean := make([]bool, nz)
+	for changed := true; changed; {
+		changed = false
+		for h := 0; h < nh; h++ {
+			if usable[h] {
+				continue
+			}
+			ok := true
+			if in.Grounded == nil || !in.Grounded[h] {
+				for _, z := range in.HostChain[h] {
+					if !zoneClean[z] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				usable[h] = true
+				changed = true
+			}
+		}
+		for z := 0; z < nz; z++ {
+			if zoneClean[z] {
+				continue
+			}
+			for _, h := range in.ZoneNS[z] {
+				if usable[h] {
+					zoneClean[z] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	weights := make([]int64, nh)
+	copy(weights, in.HostWeight)
+	for h := 0; h < nh; h++ {
+		if !usable[h] {
+			weights[h] = 0
+		}
+	}
+	in.HostWeight = weights
+	killHost := make([]int64, nh)
+	killZone := make([]int64, nz)
+	hostFinal := make([]bool, nh)
+	zoneFinal := make([]bool, nz)
+	for i := range killHost {
+		killHost[i] = in.HostWeight[i] // always achievable by compromise
+	}
+	for z := range killZone {
+		killZone[z] = math.MaxInt64
+	}
+
+	// Reverse indices.
+	// hostToZones[h]: zones whose killZone sums over h.
+	hostToZones := make([][]int32, nh)
+	for z, hosts := range in.ZoneNS {
+		for _, h := range hosts {
+			hostToZones[h] = append(hostToZones[h], int32(z))
+		}
+	}
+	// zoneToHosts[z]: hosts whose chain includes z (killHost may improve
+	// when killZone[z] finalizes).
+	zoneToHosts := make([][]int32, nz)
+	for h, chain := range in.HostChain {
+		if in.Grounded != nil && in.Grounded[h] {
+			continue
+		}
+		for _, z := range chain {
+			zoneToHosts[z] = append(zoneToHosts[z], int32(h))
+		}
+	}
+	// Remaining unfinalized NS hosts per zone; zone value computable only
+	// once every member host is final (sum rule).
+	remaining := make([]int, nz)
+	partial := make([]int64, nz)
+	for z, hosts := range in.ZoneNS {
+		remaining[z] = len(hosts)
+		if len(hosts) == 0 {
+			// A zone with no nameservers is already dead: cost 0.
+			partial[z] = 0
+		}
+	}
+
+	h := &pq{}
+	for i := 0; i < nh; i++ {
+		heap.Push(h, pqItem{value: killHost[i], node: int32(i)})
+	}
+	for z := 0; z < nz; z++ {
+		if remaining[z] == 0 {
+			killZone[z] = 0
+			heap.Push(h, pqItem{value: 0, node: ^int32(z)})
+		}
+	}
+
+	finalizeZoneInto := func(z int32) {
+		// killZone[z] became final: hosts whose chains include z may now
+		// have a cheaper kill via hijacking that zone.
+		for _, hid := range zoneToHosts[z] {
+			if hostFinal[hid] {
+				continue
+			}
+			if killZone[z] < killHost[hid] {
+				killHost[hid] = killZone[z]
+				heap.Push(h, pqItem{value: killHost[hid], node: hid})
+			}
+		}
+	}
+
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.node >= 0 {
+			hid := it.node
+			if hostFinal[hid] || it.value != killHost[hid] {
+				continue
+			}
+			hostFinal[hid] = true
+			for _, z := range hostToZones[hid] {
+				if zoneFinal[z] {
+					continue
+				}
+				partial[z] = capAdd(partial[z] + killHost[hid])
+				remaining[z]--
+				if remaining[z] == 0 {
+					killZone[z] = capAdd(partial[z])
+					heap.Push(h, pqItem{value: killZone[z], node: ^z})
+				}
+			}
+		} else {
+			z := ^it.node
+			if zoneFinal[z] || it.value != killZone[z] {
+				continue
+			}
+			zoneFinal[z] = true
+			finalizeZoneInto(z)
+		}
+	}
+
+	// Zones never finalized sit in dependency cycles whose hosts are all
+	// grounded elsewhere; their kill cost is the (now final) sum anyway.
+	for z := 0; z < nz; z++ {
+		if !zoneFinal[z] {
+			var sum int64
+			for _, hid := range in.ZoneNS[z] {
+				sum = capAdd(sum + killHost[hid])
+			}
+			killZone[z] = sum
+		}
+	}
+	return &ANDORResult{KillHost: killHost, KillZone: killZone}
+}
+
+// capAdd saturates additions at Inf to avoid overflow.
+func capAdd(v int64) int64 {
+	if v > Inf || v < 0 {
+		return Inf
+	}
+	return v
+}

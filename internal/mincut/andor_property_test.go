@@ -1,0 +1,182 @@
+package mincut
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForceKill exhaustively searches compromise subsets to find the
+// true minimum complete-kill cost of a target zone, evaluating the
+// AND/OR semantics by fixpoint for each candidate set.
+func bruteForceKill(in ANDORInput, target int32) int64 {
+	nh := len(in.HostWeight)
+	best := Inf
+	for mask := 0; mask < 1<<nh; mask++ {
+		var cost int64
+		for h := 0; h < nh; h++ {
+			if mask&(1<<h) != 0 {
+				cost += in.HostWeight[h]
+			}
+		}
+		if cost >= best {
+			continue
+		}
+		if zoneDead(in, target, mask) {
+			best = cost
+		}
+	}
+	return best
+}
+
+// zoneDead evaluates, under compromise set mask, whether the target zone
+// is completely unusable: every NS host is compromised or has some chain
+// zone dead. Computed as a least fixpoint of "usable".
+func zoneDead(in ANDORInput, target int32, mask int) bool {
+	nh, nz := len(in.HostWeight), len(in.ZoneNS)
+	usable := make([]bool, nh)
+	zoneClean := make([]bool, nz)
+	for changed := true; changed; {
+		changed = false
+		for h := 0; h < nh; h++ {
+			if usable[h] || mask&(1<<h) != 0 {
+				continue
+			}
+			ok := true
+			if in.Grounded == nil || !in.Grounded[h] {
+				for _, z := range in.HostChain[h] {
+					if !zoneClean[z] {
+						ok = false
+						break
+					}
+				}
+				if len(in.HostChain[h]) == 0 {
+					ok = true
+				}
+			}
+			if ok {
+				usable[h] = true
+				changed = true
+			}
+		}
+		for z := 0; z < nz; z++ {
+			if zoneClean[z] {
+				continue
+			}
+			for _, h := range in.ZoneNS[z] {
+				if usable[h] {
+					zoneClean[z] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return !zoneClean[target]
+}
+
+// TestSolveANDORUpperBound checks, on random small instances (shared
+// structure and cycles included), that the tree-cost fixpoint is always
+// a valid upper bound on the true minimum complete-kill cost: the
+// attacker can always achieve the kill at the fixpoint price, possibly
+// cheaper when one compromise serves several branches.
+func TestSolveANDORUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nz := 2 + r.Intn(3) // 2..4 zones
+		nh := 3 + r.Intn(5) // 3..7 hosts
+		in := ANDORInput{
+			HostWeight: make([]int64, nh),
+			ZoneNS:     make([][]int32, nz),
+			HostChain:  make([][]int32, nh),
+			Grounded:   make([]bool, nh),
+		}
+		for h := 0; h < nh; h++ {
+			in.HostWeight[h] = int64(1 + r.Intn(5))
+			// Random chain: 0-2 zones (possibly creating cycles).
+			for k := 0; k < r.Intn(3); k++ {
+				in.HostChain[h] = append(in.HostChain[h], int32(r.Intn(nz)))
+			}
+			if r.Intn(4) == 0 {
+				in.Grounded[h] = true
+			}
+		}
+		for z := 0; z < nz; z++ {
+			// Every zone gets 1..3 hosts.
+			n := 1 + r.Intn(3)
+			for k := 0; k < n; k++ {
+				in.ZoneNS[z] = append(in.ZoneNS[z], int32(r.Intn(nh)))
+			}
+		}
+		res := SolveANDOR(in)
+		for z := 0; z < nz; z++ {
+			want := bruteForceKill(in, int32(z))
+			if res.KillZone[z] < want {
+				t.Logf("seed %d zone %d: fixpoint %d BELOW true optimum %d (unsound!) input %+v",
+					seed, z, res.KillZone[z], want, in)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveANDORExactOnTrees checks exactness when the dependency
+// structure is a tree: each host serves exactly one zone and each zone
+// is referenced by at most one host chain — no sharing, so the
+// independent-branch sum is the true optimum.
+func TestSolveANDORExactOnTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build a random tree of zones: zone 0 is the target root; each
+		// further zone hangs off exactly one host of an earlier zone.
+		nz := 2 + r.Intn(3)
+		var in ANDORInput
+		in.ZoneNS = make([][]int32, nz)
+		hostZone := []int32{} // owning zone per host
+		newHost := func(z int32) int32 {
+			h := int32(len(in.HostWeight))
+			in.HostWeight = append(in.HostWeight, int64(1+r.Intn(5)))
+			in.HostChain = append(in.HostChain, nil)
+			in.Grounded = append(in.Grounded, true)
+			in.ZoneNS[z] = append(in.ZoneNS[z], h)
+			hostZone = append(hostZone, z)
+			return h
+		}
+		for k := 0; k < 1+r.Intn(3); k++ {
+			newHost(0)
+		}
+		for z := int32(1); z < int32(nz); z++ {
+			for k := 0; k < 1+r.Intn(3); k++ {
+				newHost(z)
+			}
+			// Attach zone z to one host of an earlier zone (unique chain).
+			var candidates []int32
+			for h, hz := range hostZone {
+				if hz < z && len(in.HostChain[h]) == 0 {
+					candidates = append(candidates, int32(h))
+				}
+			}
+			if len(candidates) == 0 {
+				return true // degenerate shape; skip
+			}
+			parent := candidates[r.Intn(len(candidates))]
+			in.HostChain[parent] = []int32{z}
+			in.Grounded[parent] = false
+		}
+		res := SolveANDOR(in)
+		want := bruteForceKill(in, 0)
+		if res.KillZone[0] != want {
+			t.Logf("seed %d: fixpoint %d != optimum %d on tree input %+v",
+				seed, res.KillZone[0], want, in)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

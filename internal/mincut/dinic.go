@@ -1,0 +1,127 @@
+// Package mincut implements the bottleneck analyses of §3.2 of the paper:
+//
+//   - minimum vertex cuts of per-name delegation digraphs via Dinic
+//     max-flow with node splitting (the method the paper names), with a
+//     weighted variant that finds the cut containing the fewest
+//     non-vulnerable ("safe") servers — Figure 7's quantity; and
+//
+//   - an exact minimum complete-hijack computation on the AND/OR
+//     structure of delegation (falsify one zone per chain level), solved
+//     with Knuth's generalization of Dijkstra to superior-function
+//     grammars. The digraph min-cut is always a valid attack set; the
+//     AND/OR answer is the true optimum. The two are compared in the
+//     ablation benchmarks.
+package mincut
+
+import "math"
+
+// Inf is the capacity used for uncuttable nodes and structural edges.
+const Inf = int64(math.MaxInt64 / 4)
+
+// edge is one directed edge of the flow network with a residual twin.
+type edge struct {
+	to  int
+	cap int64
+	rev int // index of the reverse edge in graph[to]
+}
+
+// maxflow is a Dinic max-flow solver.
+type maxflow struct {
+	graph [][]edge
+	level []int
+	iter  []int
+}
+
+func newMaxflow(n int) *maxflow {
+	return &maxflow{graph: make([][]edge, n)}
+}
+
+// addEdge inserts a directed edge with the given capacity.
+func (m *maxflow) addEdge(from, to int, cap int64) {
+	m.graph[from] = append(m.graph[from], edge{to: to, cap: cap, rev: len(m.graph[to])})
+	m.graph[to] = append(m.graph[to], edge{to: from, cap: 0, rev: len(m.graph[from]) - 1})
+}
+
+// bfs builds the level graph; returns false when sink is unreachable.
+func (m *maxflow) bfs(s, t int) bool {
+	m.level = make([]int, len(m.graph))
+	for i := range m.level {
+		m.level[i] = -1
+	}
+	queue := []int{s}
+	m.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range m.graph[v] {
+			if e.cap > 0 && m.level[e.to] < 0 {
+				m.level[e.to] = m.level[v] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return m.level[t] >= 0
+}
+
+// dfs finds one blocking-flow augmenting path.
+func (m *maxflow) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; m.iter[v] < len(m.graph[v]); m.iter[v]++ {
+		e := &m.graph[v][m.iter[v]]
+		if e.cap > 0 && m.level[v] < m.level[e.to] {
+			d := m.dfs(e.to, t, min64(f, e.cap))
+			if d > 0 {
+				e.cap -= d
+				m.graph[e.to][e.rev].cap += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// run computes the max flow from s to t.
+func (m *maxflow) run(s, t int) int64 {
+	var flow int64
+	for m.bfs(s, t) {
+		m.iter = make([]int, len(m.graph))
+		for {
+			f := m.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+			if flow >= Inf {
+				return Inf
+			}
+		}
+	}
+	return flow
+}
+
+// residualReach marks nodes reachable from s in the residual network.
+func (m *maxflow) residualReach(s int) []bool {
+	seen := make([]bool, len(m.graph))
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range m.graph[v] {
+			if e.cap > 0 && !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package mincut
+
+import (
+	"fmt"
+
+	"dnstrust/internal/core"
+)
+
+// VertexCut computes a minimum-weight vertex cut separating source from
+// sink in the digraph given by adj. weights[v] is the cost of removing
+// node v; source and sink are unremovable. It returns the cut members and
+// the total weight (0 and an empty cut when sink is already unreachable).
+//
+// Classic node splitting: v becomes v_in -> v_out with capacity
+// weights[v]; an original edge u->v becomes u_out -> v_in with infinite
+// capacity. A max-flow then saturates exactly a minimum vertex cut, and
+// the cut members are the nodes whose in-half is residually reachable
+// from the source while their out-half is not.
+func VertexCut(adj [][]int, weights []int64, source, sink int) ([]int, int64, error) {
+	n := len(adj)
+	if source < 0 || source >= n || sink < 0 || sink >= n {
+		return nil, 0, fmt.Errorf("mincut: source/sink out of range")
+	}
+	if source == sink {
+		return nil, 0, fmt.Errorf("mincut: source equals sink")
+	}
+	if len(weights) != n {
+		return nil, 0, fmt.Errorf("mincut: %d weights for %d nodes", len(weights), n)
+	}
+	in := func(v int) int { return 2 * v }
+	out := func(v int) int { return 2*v + 1 }
+
+	m := newMaxflow(2 * n)
+	for v := 0; v < n; v++ {
+		c := weights[v]
+		if v == source || v == sink {
+			c = Inf
+		}
+		m.addEdge(in(v), out(v), c)
+		for _, w := range adj[v] {
+			if w == v {
+				continue
+			}
+			m.addEdge(out(v), in(w), Inf)
+		}
+	}
+	total := m.run(out(source), in(sink))
+	if total == 0 {
+		return nil, 0, nil
+	}
+	if total >= Inf {
+		return nil, 0, fmt.Errorf("mincut: no finite vertex cut (source adjacent to sink?)")
+	}
+	reach := m.residualReach(out(source))
+	var cut []int
+	for v := 0; v < n; v++ {
+		if v == source || v == sink {
+			continue
+		}
+		if reach[in(v)] && !reach[out(v)] {
+			cut = append(cut, v)
+		}
+	}
+	return cut, total, nil
+}
+
+// Result is the bottleneck analysis of one name's delegation digraph.
+type Result struct {
+	// Cut lists the cut's nameserver hosts.
+	Cut []string
+	// Size is the number of servers in the minimum cut (unit weights).
+	Size int
+	// SafeInCut is the number of non-vulnerable servers in the cut that
+	// minimizes that number (the Figure 7 quantity).
+	SafeInCut int
+	// VulnInCut is the number of vulnerable servers in that same cut.
+	VulnInCut int
+}
+
+// safeWeight is the weighted-cut coefficient for safe servers. With
+// vulnerable servers costing 1, any cut with fewer safe servers always
+// wins, and the vulnerable count breaks ties. It bounds the supported
+// digraph size (cut weight must stay below Inf).
+const safeWeight = int64(1) << 32
+
+// Analyze runs both cut computations on a per-name delegation digraph.
+// vulnerable reports whether a host has a known exploit.
+func Analyze(d *core.Digraph, vulnerable func(host string) bool) (*Result, error) {
+	n := d.NumNodes()
+	unit := make([]int64, n)
+	weighted := make([]int64, n)
+	for i, h := range d.Hosts {
+		unit[i] = 1
+		if vulnerable(h) {
+			weighted[i] = 1
+		} else {
+			weighted[i] = safeWeight
+		}
+	}
+
+	cut, size, err := VertexCut(d.Adj, unit, d.Source, d.Sink)
+	if err != nil {
+		return nil, fmt.Errorf("unit cut for %q: %w", d.Name, err)
+	}
+	res := &Result{Size: int(size)}
+	for _, v := range cut {
+		res.Cut = append(res.Cut, d.Hosts[v])
+	}
+
+	wcut, wtotal, err := VertexCut(d.Adj, weighted, d.Source, d.Sink)
+	if err != nil {
+		return nil, fmt.Errorf("weighted cut for %q: %w", d.Name, err)
+	}
+	res.SafeInCut = int(wtotal / safeWeight)
+	res.VulnInCut = len(wcut) - res.SafeInCut
+	return res, nil
+}

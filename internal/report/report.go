@@ -1,0 +1,150 @@
+// Package report renders survey analyses as aligned ASCII tables, CSV
+// series (gnuplot-ready), and paper-versus-measured comparison rows for
+// EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Write(&sb)
+	return sb.String()
+}
+
+// WriteCSV renders the table as CSV (RFC-4180 quoting for commas/quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Comparison is one paper-vs-measured row of EXPERIMENTS.md.
+type Comparison struct {
+	// Experiment identifies the figure/table ("Figure 2", "T-A").
+	Experiment string
+	// Quantity names the compared statistic.
+	Quantity string
+	// Paper is the value the paper reports.
+	Paper string
+	// Measured is this reproduction's value.
+	Measured string
+	// Holds reports whether the qualitative claim survives.
+	Holds bool
+}
+
+// ComparisonTable renders comparisons as a table.
+func ComparisonTable(title string, rows []Comparison) *Table {
+	t := NewTable(title, "experiment", "quantity", "paper", "measured", "shape holds")
+	for _, c := range rows {
+		holds := "yes"
+		if !c.Holds {
+			holds = "NO"
+		}
+		t.AddRow(c.Experiment, c.Quantity, c.Paper, c.Measured, holds)
+	}
+	return t
+}
+
+// Markdown renders comparisons as a Markdown table for EXPERIMENTS.md.
+func Markdown(rows []Comparison) string {
+	var sb strings.Builder
+	sb.WriteString("| Experiment | Quantity | Paper | Measured | Shape holds |\n")
+	sb.WriteString("|---|---|---|---|---|\n")
+	for _, c := range rows {
+		holds := "yes"
+		if !c.Holds {
+			holds = "**NO**"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s |\n",
+			c.Experiment, c.Quantity, c.Paper, c.Measured, holds)
+	}
+	return sb.String()
+}

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure 2: TCB sizes", "tld", "names", "mean")
+	tb.AddRow("com", 100, 26.04)
+	tb.AddRow("ua", 3, 463.5)
+	out := tb.String()
+	for _, want := range []string{"Figure 2", "tld", "com", "463.5", "26.0", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines", len(lines))
+	}
+	// Columns must align: header and rows share the first column width.
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator line wrong: %q", lines[2])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "host", "names")
+	tb.AddRow("a,b.example", 7)
+	tb.AddRow(`quote"host`, 8)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"a,b.example",7`) {
+		t.Errorf("comma quoting broken:\n%s", out)
+	}
+	if !strings.Contains(out, `"quote""host",8`) {
+		t.Errorf("quote escaping broken:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "host,names\n") {
+		t.Errorf("header missing:\n%s", out)
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	rows := []Comparison{
+		{Experiment: "Figure 2", Quantity: "mean TCB", Paper: "46", Measured: "52.1", Holds: true},
+		{Experiment: "T-B", Quantity: "affected names", Paper: "45%", Measured: "12%", Holds: false},
+	}
+	out := ComparisonTable("Reproduction", rows).String()
+	if !strings.Contains(out, "yes") || !strings.Contains(out, "NO") {
+		t.Errorf("holds column wrong:\n%s", out)
+	}
+	md := Markdown(rows)
+	if !strings.Contains(md, "| Figure 2 | mean TCB | 46 | 52.1 | yes |") {
+		t.Errorf("markdown row wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "**NO**") {
+		t.Errorf("markdown NO highlight missing:\n%s", md)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("empty", "a")
+	out := tb.String()
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "a") {
+		t.Errorf("empty table render:\n%s", out)
+	}
+}

@@ -1,0 +1,202 @@
+package resolver_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+)
+
+func fbiResolver(t *testing.T) (*topology.Registry, *resolver.Resolver) {
+	t.Helper()
+	reg := topology.FBIWorld()
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, r
+}
+
+func TestResolveSimple(t *testing.T) {
+	_, r := fbiResolver(t)
+	res, err := r.Resolve(context.Background(), "www.fbi.gov", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve: %v\ntrace: %+v", err, res.Trace)
+	}
+	if len(res.Addrs) != 1 {
+		t.Fatalf("got %d addresses", len(res.Addrs))
+	}
+	if res.AuthZone != "fbi.gov" {
+		t.Errorf("auth zone = %q, want fbi.gov", res.AuthZone)
+	}
+}
+
+func TestResolveTraceShowsChain(t *testing.T) {
+	_, r := fbiResolver(t)
+	res, err := r.Resolve(context.Background(), "www.fbi.gov", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace must show the walk: root -> gov -> fbi.gov, and inside it
+	// the address resolution of dns.sprintip.com (through com/sprintip.com).
+	zonesSeen := map[string]bool{}
+	for _, step := range res.Trace {
+		zonesSeen[step.Zone] = true
+	}
+	for _, want := range []string{"", "gov", "fbi.gov"} {
+		if !zonesSeen[want] {
+			t.Errorf("trace never contacted zone %q; trace: %+v", want, res.Trace)
+		}
+	}
+}
+
+func TestResolveNXDomain(t *testing.T) {
+	_, r := fbiResolver(t)
+	_, err := r.Resolve(context.Background(), "nonexistent.fbi.gov", dnswire.TypeA)
+	if !errors.Is(err, resolver.ErrNXDomain) {
+		t.Errorf("got %v, want ErrNXDomain", err)
+	}
+}
+
+func TestResolveNoData(t *testing.T) {
+	_, r := fbiResolver(t)
+	_, err := r.Resolve(context.Background(), "www.fbi.gov", dnswire.TypeMX)
+	if !errors.Is(err, resolver.ErrNoData) {
+		t.Errorf("got %v, want ErrNoData", err)
+	}
+}
+
+func TestResolveCNAME(t *testing.T) {
+	reg := topology.FBIWorld()
+	z := reg.Zone("fbi.gov")
+	z.MustAddRR(dnswire.RR{
+		Name: "web.fbi.gov", Class: dnswire.ClassINET, TTL: 60,
+		Data: dnswire.CNAME{Target: "www.fbi.gov"},
+	})
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(context.Background(), "web.fbi.gov", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CanonicalName != "www.fbi.gov" {
+		t.Errorf("canonical name = %q", res.CanonicalName)
+	}
+	if len(res.Addrs) != 1 {
+		t.Errorf("got %d addresses", len(res.Addrs))
+	}
+}
+
+func TestResolveCNAMELoop(t *testing.T) {
+	reg := topology.FBIWorld()
+	z := reg.Zone("fbi.gov")
+	z.MustAddRR(dnswire.RR{
+		Name: "a.fbi.gov", Class: dnswire.ClassINET, TTL: 60,
+		Data: dnswire.CNAME{Target: "b.fbi.gov"},
+	})
+	z.MustAddRR(dnswire.RR{
+		Name: "b.fbi.gov", Class: dnswire.ClassINET, TTL: 60,
+		Data: dnswire.CNAME{Target: "a.fbi.gov"},
+	})
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve(context.Background(), "a.fbi.gov", dnswire.TypeA); !errors.Is(err, resolver.ErrCNAMELoop) {
+		t.Errorf("got %v, want ErrCNAMELoop", err)
+	}
+}
+
+func TestResolveFigure1(t *testing.T) {
+	reg := topology.Figure1World()
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(context.Background(), "www.cs.cornell.edu", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if res.AuthZone != "cs.cornell.edu" {
+		t.Errorf("auth zone = %q", res.AuthZone)
+	}
+	if len(res.Addrs) != 1 {
+		t.Errorf("addresses = %v", res.Addrs)
+	}
+}
+
+func TestResolveLameServerFallback(t *testing.T) {
+	reg := topology.FBIWorld()
+	// Knock out one fbi.gov server; resolution must still succeed via the
+	// other.
+	if err := reg.SetLame("dns.sprintip.com", true); err != nil {
+		t.Fatal(err)
+	}
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(context.Background(), "www.fbi.gov", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve with one lame server: %v", err)
+	}
+	sawFailure := false
+	for _, step := range res.Trace {
+		if step.Kind == resolver.StepFailure {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Error("trace should record the failed server contact")
+	}
+}
+
+func TestResolveAllServersLame(t *testing.T) {
+	reg := topology.FBIWorld()
+	for _, h := range []string{"dns.sprintip.com", "dns2.sprintip.com"} {
+		if err := reg.SetLame(h, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve(context.Background(), "www.fbi.gov", dnswire.TypeA); err == nil {
+		t.Error("resolution should fail when every zone server is down")
+	}
+}
+
+func TestResolveContextCancelled(t *testing.T) {
+	_, r := fbiResolver(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Resolve(ctx, "www.fbi.gov", dnswire.TypeA); err == nil {
+		t.Error("cancelled context must abort resolution")
+	}
+}
+
+func TestNewRequiresRoots(t *testing.T) {
+	if _, err := resolver.New(nil, resolver.Config{}); err == nil {
+		t.Error("New without roots must fail")
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	kinds := map[resolver.StepKind]string{
+		resolver.StepReferral: "referral",
+		resolver.StepAnswer:   "answer",
+		resolver.StepCNAME:    "cname",
+		resolver.StepFailure:  "failure",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("StepKind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,567 @@
+package resolver
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/dnswire"
+)
+
+// ZoneInfo is what the walker learns about one zone from the delegation
+// chain: its apex, its parent zone, and the nameserver hosts the parent
+// referral (or the zone's own apex NS set) lists — the paper's "physical
+// delegation chain".
+type ZoneInfo struct {
+	// Apex is the canonical zone apex ("" for the root).
+	Apex string
+	// Parent is the apex of the delegating zone.
+	Parent string
+	// NSHosts are the zone's nameserver host names, sorted.
+	NSHosts []string
+}
+
+// Snapshot is the walker's accumulated view of the DNS dependency
+// structure: every zone discovered, and the delegation chain of every
+// surveyed name and every nameserver host. It is the input to the
+// delegation-graph analyses in internal/core.
+type Snapshot struct {
+	// Zones maps zone apex to its delegation information.
+	Zones map[string]*ZoneInfo
+	// NameChain maps a surveyed name to the apexes of the zones on its
+	// delegation chain, shallowest (TLD) first, root excluded.
+	NameChain map[string][]string
+	// HostChain maps a nameserver host name to the zone chain of its
+	// address resolution, same shape as NameChain.
+	HostChain map[string][]string
+	// Failed maps names that could not be resolved to their error.
+	Failed map[string]error
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Zones:     make(map[string]*ZoneInfo),
+		NameChain: make(map[string][]string),
+		HostChain: make(map[string][]string),
+		Failed:    make(map[string]error),
+	}
+}
+
+// Hosts returns every nameserver host mentioned by any discovered zone
+// except the root, sorted. This is the survey's "nameservers discovered"
+// set (the paper excludes root servers throughout).
+func (s *Snapshot) Hosts() []string {
+	seen := map[string]bool{}
+	for apex, zi := range s.Zones {
+		if apex == "" {
+			continue
+		}
+		for _, h := range zi.NSHosts {
+			seen[h] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Walker performs exhaustive dependency walks with global memoization:
+// each zone cut is discovered once, each nameserver host's address chain
+// is walked once, no matter how many surveyed names share them. It
+// discovers zone cuts label by label with NS queries, so cuts hidden by
+// shared parent/child servers (where no referral is ever emitted) are
+// still found — the same methodology the survey's crawler used. A Walker
+// is safe for concurrent use.
+type Walker struct {
+	r *Resolver
+
+	mu sync.RWMutex
+	// zones caches discovered delegations by apex.
+	zones map[string]*ZoneInfo
+	// servers caches resolved, usable server addresses per zone apex.
+	servers map[string][]ServerAddr
+	// addrs caches resolved nameserver host addresses.
+	addrs map[string][]netip.Addr
+	// chains caches full zone chains per resolved name/host.
+	chains map[string][]string
+	// hostErr caches hosts whose address resolution failed.
+	hostErr map[string]error
+	// queries counts transport queries issued (for ablation benches).
+	queries int
+}
+
+// NewWalker creates a Walker over r. The root servers from r's config are
+// pre-seeded as the root zone.
+func NewWalker(r *Resolver) *Walker {
+	w := &Walker{
+		r:       r,
+		zones:   make(map[string]*ZoneInfo),
+		servers: make(map[string][]ServerAddr),
+		addrs:   make(map[string][]netip.Addr),
+		chains:  make(map[string][]string),
+		hostErr: make(map[string]error),
+	}
+	rootHosts := make([]string, 0, len(r.cfg.Roots))
+	for _, s := range r.cfg.Roots {
+		rootHosts = append(rootHosts, s.Host)
+	}
+	sort.Strings(rootHosts)
+	w.zones[""] = &ZoneInfo{Apex: "", Parent: "", NSHosts: rootHosts}
+	w.servers[""] = append([]ServerAddr(nil), r.cfg.Roots...)
+	return w
+}
+
+// Queries reports how many transport queries the walker has issued.
+func (w *Walker) Queries() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.queries
+}
+
+// WalkName discovers the complete dependency structure of name: its own
+// delegation chain plus, transitively, the chains of every nameserver
+// host involved. Results accumulate in the walker's caches; use Snapshot
+// to extract them. It returns the name's own zone chain.
+func (w *Walker) WalkName(ctx context.Context, name string) ([]string, error) {
+	name = dnsname.Canonical(name)
+	chain, err := w.chainOf(ctx, name, newVisitSet())
+	if err != nil {
+		return nil, err
+	}
+	if err := w.walkHosts(ctx, chain); err != nil {
+		return chain, err
+	}
+	return chain, nil
+}
+
+// walkHosts walks the address chains of all NS hosts of the given zones,
+// then of the zones those chains reveal, until closure.
+func (w *Walker) walkHosts(ctx context.Context, seedZones []string) error {
+	pending := append([]string(nil), seedZones...)
+	seenZone := map[string]bool{}
+	seenHost := map[string]bool{}
+	for len(pending) > 0 {
+		apex := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		if seenZone[apex] || apex == "" {
+			continue
+		}
+		seenZone[apex] = true
+		w.mu.RLock()
+		zi := w.zones[apex]
+		w.mu.RUnlock()
+		if zi == nil {
+			continue
+		}
+		for _, host := range zi.NSHosts {
+			if seenHost[host] {
+				continue
+			}
+			seenHost[host] = true
+			chain, err := w.chainOf(ctx, host, newVisitSet())
+			if err != nil {
+				// A lame nameserver host: record and continue. The zone is
+				// still served by its other servers.
+				w.mu.Lock()
+				w.hostErr[host] = err
+				w.mu.Unlock()
+				continue
+			}
+			pending = append(pending, chain...)
+		}
+	}
+	return ctx.Err()
+}
+
+// visitSet tracks the hosts on the current recursion stack to detect
+// glue-less resolution cycles; it is per-call, not global, so concurrent
+// walks do not interfere.
+type visitSet map[string]bool
+
+func newVisitSet() visitSet { return make(visitSet) }
+
+// chainOf returns the zone chain of name (TLD-first, root excluded),
+// walking the delegation tree and caching every step.
+func (w *Walker) chainOf(ctx context.Context, name string, visiting visitSet) ([]string, error) {
+	w.mu.RLock()
+	if chain, ok := w.chains[name]; ok {
+		w.mu.RUnlock()
+		return chain, nil
+	}
+	w.mu.RUnlock()
+
+	az, _, err := w.descendToZone(ctx, name, visiting)
+	if err != nil {
+		return nil, err
+	}
+	chain := w.reconstructChain(az)
+	w.mu.Lock()
+	w.chains[name] = chain
+	w.mu.Unlock()
+	return chain, nil
+}
+
+// reconstructChain follows parent pointers from apex to the root and
+// returns the chain TLD-first with the root excluded.
+func (w *Walker) reconstructChain(apex string) []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var rev []string
+	for apex != "" {
+		rev = append(rev, apex)
+		zi := w.zones[apex]
+		if zi == nil {
+			break
+		}
+		apex = zi.Parent
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// descendToZone walks label by label from the deepest cached zone down to
+// the zone authoritative for name, discovering every zone cut on the way.
+// At each ancestor it issues an NS query:
+//
+//   - a referral reveals a classic cut (and carries glue);
+//   - an authoritative NS answer reveals a cut hosted on servers shared
+//     with the parent (no referral is ever seen for these);
+//   - authoritative NODATA means the label is interior to the zone;
+//   - NXDOMAIN means the name does not exist.
+//
+// It returns the authoritative zone's apex and usable servers.
+func (w *Walker) descendToZone(ctx context.Context, name string, visiting visitSet) (string, []ServerAddr, error) {
+	apex, servers := w.deepestKnown(name)
+	if len(servers) == 0 {
+		return apex, nil, ErrNoServers
+	}
+	// Candidate cut points: ancestors of name strictly deeper than apex,
+	// shallowest first.
+	all := dnsname.Ancestors(name) // deepest first
+	var candidates []string
+	for i := len(all) - 1; i >= 0; i-- {
+		anc := all[i]
+		if anc != apex && dnsname.IsSubdomain(anc, apex) {
+			candidates = append(candidates, anc)
+		}
+	}
+	for _, anc := range candidates {
+		if err := ctx.Err(); err != nil {
+			return apex, nil, err
+		}
+		if !dnsname.IsSubdomain(anc, apex) {
+			continue // a referral jumped past this candidate
+		}
+		resp, err := w.queryAny(ctx, servers, anc, dnswire.TypeNS)
+		if err != nil {
+			return apex, nil, fmt.Errorf("zone %q: %w", apex, err)
+		}
+		switch {
+		case resp.RCode == dnswire.RCodeNXDomain:
+			return apex, nil, ErrNXDomain
+		case resp.RCode != dnswire.RCodeSuccess:
+			return apex, nil, fmt.Errorf("resolver: %v for %q", resp.RCode, anc)
+		case len(resp.Answers) > 0:
+			hosts := nsHosts(resp.Answers)
+			if len(hosts) == 0 {
+				// An answer without NS data (e.g. a CNAME): terminal.
+				return apex, servers, nil
+			}
+			next, err := w.enterZoneAnswer(ctx, apex, anc, hosts, servers, visiting)
+			if err != nil {
+				return apex, nil, err
+			}
+			apex, servers = anc, next
+		case resp.Authoritative:
+			// NODATA: anc exists inside the current zone; not a cut.
+			continue
+		case len(resp.Authority) > 0:
+			child := dnsname.Canonical(resp.Authority[0].Name)
+			if child == apex || !dnsname.IsSubdomain(child, apex) || !dnsname.IsSubdomain(name, child) {
+				return apex, nil, fmt.Errorf("resolver: bogus referral %q from zone %q", child, apex)
+			}
+			next, err := w.enterZoneReferral(ctx, apex, child, resp, visiting)
+			if err != nil {
+				return apex, nil, err
+			}
+			apex, servers = child, next
+		default:
+			return apex, nil, fmt.Errorf("%w: empty response for %q from zone %q", ErrLameDelegation, anc, apex)
+		}
+	}
+	return apex, servers, nil
+}
+
+func nsHosts(rrs []dnswire.RR) []string {
+	var hosts []string
+	for _, rr := range rrs {
+		if ns, ok := rr.Data.(dnswire.NS); ok {
+			hosts = append(hosts, dnsname.Canonical(ns.Host))
+		}
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// deepestKnown returns the deepest cached zone that is an ancestor of
+// name along with its usable servers. The root is always known.
+func (w *Walker) deepestKnown(name string) (string, []ServerAddr) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	apex := name
+	for {
+		if srv, ok := w.servers[apex]; ok && len(srv) > 0 {
+			return apex, append([]ServerAddr(nil), srv...)
+		}
+		if apex == "" {
+			return "", append([]ServerAddr(nil), w.servers[""]...)
+		}
+		p, _ := dnsname.Parent(apex)
+		apex = p
+	}
+}
+
+// recordZone stores a newly discovered cut (first discovery wins).
+func (w *Walker) recordZone(parent, child string, hosts []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, known := w.zones[child]; !known {
+		w.zones[child] = &ZoneInfo{Apex: child, Parent: parent, NSHosts: hosts}
+	}
+}
+
+// cachedServers returns the cached usable servers of apex, if any.
+func (w *Walker) cachedServers(apex string) []ServerAddr {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.servers[apex]
+}
+
+// storeServers caches the usable servers of apex (first store wins).
+func (w *Walker) storeServers(apex string, servers []ServerAddr) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.servers[apex]) == 0 && len(servers) > 0 {
+		w.servers[apex] = servers
+	}
+}
+
+// enterZoneReferral enters a cut revealed by a referral: harvest glue,
+// resolve glue-less server addresses recursively.
+func (w *Walker) enterZoneReferral(ctx context.Context, parent, child string, resp *dnswire.Message, visiting visitSet) ([]ServerAddr, error) {
+	hosts := nsHosts(resp.Authority)
+	glue := map[string][]netip.Addr{}
+	for _, rr := range resp.Additional {
+		owner := dnsname.Canonical(rr.Name)
+		switch d := rr.Data.(type) {
+		case dnswire.A:
+			glue[owner] = append(glue[owner], d.Addr)
+		case dnswire.AAAA:
+			glue[owner] = append(glue[owner], d.Addr)
+		}
+	}
+	w.recordZone(parent, child, hosts)
+	if cached := w.cachedServers(child); len(cached) > 0 {
+		return cached, nil
+	}
+
+	var out []ServerAddr
+	var lastErr error
+	for _, host := range hosts {
+		if addrs, ok := glue[host]; ok && len(addrs) > 0 {
+			// Remember glue addresses; dependency walking still resolves
+			// the host authoritatively later (glue is not authoritative).
+			w.mu.Lock()
+			if _, ok := w.addrs[host]; !ok {
+				w.addrs[host] = addrs
+			}
+			w.mu.Unlock()
+			out = append(out, ServerAddr{Host: host, Addr: addrs[0]})
+			continue
+		}
+		addrs, err := w.resolveHostAddr(ctx, host, visiting)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(addrs) > 0 {
+			out = append(out, ServerAddr{Host: host, Addr: addrs[0]})
+		}
+	}
+	if len(out) == 0 {
+		if lastErr == nil {
+			lastErr = ErrNoServers
+		}
+		return nil, fmt.Errorf("%w: zone %q unreachable: %v", ErrLameDelegation, child, lastErr)
+	}
+	w.storeServers(child, out)
+	return out, nil
+}
+
+// enterZoneAnswer enters a cut revealed by an authoritative NS answer
+// (parent and child share servers, so no referral exists). In-bailiwick
+// server addresses are fetched from the answering servers themselves —
+// they are authoritative for the child; out-of-bailiwick hosts resolve
+// through their own chains.
+func (w *Walker) enterZoneAnswer(ctx context.Context, parent, child string, hosts []string, parentServers []ServerAddr, visiting visitSet) ([]ServerAddr, error) {
+	w.recordZone(parent, child, hosts)
+	if cached := w.cachedServers(child); len(cached) > 0 {
+		return cached, nil
+	}
+	var out []ServerAddr
+	var lastErr error
+	for _, host := range hosts {
+		w.mu.RLock()
+		cached, haveAddr := w.addrs[host]
+		w.mu.RUnlock()
+		if haveAddr && len(cached) > 0 {
+			out = append(out, ServerAddr{Host: host, Addr: cached[0]})
+			continue
+		}
+		if dnsname.IsSubdomain(host, child) {
+			addrs, err := w.queryAddr(ctx, parentServers, host)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			w.mu.Lock()
+			w.addrs[host] = addrs
+			w.mu.Unlock()
+			out = append(out, ServerAddr{Host: host, Addr: addrs[0]})
+			continue
+		}
+		addrs, err := w.resolveHostAddr(ctx, host, visiting)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(addrs) > 0 {
+			out = append(out, ServerAddr{Host: host, Addr: addrs[0]})
+		}
+	}
+	if len(out) == 0 {
+		if lastErr == nil {
+			lastErr = ErrNoServers
+		}
+		return nil, fmt.Errorf("%w: zone %q unreachable: %v", ErrLameDelegation, child, lastErr)
+	}
+	w.storeServers(child, out)
+	return out, nil
+}
+
+// queryAddr fetches A records for host from the given servers.
+func (w *Walker) queryAddr(ctx context.Context, servers []ServerAddr, host string) ([]netip.Addr, error) {
+	resp, err := w.queryAny(ctx, servers, host, dnswire.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	if resp.RCode != dnswire.RCodeSuccess {
+		return nil, fmt.Errorf("resolver: %v resolving %q", resp.RCode, host)
+	}
+	var addrs []netip.Addr
+	for _, rr := range resp.Answers {
+		if a, ok := rr.Data.(dnswire.A); ok {
+			addrs = append(addrs, a.Addr)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: host %q has no address", ErrLameDelegation, host)
+	}
+	return addrs, nil
+}
+
+// resolveHostAddr resolves a nameserver host's address through its own
+// delegation chain, guarding against glue-less cycles.
+func (w *Walker) resolveHostAddr(ctx context.Context, host string, visiting visitSet) ([]netip.Addr, error) {
+	w.mu.RLock()
+	if addrs, ok := w.addrs[host]; ok {
+		w.mu.RUnlock()
+		return addrs, nil
+	}
+	if err, ok := w.hostErr[host]; ok {
+		w.mu.RUnlock()
+		return nil, err
+	}
+	w.mu.RUnlock()
+	if visiting[host] {
+		return nil, fmt.Errorf("%w: glue-less cycle through %q", ErrLameDelegation, host)
+	}
+	visiting[host] = true
+	defer delete(visiting, host)
+
+	az, servers, err := w.descendToZone(ctx, host, visiting)
+	if err != nil {
+		return nil, err
+	}
+	addrs, err := w.queryAddr(ctx, servers, host)
+	if err != nil {
+		return nil, err
+	}
+	chain := w.reconstructChain(az)
+	w.mu.Lock()
+	w.addrs[host] = addrs
+	w.chains[host] = chain
+	w.mu.Unlock()
+	return addrs, nil
+}
+
+// queryAny tries servers in order until one gives a usable response.
+func (w *Walker) queryAny(ctx context.Context, servers []ServerAddr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	var lastErr error = ErrNoServers
+	for _, srv := range servers {
+		w.mu.Lock()
+		w.queries++
+		w.mu.Unlock()
+		resp, err := w.r.tr.Query(ctx, srv.Addr, name, qtype, dnswire.ClassINET)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.RCode == dnswire.RCodeRefused || resp.RCode == dnswire.RCodeServFail {
+			lastErr = fmt.Errorf("resolver: %v from %s", resp.RCode, srv.Host)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// Snapshot extracts the accumulated dependency structure. nameChains maps
+// each surveyed name to its chain (collected from WalkName calls); failed
+// maps names whose walk failed.
+func (w *Walker) Snapshot(nameChains map[string][]string, failed map[string]error) *Snapshot {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	s := NewSnapshot()
+	for apex, zi := range w.zones {
+		cp := *zi
+		cp.NSHosts = append([]string(nil), zi.NSHosts...)
+		s.Zones[apex] = &cp
+	}
+	for name, chain := range nameChains {
+		s.NameChain[name] = append([]string(nil), chain...)
+	}
+	for host, chain := range w.chains {
+		s.HostChain[host] = append([]string(nil), chain...)
+	}
+	for name, err := range failed {
+		s.Failed[name] = err
+	}
+	for host, err := range w.hostErr {
+		s.Failed[host] = err
+	}
+	return s
+}

@@ -1,0 +1,232 @@
+package resolver_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+)
+
+func newWalker(t *testing.T, reg *topology.Registry) *resolver.Walker {
+	t.Helper()
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resolver.NewWalker(r)
+}
+
+func TestWalkNameChain(t *testing.T) {
+	reg := topology.FBIWorld()
+	w := newWalker(t, reg)
+	chain, err := w.WalkName(context.Background(), "www.fbi.gov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gov", "fbi.gov"}
+	if !reflect.DeepEqual(chain, want) {
+		t.Errorf("chain = %v, want %v", chain, want)
+	}
+}
+
+func TestWalkDiscoversTransitiveZones(t *testing.T) {
+	reg := topology.FBIWorld()
+	w := newWalker(t, reg)
+	if _, err := w.WalkName(context.Background(), "www.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Snapshot(map[string][]string{}, nil)
+	// The walk must discover the full dependency tail:
+	// fbi.gov -> sprintip.com (com) -> telemail.net (net) -> gtld/gov-servers.
+	for _, apex := range []string{"gov", "fbi.gov", "com", "sprintip.com", "net", "telemail.net", "gov-servers.net", "gtld-servers.net"} {
+		if _, ok := snap.Zones[apex]; !ok {
+			t.Errorf("zone %q not discovered; have %v", apex, keys(snap.Zones))
+		}
+	}
+}
+
+func keys(m map[string]*resolver.ZoneInfo) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestWalkHostChains(t *testing.T) {
+	reg := topology.FBIWorld()
+	w := newWalker(t, reg)
+	if _, err := w.WalkName(context.Background(), "www.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Snapshot(nil, nil)
+	// dns.sprintip.com's address chain runs through com then sprintip.com.
+	chain, ok := snap.HostChain["dns.sprintip.com"]
+	if !ok {
+		t.Fatalf("no host chain for dns.sprintip.com; have %v", snap.HostChain)
+	}
+	if !reflect.DeepEqual(chain, []string{"com", "sprintip.com"}) {
+		t.Errorf("chain = %v", chain)
+	}
+	// reston-ns2.telemail.net's chain runs through net then telemail.net.
+	chain, ok = snap.HostChain["reston-ns2.telemail.net"]
+	if !ok {
+		t.Fatal("no host chain for reston-ns2.telemail.net")
+	}
+	if !reflect.DeepEqual(chain, []string{"net", "telemail.net"}) {
+		t.Errorf("chain = %v", chain)
+	}
+}
+
+func TestWalkMemoization(t *testing.T) {
+	reg := topology.FBIWorld()
+	w := newWalker(t, reg)
+	ctx := context.Background()
+	if _, err := w.WalkName(ctx, "www.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+	q1 := w.Queries()
+	// Walking a sibling name must reuse every cached zone: only the final
+	// leaf queries are new.
+	if err := reg.AddHostAddress("tips.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WalkName(ctx, "tips.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+	q2 := w.Queries()
+	if q2-q1 > 3 {
+		t.Errorf("second walk issued %d queries; memoization is broken", q2-q1)
+	}
+	// Walking the same name again costs nothing.
+	if _, err := w.WalkName(ctx, "www.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Queries() != q2 {
+		t.Errorf("re-walk issued %d extra queries", w.Queries()-q2)
+	}
+}
+
+func TestWalkFigure1Dependencies(t *testing.T) {
+	reg := topology.Figure1World()
+	w := newWalker(t, reg)
+	if _, err := w.WalkName(context.Background(), "www.cs.cornell.edu"); err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Snapshot(nil, nil)
+	// The paper's headline example: www.cs.cornell.edu depends indirectly
+	// on a nameserver in umich.edu via rochester -> wisc -> umich.
+	for _, apex := range []string{
+		"edu", "cornell.edu", "cs.cornell.edu", "cit.cornell.edu",
+		"cs.rochester.edu", "rochester.edu", "cc.rochester.edu", "utd.rochester.edu",
+		"cs.wisc.edu", "wisc.edu", "itd.umich.edu", "umich.edu",
+		"nstld.com", "gtld-servers.net",
+	} {
+		if _, ok := snap.Zones[apex]; !ok {
+			t.Errorf("zone %q missing from the dependency walk", apex)
+		}
+	}
+	hosts := snap.Hosts()
+	found := false
+	for _, h := range hosts {
+		if h == "dns2.itd.umich.edu" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("umich nameserver missing from discovered hosts")
+	}
+}
+
+func TestWalkUkraineWorstCase(t *testing.T) {
+	reg := topology.UkraineWorld()
+	w := newWalker(t, reg)
+	if _, err := w.WalkName(context.Background(), "www.rkc.lviv.ua"); err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Snapshot(nil, nil)
+	// The Ukrainian chain reaches US universities and Australia.
+	for _, apex := range []string{"ua", "lviv.ua", "rkc.lviv.ua", "berkeley.edu", "monash.edu.au", "telstra.net"} {
+		if _, ok := snap.Zones[apex]; !ok {
+			t.Errorf("zone %q missing", apex)
+		}
+	}
+	if len(snap.Hosts()) < 15 {
+		t.Errorf("only %d hosts discovered; the Ukraine scenario should fan out wide", len(snap.Hosts()))
+	}
+	// The paper's point: a Ukrainian name depends on servers in the US and
+	// Australia.
+	hostSet := map[string]bool{}
+	for _, h := range snap.Hosts() {
+		hostSet[h] = true
+	}
+	for _, h := range []string{"ns.berkeley.edu", "ns.monash.edu.au", "ns1.stanford.edu", "ns.telstra.net"} {
+		if !hostSet[h] {
+			t.Errorf("expected global dependency %q in TCB", h)
+		}
+	}
+}
+
+func TestWalkNXDomainName(t *testing.T) {
+	reg := topology.FBIWorld()
+	w := newWalker(t, reg)
+	if _, err := w.WalkName(context.Background(), "www.nonexistent.gov"); err == nil {
+		t.Error("walking a nonexistent name should fail")
+	}
+}
+
+func TestWalkConcurrent(t *testing.T) {
+	reg := topology.Figure1World()
+	w := newWalker(t, reg)
+	names := []string{
+		"www.cs.cornell.edu", "www.cs.cornell.edu", "www.cs.cornell.edu",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names)*8)
+	for i := 0; i < 8; i++ {
+		for _, n := range names {
+			wg.Add(1)
+			go func(n string) {
+				defer wg.Done()
+				if _, err := w.WalkName(context.Background(), n); err != nil {
+					errs <- err
+				}
+			}(n)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent walk: %v", err)
+	}
+}
+
+func TestWalkLameHostRecorded(t *testing.T) {
+	reg := topology.FBIWorld()
+	// reston-ns3 goes dark: fbi.gov still resolves (other servers exist),
+	// and the walker records nothing fatal.
+	if err := reg.SetLame("reston-ns3.telemail.net", true); err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, reg)
+	if _, err := w.WalkName(context.Background(), "www.fbi.gov"); err != nil {
+		t.Fatalf("walk should survive a lame host: %v", err)
+	}
+}
+
+func TestSnapshotHostsSorted(t *testing.T) {
+	reg := topology.FBIWorld()
+	w := newWalker(t, reg)
+	if _, err := w.WalkName(context.Background(), "www.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+	hosts := w.Snapshot(nil, nil).Hosts()
+	for i := 1; i < len(hosts); i++ {
+		if hosts[i-1] >= hosts[i] {
+			t.Errorf("hosts not sorted at %d: %q >= %q", i, hosts[i-1], hosts[i])
+		}
+	}
+}

@@ -1,0 +1,684 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dnstrust/internal/dnsname"
+)
+
+// World is a generated synthetic Internet plus its survey corpus.
+type World struct {
+	// Registry is the finalized zone/server registry.
+	Registry *Registry
+	// Corpus lists the surveyed names (the paper's 593160 web names).
+	Corpus []string
+	// Popular is the redundancy-seeking "popular site" subset (the
+	// paper's Alexa top 500).
+	Popular []string
+	// Params records the generation parameters.
+	Params GenParams
+}
+
+// Generate builds a synthetic Internet calibrated to the paper's
+// aggregate statistics. Identical params produce identical worlds.
+func Generate(p GenParams) (*World, error) {
+	p.applyDefaults()
+	g := &genState{
+		p:         p,
+		rng:       rand.New(rand.NewSource(p.Seed)),
+		b:         NewWorld("a.root-servers.net", "b.root-servers.net", "c.root-servers.net"),
+		classes:   map[string]serverClass{},
+		corpusSet: map[string]bool{},
+	}
+	g.planPools()
+	g.buildInfra()
+	g.buildTLDs()
+	g.buildBackbone()
+	g.buildUniversities()
+	g.buildProviders()
+	g.buildNICs()
+	g.buildCustomers()
+	g.assignBanners()
+	if err := g.b.Registry().Finalize(); err != nil {
+		return nil, fmt.Errorf("topology: generated world invalid: %w", err)
+	}
+	return &World{
+		Registry: g.b.Registry(),
+		Corpus:   g.corpus,
+		Popular:  g.popular,
+		Params:   p,
+	}, nil
+}
+
+// serverClass drives banner/vulnerability assignment.
+type serverClass int
+
+const (
+	classInfra serverClass = iota // root/gTLD/registry: well-run, visible
+	classBackbone
+	classTLDLocal
+	classUniversity
+	classProvider
+	classSelfHost
+	classWS // the pathological ws ccTLD: everything old and exploitable
+)
+
+type uniDesc struct {
+	domain string
+	hosts  []string
+	group  int
+}
+
+type provDesc struct {
+	domain string
+	hosts  []string
+}
+
+type bbDesc struct {
+	domain string
+	hosts  []string
+}
+
+type genState struct {
+	p   GenParams
+	rng *rand.Rand
+	b   *WorldBuilder
+
+	gtldHosts  []string
+	nstldHosts []string
+	unis       []uniDesc
+	provs      []provDesc
+	provCum    []float64 // cumulative Zipf weights for provider popularity
+	backbone   []bbDesc
+
+	// tldVulnBias remembers each TLD's extra vulnerability for its local
+	// infrastructure and self-hosted customers.
+	tldVulnBias map[string]float64
+
+	classes   map[string]serverClass
+	corpus    []string
+	corpusSet map[string]bool
+	popular   []string
+}
+
+// planPools decides every pool member's names up front so zones can
+// reference hosts before those hosts' zones exist.
+func (g *genState) planPools() {
+	// gTLD registry infrastructure.
+	for c := 'a'; c <= 'm'; c++ {
+		g.gtldHosts = append(g.gtldHosts, fmt.Sprintf("%c.gtld-servers.net", c))
+	}
+	for _, h := range []string{"a2", "b2", "c2", "a3", "b3", "c3"} {
+		g.nstldHosts = append(g.nstldHosts, h+".nstld.com")
+	}
+
+	// Backbone: tier-1 ISP infrastructure that top providers and spread-out
+	// TLDs slave to. Their mutual dependencies concentrate control — the
+	// source of Figure 8's high-leverage servers.
+	bbNames := []string{
+		"uu.net", "psi.net", "sprintlink.net", "bbnplanet.net",
+		"cw.net", "level3.net", "alter.net", "genuity.net",
+		"exodus.net", "qwestip.net", "abovenet.com", "savvis.net",
+	}
+	for _, dom := range bbNames {
+		bb := bbDesc{domain: dom}
+		for i := 1; i <= 4; i++ {
+			bb.hosts = append(bb.hosts, fmt.Sprintf("ns%d.%s", i, dom))
+		}
+		g.backbone = append(g.backbone, bb)
+	}
+
+	// Universities: 70% under edu, the rest spread over foreign academia.
+	foreignAcademia := []string{"ac.uk", "edu.au", "de", "ca", "se", "nl", "jp", "fr"}
+	for i := 0; i < g.p.Universities; i++ {
+		var dom string
+		if i%10 < 7 {
+			dom = fmt.Sprintf("univ%d.edu", i)
+		} else {
+			dom = fmt.Sprintf("univ%d.%s", i, foreignAcademia[i%len(foreignAcademia)])
+		}
+		u := uniDesc{domain: dom, group: i / g.p.UniversityGroupSize}
+		n := 2 + g.rng.Intn(2)
+		for k := 1; k <= n; k++ {
+			u.hosts = append(u.hosts, fmt.Sprintf("ns%d.%s", k, dom))
+		}
+		g.unis = append(g.unis, u)
+	}
+
+	// Hosting providers with Zipf popularity.
+	domains := g.estimatedDomains()
+	nProv := domains / g.p.ProviderCountDivisor
+	if nProv < 24 {
+		nProv = 24
+	}
+	var cum float64
+	for i := 0; i < nProv; i++ {
+		tld := "com"
+		if i%4 == 3 {
+			tld = "net"
+		}
+		dom := fmt.Sprintf("hostpro%d.%s", i, tld)
+		pr := provDesc{domain: dom}
+		n := 2 + g.rng.Intn(3)
+		for k := 1; k <= n; k++ {
+			pr.hosts = append(pr.hosts, fmt.Sprintf("ns%d.%s", k, dom))
+		}
+		g.provs = append(g.provs, pr)
+		cum += 1 / math.Pow(float64(i+1), g.p.ProviderZipf)
+		g.provCum = append(g.provCum, cum)
+	}
+
+	g.tldVulnBias = map[string]float64{}
+	for _, ts := range corpusTLDs {
+		g.tldVulnBias[ts.tld] = ts.vulnBias
+	}
+}
+
+// estimatedDomains approximates the registered-domain count implied by
+// the corpus size (names per domain averages ~1.45).
+func (g *genState) estimatedDomains() int {
+	d := int(float64(g.p.Names) / 1.45)
+	if d < 50 {
+		d = 50
+	}
+	return d
+}
+
+// pickProvider draws a provider index by Zipf popularity.
+func (g *genState) pickProvider() int {
+	total := g.provCum[len(g.provCum)-1]
+	x := g.rng.Float64() * total
+	i := sort.SearchFloat64s(g.provCum, x)
+	if i >= len(g.provs) {
+		i = len(g.provs) - 1
+	}
+	return i
+}
+
+func (g *genState) class(host string, c serverClass) { g.classes[host] = c }
+
+func (g *genState) buildInfra() {
+	// com and net carry the whole registry bootstrap.
+	g.b.Zone("com", g.gtldHosts...)
+	g.b.Zone("net", g.gtldHosts...)
+	g.b.Zone("gtld-servers.net", g.nstldHosts...)
+	g.b.Zone("nstld.com", g.nstldHosts...)
+	for _, h := range g.gtldHosts {
+		g.class(h, classInfra)
+	}
+	for _, h := range g.nstldHosts {
+		g.class(h, classInfra)
+	}
+	for _, h := range []string{"a.root-servers.net", "b.root-servers.net", "c.root-servers.net"} {
+		g.class(h, classInfra)
+	}
+}
+
+// distinctGroupUniHosts picks one nameserver host from each of k distinct
+// university communities. Sampling communities (not universities) keeps
+// the union of their dependency closures large and its size predictable —
+// how far-flung TLD server sets actually behave.
+func (g *genState) distinctGroupUniHosts(k int) []string {
+	nGroups := (len(g.unis) + g.p.UniversityGroupSize - 1) / g.p.UniversityGroupSize
+	if k > nGroups {
+		k = nGroups
+	}
+	perm := g.rng.Perm(nGroups)[:k]
+	var hosts []string
+	for _, grp := range perm {
+		start := grp * g.p.UniversityGroupSize
+		end := start + g.p.UniversityGroupSize
+		if end > len(g.unis) {
+			end = len(g.unis)
+		}
+		u := g.unis[start+g.rng.Intn(end-start)]
+		hosts = append(hosts, u.hosts[g.rng.Intn(len(u.hosts))])
+	}
+	return hosts
+}
+
+// tldHosts returns the planned NS host names for one TLD.
+func (g *genState) tldHosts(ts tldShare) []string {
+	if ts.tld == "com" || ts.tld == "net" {
+		return g.gtldHosts
+	}
+	nForeign := int(math.Round(float64(ts.spread) * ts.foreignFrac))
+	nLocal := ts.spread - nForeign
+	if nLocal < 1 {
+		nLocal = 1
+		nForeign = ts.spread - 1
+	}
+	var hosts []string
+	for k := 1; k <= nLocal; k++ {
+		h := fmt.Sprintf("ns%d.nic.%s", k, ts.tld)
+		hosts = append(hosts, h)
+		if ts.tld == "ws" {
+			g.class(h, classWS)
+		} else {
+			g.class(h, classTLDLocal)
+		}
+	}
+	// Most foreign servers sit at universities in distinct communities;
+	// a few at backbones or providers.
+	nUni := nForeign
+	for k := 0; k < nForeign; k++ {
+		switch g.rng.Intn(8) {
+		case 0:
+			bb := g.backbone[g.rng.Intn(len(g.backbone))]
+			hosts = append(hosts, bb.hosts[g.rng.Intn(len(bb.hosts))])
+			nUni--
+		case 1:
+			pr := g.provs[g.pickProvider()]
+			hosts = append(hosts, pr.hosts[0])
+			nUni--
+		}
+	}
+	hosts = append(hosts, g.distinctGroupUniHosts(nUni)...)
+	// A host may have been drawn twice; dedupe preserving order.
+	seen := map[string]bool{}
+	out := hosts[:0]
+	for _, h := range hosts {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (g *genState) buildTLDs() {
+	for _, ts := range corpusTLDs {
+		if ts.tld == "com" || ts.tld == "net" {
+			continue // built in buildInfra
+		}
+		g.b.Zone(ts.tld, g.tldHosts(ts)...)
+	}
+}
+
+func (g *genState) buildBackbone() {
+	for i, bb := range g.backbone {
+		hosts := append([]string(nil), bb.hosts...)
+		// A few backbones slave to a peer; sparse links keep their
+		// closures moderate while still concentrating control.
+		if i%4 == 0 {
+			peer := g.backbone[(i+1)%len(g.backbone)]
+			hosts = append(hosts, peer.hosts[0])
+		}
+		g.b.Zone(bb.domain, hosts...)
+		for _, h := range bb.hosts {
+			g.class(h, classBackbone)
+		}
+	}
+}
+
+func (g *genState) buildUniversities() {
+	for i, u := range g.unis {
+		hosts := append([]string(nil), u.hosts...)
+		// Secondaries at sister universities: usually in the same
+		// community, sometimes bridging to another community — the
+		// cornell -> rochester -> wisc -> umich web.
+		nSec := 1
+		if g.rng.Float64() < 0.25 {
+			nSec = 2
+		}
+		for k := 0; k < nSec; k++ {
+			var other uniDesc
+			if g.rng.Float64() < g.p.UniversityBridgeFrac {
+				other = g.unis[g.rng.Intn(len(g.unis))]
+			} else {
+				groupStart := u.group * g.p.UniversityGroupSize
+				groupEnd := groupStart + g.p.UniversityGroupSize
+				if groupEnd > len(g.unis) {
+					groupEnd = len(g.unis)
+				}
+				other = g.unis[groupStart+g.rng.Intn(groupEnd-groupStart)]
+			}
+			if other.domain == u.domain {
+				continue
+			}
+			hosts = append(hosts, other.hosts[0])
+		}
+		hosts = dedupe(hosts)
+		g.b.Zone(u.domain, hosts...)
+		for _, h := range u.hosts {
+			g.class(h, classUniversity)
+		}
+		_ = i
+	}
+}
+
+func (g *genState) buildProviders() {
+	for i, pr := range g.provs {
+		hosts := append([]string(nil), pr.hosts...)
+		if g.rng.Float64() < g.p.ProviderSecondaryFrac {
+			switch g.rng.Intn(10) {
+			case 0:
+				u := g.unis[g.rng.Intn(len(g.unis))]
+				hosts = append(hosts, u.hosts[0])
+			case 1, 2, 3:
+				bb := g.backbone[g.rng.Intn(len(g.backbone))]
+				hosts = append(hosts, bb.hosts[g.rng.Intn(len(bb.hosts))])
+			default:
+				other := g.provs[g.pickProvider()]
+				if other.domain != pr.domain {
+					hosts = append(hosts, other.hosts[0])
+				}
+			}
+		}
+		// The most popular providers slave to the backbone: their huge
+		// customer bases inherit the dependency.
+		if i < 6 {
+			bb := g.backbone[i%len(g.backbone)]
+			hosts = append(hosts, bb.hosts[0])
+		}
+		hosts = dedupe(hosts)
+		g.b.Zone(pr.domain, hosts...)
+		for _, h := range pr.hosts {
+			g.class(h, classProvider)
+		}
+	}
+}
+
+// buildNICs creates the nic.<tld> registry domains that host each TLD's
+// local servers.
+func (g *genState) buildNICs() {
+	for _, ts := range corpusTLDs {
+		if ts.tld == "com" || ts.tld == "net" {
+			continue
+		}
+		dom := "nic." + ts.tld
+		var hosts []string
+		for _, h := range g.b.Registry().Zone(ts.tld).NSHosts() {
+			if g.classes[h] == classTLDLocal || g.classes[h] == classWS {
+				hosts = append(hosts, h)
+			}
+		}
+		if len(hosts) == 0 {
+			hosts = []string{fmt.Sprintf("ns1.nic.%s", ts.tld)}
+			g.class(hosts[0], classTLDLocal)
+		}
+		g.b.Zone(dom, hosts...)
+	}
+}
+
+// ccRegistrationPoint returns where customer domains register under a
+// ccTLD with second-level conventions.
+func ccRegistrationPoint(tld string, rng *rand.Rand) string {
+	switch tld {
+	case "uk":
+		return "co.uk"
+	case "au":
+		return "com.au"
+	case "nz":
+		return "co.nz"
+	case "jp":
+		return "co.jp"
+	case "br":
+		return "com.br"
+	case "il":
+		return "co.il"
+	case "in":
+		return "co.in"
+	case "ua":
+		return []string{"com.ua", "kiev.ua", "lviv.ua"}[rng.Intn(3)]
+	default:
+		return tld
+	}
+}
+
+func (g *genState) buildCustomers() {
+	domains := g.estimatedDomains()
+
+	// TLD assignment by corpus weights.
+	var totalW float64
+	for _, ts := range corpusTLDs {
+		totalW += ts.weight
+	}
+
+	type hosting int
+	const (
+		hostProvider hosting = iota
+		hostSelf
+		hostUniversity
+		hostNIC
+	)
+
+	popularLeft := g.p.PopularNames
+	for i := 0; len(g.corpus) < g.p.Names && i < domains*3; i++ {
+		// Draw the TLD.
+		x := g.rng.Float64() * totalW
+		var ts tldShare
+		for _, cand := range corpusTLDs {
+			x -= cand.weight
+			if x <= 0 {
+				ts = cand
+				break
+			}
+		}
+		if ts.tld == "" {
+			ts = corpusTLDs[0]
+		}
+
+		// edu customer names live at universities, not fresh domains.
+		if ts.tld == "edu" {
+			u := g.unis[g.rng.Intn(len(g.unis))]
+			g.addCorpusNames(u.domain, false)
+			continue
+		}
+
+		reg := ccRegistrationPoint(ts.tld, g.rng)
+		dom := fmt.Sprintf("site%d.%s", i, reg)
+
+		// Popular sites skew toward com, as the Alexa list did, but the
+		// popular set also contains national portals in pathological
+		// ccTLDs — the source of its heavier TCB tail.
+		popRate := 1.5 * float64(g.p.PopularNames) / float64(domains)
+		if ts.tld == "com" {
+			popRate *= 3
+		}
+		if ts.vulnBias >= 0.1 {
+			popRate *= 2.5
+		}
+		popular := popularLeft > 0 && g.rng.Float64() < popRate
+		var hosts []string
+		mode := hostProvider
+		switch {
+		case ts.tld == "ws":
+			mode = hostNIC
+		case ts.vulnBias >= 0.1 && g.rng.Float64() < 0.6:
+			// Pathological ccTLDs: local registry/ISP hosting dominates.
+			mode = hostNIC
+		case g.rng.Float64() < g.p.SelfHostFrac:
+			mode = hostSelf
+		case g.rng.Float64() < g.p.UniversityHostFrac/(1-g.p.SelfHostFrac):
+			mode = hostUniversity
+		}
+		if popular {
+			// Popular sites chase availability: several providers, and
+			// sometimes a university secondary — the paper's explanation
+			// for their larger TCBs.
+			nProv := 3 + g.rng.Intn(2)
+			seen := map[int]bool{}
+			for k := 0; k < nProv; k++ {
+				pi := g.pickProvider()
+				if seen[pi] {
+					continue
+				}
+				seen[pi] = true
+				hosts = append(hosts, g.provs[pi].hosts...)
+			}
+			// Availability-chasing: secondaries at universities, exactly
+			// the pattern the paper blames for popular sites' big TCBs.
+			if g.rng.Float64() < 0.5 {
+				nUni := 1 + g.rng.Intn(2)
+				for k := 0; k < nUni; k++ {
+					u := g.unis[g.rng.Intn(len(g.unis))]
+					hosts = append(hosts, u.hosts[0])
+				}
+			}
+		} else {
+			switch mode {
+			case hostSelf:
+				n := 2
+				if g.rng.Float64() < 0.2 {
+					n = 3
+				}
+				for k := 1; k <= n; k++ {
+					h := fmt.Sprintf("ns%d.%s", k, dom)
+					hosts = append(hosts, h)
+					g.class(h, classSelfHost)
+					if ts.tld == "ws" {
+						g.class(h, classWS)
+					}
+				}
+			case hostUniversity:
+				u := g.unis[g.rng.Intn(len(g.unis))]
+				hosts = append(hosts, u.hosts...)
+			case hostNIC:
+				nic := g.b.Registry().Zone("nic." + ts.tld).NSHosts()
+				n := 2 + g.rng.Intn(2)
+				if n > len(nic) {
+					n = len(nic)
+				}
+				hosts = append(hosts, nic[:n]...)
+			default:
+				pr := g.provs[g.pickProvider()]
+				hosts = append(hosts, pr.hosts...)
+			}
+		}
+		hosts = dedupe(hosts)
+		g.b.Zone(dom, hosts...)
+		g.addCorpusNames(dom, popular)
+		if popular {
+			popularLeft--
+		}
+	}
+}
+
+// addCorpusNames emits the surveyed names of one domain: www plus
+// occasional extras, mirroring web-directory contents.
+func (g *genState) addCorpusNames(dom string, popular bool) {
+	add := func(label string) {
+		if len(g.corpus) >= g.p.Names {
+			return
+		}
+		name := label + "." + dom
+		if label == "" {
+			name = dom
+		}
+		if g.corpusSet[name] {
+			return // already surveyed (shared domains draw repeatedly)
+		}
+		if err := g.b.Registry().AddHostAddress(name); err != nil {
+			return // name collides with existing record; skip
+		}
+		g.corpusSet[name] = true
+		g.corpus = append(g.corpus, name)
+		if popular && len(g.popular) < g.p.PopularNames {
+			g.popular = append(g.popular, name)
+		}
+	}
+	add("www")
+	if g.rng.Float64() < 0.25 {
+		add("")
+	}
+	if g.rng.Float64() < 0.2 {
+		add([]string{"mail", "web", "news", "shop", "forum"}[g.rng.Intn(5)])
+	}
+}
+
+// assignBanners gives every server a version.bind banner. Versions are
+// correlated per operator (registered domain): the admin who leaves ns1
+// on BIND 8.2.4 leaves ns2 there too. This correlation is what makes
+// entire NS sets exploitable at once — the paper's 30% fully-vulnerable
+// bottlenecks (Figure 7).
+func (g *genState) assignBanners() {
+	reg := g.b.Registry()
+	type profile struct {
+		vulnerable bool
+		hidden     bool
+		banner     string
+	}
+	operatorProfile := map[string]profile{}
+	for _, h := range reg.Servers() {
+		class := g.classes[h]
+		var pVuln float64
+		switch class {
+		case classInfra:
+			pVuln = 0
+		case classBackbone:
+			pVuln = 0.10
+		case classUniversity:
+			pVuln = g.p.UniversityVulnFrac
+		case classProvider:
+			pVuln = 0.32
+		case classTLDLocal:
+			pVuln = g.p.BaseVulnFrac + g.tldVulnBiasOf(h)
+		case classWS:
+			pVuln = 1.0
+		default: // self-host and anything unclassified: small leaf
+			// operators ran the oldest BIND fleets in 2004
+			pVuln = g.p.BaseVulnFrac + 0.125
+		}
+		operator, err := dnsname.RegisteredDomain(h)
+		if err != nil {
+			operator = h
+		}
+		prof, ok := operatorProfile[operator]
+		if !ok {
+			prof = profile{}
+			switch {
+			case g.rng.Float64() < pVuln:
+				prof.vulnerable = true
+				prof.banner = vulnerableBanners[g.rng.Intn(len(vulnerableBanners))]
+			case class != classInfra && g.rng.Float64() < g.p.HiddenBannerFrac:
+				prof.hidden = true
+			default:
+				prof.banner = safeBanners[g.rng.Intn(len(safeBanners))]
+			}
+			operatorProfile[operator] = prof
+		}
+		si := reg.Server(h)
+		// 15% of an operator's boxes deviate from the fleet image — the
+		// one box the admin upgraded (or forgot to).
+		if g.rng.Float64() < 0.15 {
+			if g.rng.Float64() < pVuln {
+				si.Banner = vulnerableBanners[g.rng.Intn(len(vulnerableBanners))]
+			} else {
+				si.Banner = safeBanners[g.rng.Intn(len(safeBanners))]
+			}
+			continue
+		}
+		switch {
+		case prof.hidden:
+			si.Banner = ""
+		default:
+			si.Banner = prof.banner
+		}
+	}
+}
+
+func (g *genState) tldVulnBiasOf(host string) float64 {
+	// Local TLD hosts are named ns<k>.nic.<tld>.
+	for tld, bias := range g.tldVulnBias {
+		if len(host) > len(tld)+5 && host[len(host)-len(tld)-5:] == ".nic."+tld {
+			return bias
+		}
+	}
+	return 0
+}
+
+func dedupe(hosts []string) []string {
+	seen := map[string]bool{}
+	out := hosts[:0]
+	for _, h := range hosts {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}

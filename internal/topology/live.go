@@ -1,0 +1,127 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnstrust/internal/dnsclient"
+	"dnstrust/internal/dnsserver"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/dnszone"
+	"dnstrust/internal/resolver"
+)
+
+// Live runs every nameserver of a registry as a real DNS server on
+// loopback sockets (UDP+TCP), with a resolver transport that maps the
+// registry's synthetic addresses onto the live listeners. It turns the
+// synthetic Internet into an actual one for end-to-end crawls over the
+// wire.
+type Live struct {
+	reg     *Registry
+	servers map[string]*dnsserver.Server
+	// addrMap maps synthetic address -> live socket address.
+	addrMap map[netip.Addr]string
+	client  *dnsclient.Client
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// StartLive boots one real DNS server per registry nameserver. The
+// registry must be finalized. Close the returned Live when done.
+func StartLive(ctx context.Context, reg *Registry) (*Live, error) {
+	l := &Live{
+		reg:     reg,
+		servers: make(map[string]*dnsserver.Server),
+		addrMap: make(map[netip.Addr]string),
+		client:  dnsclient.New(dnsclient.Config{Timeout: 2 * time.Second}),
+	}
+	for _, host := range reg.Servers() {
+		si := reg.Server(host)
+		zs := reg.ZoneSetOf(host)
+		if zs == nil {
+			l.Close()
+			return nil, fmt.Errorf("topology: server %q has no zone set (not finalized?)", host)
+		}
+		zones := make([]*dnszone.Zone, 0, len(si.Zones))
+		seen := map[string]bool{}
+		for _, o := range si.Zones {
+			if !seen[o] {
+				seen[o] = true
+				zones = append(zones, reg.Zone(o))
+			}
+		}
+		srv, err := dnsserver.Start(ctx, "127.0.0.1:0", dnsserver.Config{
+			Zones:         zones,
+			VersionBanner: si.Banner,
+		})
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("topology: starting %q: %w", host, err)
+		}
+		l.servers[host] = srv
+		l.addrMap[si.Addr] = srv.Addr().String()
+	}
+	return l, nil
+}
+
+// NumServers reports how many live servers are running.
+func (l *Live) NumServers() int { return len(l.servers) }
+
+// Addr returns the live socket address of a server host, or "".
+func (l *Live) Addr(host string) string {
+	srv, ok := l.servers[host]
+	if !ok {
+		return ""
+	}
+	return srv.Addr().String()
+}
+
+// Close shuts every live server down.
+func (l *Live) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	for _, srv := range l.servers {
+		srv.Close()
+	}
+}
+
+// Query implements resolver.Transport over the live sockets: the
+// resolver keeps speaking in synthetic addresses and Live translates to
+// the loopback listeners — exactly the role routing plays for a real
+// crawler.
+func (l *Live) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	target, ok := l.addrMap[server]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchServer, server)
+	}
+	return l.client.Query(ctx, target, name, qtype, class)
+}
+
+// VersionBind probes a server's banner over the wire.
+func (l *Live) VersionBind(ctx context.Context, host string) (string, error) {
+	addr := l.Addr(host)
+	if addr == "" {
+		return "", fmt.Errorf("topology: unknown live server %q", host)
+	}
+	return l.client.VersionBind(ctx, addr)
+}
+
+// Resolver builds an iterative resolver over the live transport.
+func (l *Live) Resolver() (*resolver.Resolver, error) {
+	roots := l.reg.RootServers()
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("topology: no root servers")
+	}
+	return resolver.New(l, resolver.Config{Roots: roots})
+}
+
+var _ resolver.Transport = (*Live)(nil)

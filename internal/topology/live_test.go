@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"context"
+	"testing"
+
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/resolver"
+)
+
+// TestLiveEndToEnd boots the FBI world on real loopback sockets, crawls
+// it over the wire, and checks the result matches the in-memory crawl.
+func TestLiveEndToEnd(t *testing.T) {
+	reg := FBIWorld()
+	live, err := StartLive(context.Background(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if live.NumServers() == 0 {
+		t.Fatal("no live servers")
+	}
+
+	r, err := live.Resolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(context.Background(), "www.fbi.gov", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("live resolve: %v", err)
+	}
+	if len(res.Addrs) != 1 {
+		t.Fatalf("live resolve addrs: %v", res.Addrs)
+	}
+
+	// Walk dependencies over the wire.
+	w := resolver.NewWalker(r)
+	chain, err := w.WalkName(context.Background(), "www.fbi.gov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveSnap := w.Snapshot(map[string][]string{"www.fbi.gov": chain}, nil)
+
+	// Compare against the direct in-memory walk.
+	dr, err := reg.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := resolver.NewWalker(dr)
+	dchain, err := dw.WalkName(context.Background(), "www.fbi.gov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	directSnap := dw.Snapshot(map[string][]string{"www.fbi.gov": dchain}, nil)
+
+	liveHosts := liveSnap.Hosts()
+	directHosts := directSnap.Hosts()
+	if len(liveHosts) != len(directHosts) {
+		t.Fatalf("live crawl found %d hosts, direct %d", len(liveHosts), len(directHosts))
+	}
+	for i := range liveHosts {
+		if liveHosts[i] != directHosts[i] {
+			t.Fatalf("host %d differs: %s vs %s", i, liveHosts[i], directHosts[i])
+		}
+	}
+
+	// version.bind over the wire.
+	banner, err := live.VersionBind(context.Background(), "reston-ns2.telemail.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banner != "BIND 8.2.4" {
+		t.Errorf("live banner = %q", banner)
+	}
+}

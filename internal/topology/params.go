@@ -1,0 +1,233 @@
+package topology
+
+// GenParams tunes the synthetic-Internet generator. Zero fields take the
+// calibrated defaults from DefaultParams, which target the paper's
+// aggregate statistics (TCB median 26 / mean 46, 17% vulnerable servers,
+// per-TLD orderings of Figures 3 and 4).
+type GenParams struct {
+	// Seed drives all randomness; equal seeds give identical worlds.
+	Seed int64
+	// Names is the corpus size (the paper surveyed 593160).
+	Names int
+	// PopularNames is the size of the "popular site" subset with
+	// redundancy-seeking multi-provider hosting (the paper's Alexa 500).
+	PopularNames int
+
+	// SelfHostFrac is the fraction of customer domains running their own
+	// in-bailiwick nameservers.
+	SelfHostFrac float64
+	// UniversityHostFrac is the fraction of customer domains hosted on
+	// university nameservers.
+	UniversityHostFrac float64
+	// ProviderCountDivisor sets the hosting-provider pool size:
+	// max(24, domains/divisor).
+	ProviderCountDivisor int
+	// ProviderZipf shapes provider popularity (larger = more skew).
+	ProviderZipf float64
+	// ProviderSecondaryFrac is the fraction of providers that slave their
+	// zones to another provider (adding a dependency hop).
+	ProviderSecondaryFrac float64
+
+	// Universities is the university pool size.
+	Universities int
+	// UniversityGroupSize clusters universities into mutual-secondary
+	// communities (the cornell->rochester->wisc->umich web).
+	UniversityGroupSize int
+	// UniversityBridgeFrac is the probability a university's secondary
+	// crosses into another group, chaining communities together.
+	UniversityBridgeFrac float64
+
+	// HiddenBannerFrac is the fraction of servers refusing version.bind.
+	HiddenBannerFrac float64
+	// BaseVulnFrac is the target fraction of servers running exploitable
+	// BIND versions (the paper measured 27141/166771 = 16.3%).
+	BaseVulnFrac float64
+	// UniversityVulnFrac overrides BaseVulnFrac for university servers
+	// (educational institutions ran older BIND).
+	UniversityVulnFrac float64
+}
+
+// DefaultParams returns the calibrated defaults at a given corpus size.
+func DefaultParams(names int) GenParams {
+	return GenParams{
+		Seed:                  1,
+		Names:                 names,
+		PopularNames:          500,
+		SelfHostFrac:          0.12,
+		UniversityHostFrac:    0.04,
+		ProviderCountDivisor:  40,
+		ProviderZipf:          1.15,
+		ProviderSecondaryFrac: 0.08,
+		Universities:          320,
+		UniversityGroupSize:   10,
+		UniversityBridgeFrac:  0.02,
+		HiddenBannerFrac:      0.30,
+		BaseVulnFrac:          0.155,
+		UniversityVulnFrac:    0.08,
+	}
+}
+
+func (p *GenParams) applyDefaults() {
+	d := DefaultParams(p.Names)
+	if p.Names == 0 {
+		p.Names = 20000
+	}
+	if p.PopularNames == 0 {
+		p.PopularNames = min(d.PopularNames, p.Names/4)
+	}
+	if p.SelfHostFrac == 0 {
+		p.SelfHostFrac = d.SelfHostFrac
+	}
+	if p.UniversityHostFrac == 0 {
+		p.UniversityHostFrac = d.UniversityHostFrac
+	}
+	if p.ProviderCountDivisor == 0 {
+		p.ProviderCountDivisor = d.ProviderCountDivisor
+	}
+	if p.ProviderZipf == 0 {
+		p.ProviderZipf = d.ProviderZipf
+	}
+	if p.ProviderSecondaryFrac == 0 {
+		p.ProviderSecondaryFrac = d.ProviderSecondaryFrac
+	}
+	if p.Universities == 0 {
+		p.Universities = d.Universities
+	}
+	if p.UniversityGroupSize == 0 {
+		p.UniversityGroupSize = d.UniversityGroupSize
+	}
+	if p.UniversityBridgeFrac == 0 {
+		p.UniversityBridgeFrac = d.UniversityBridgeFrac
+	}
+	if p.HiddenBannerFrac == 0 {
+		p.HiddenBannerFrac = d.HiddenBannerFrac
+	}
+	if p.BaseVulnFrac == 0 {
+		p.BaseVulnFrac = d.BaseVulnFrac
+	}
+	if p.UniversityVulnFrac == 0 {
+		p.UniversityVulnFrac = d.UniversityVulnFrac
+	}
+}
+
+// tldShare describes one TLD's slice of the corpus and its hosting
+// pathology. Spread is the number of TLD nameservers; ForeignFrac is the
+// fraction of those hosted in far-away domains with deep dependency
+// chains (the Figure 4 pathology); VulnBias adds to the local servers'
+// vulnerability probability.
+type tldShare struct {
+	tld         string
+	weight      float64
+	spread      int
+	foreignFrac float64
+	vulnBias    float64
+}
+
+// corpusTLDs is the TLD mix of the synthetic corpus: the gTLDs of
+// Figure 3, the fifteen worst ccTLDs of Figure 4 in their published
+// order (ua worst), a set of large well-run ccTLDs, and the pathological
+// ws (whose entire TCB runs old BIND — the Figure 6 tail).
+var corpusTLDs = []tldShare{
+	// Generic TLDs, Figure 3 order: aero and int have far-flung server
+	// sets; com/coop are tight.
+	{tld: "com", weight: 46, spread: 13, foreignFrac: 0, vulnBias: 0},
+	{tld: "net", weight: 7, spread: 13, foreignFrac: 0, vulnBias: 0},
+	{tld: "org", weight: 6.5, spread: 9, foreignFrac: 0.15, vulnBias: 0.02},
+	{tld: "edu", weight: 4, spread: 9, foreignFrac: 0.33, vulnBias: 0.05},
+	{tld: "gov", weight: 1.2, spread: 7, foreignFrac: 0.28, vulnBias: 0},
+	{tld: "biz", weight: 1.6, spread: 8, foreignFrac: 0.38, vulnBias: 0},
+	{tld: "info", weight: 2.2, spread: 9, foreignFrac: 0.45, vulnBias: 0},
+	{tld: "mil", weight: 0.5, spread: 9, foreignFrac: 0.48, vulnBias: 0},
+	{tld: "name", weight: 0.4, spread: 11, foreignFrac: 0.50, vulnBias: 0},
+	{tld: "int", weight: 0.25, spread: 16, foreignFrac: 0.80, vulnBias: 0.05},
+	{tld: "aero", weight: 0.25, spread: 19, foreignFrac: 0.85, vulnBias: 0},
+	{tld: "coop", weight: 0.3, spread: 4, foreignFrac: 0, vulnBias: 0},
+	{tld: "museum", weight: 0.15, spread: 6, foreignFrac: 0.40, vulnBias: 0},
+	{tld: "pro", weight: 0.1, spread: 4, foreignFrac: 0.1, vulnBias: 0},
+
+	// The fifteen most vulnerable ccTLDs (Figure 4, descending TCB).
+	{tld: "ua", weight: 0.45, spread: 42, foreignFrac: 0.80, vulnBias: 0.25},
+	{tld: "by", weight: 0.25, spread: 38, foreignFrac: 0.78, vulnBias: 0.25},
+	{tld: "sm", weight: 0.1, spread: 34, foreignFrac: 0.76, vulnBias: 0.20},
+	{tld: "mt", weight: 0.12, spread: 31, foreignFrac: 0.74, vulnBias: 0.18},
+	{tld: "my", weight: 0.35, spread: 29, foreignFrac: 0.72, vulnBias: 0.15},
+	{tld: "pl", weight: 0.9, spread: 23, foreignFrac: 0.66, vulnBias: 0.15},
+	{tld: "it", weight: 1.2, spread: 20, foreignFrac: 0.62, vulnBias: 0.12},
+	{tld: "mo", weight: 0.12, spread: 22, foreignFrac: 0.60, vulnBias: 0.12},
+	{tld: "am", weight: 0.15, spread: 20, foreignFrac: 0.55, vulnBias: 0.12},
+	{tld: "ie", weight: 0.5, spread: 18, foreignFrac: 0.50, vulnBias: 0.08},
+	{tld: "tp", weight: 0.06, spread: 16, foreignFrac: 0.48, vulnBias: 0.10},
+	{tld: "mk", weight: 0.08, spread: 15, foreignFrac: 0.45, vulnBias: 0.10},
+	{tld: "hk", weight: 0.6, spread: 14, foreignFrac: 0.42, vulnBias: 0.08},
+	{tld: "tw", weight: 0.8, spread: 13, foreignFrac: 0.40, vulnBias: 0.08},
+	{tld: "cn", weight: 1.1, spread: 12, foreignFrac: 0.38, vulnBias: 0.08},
+
+	// Large, well-run ccTLDs: modest spread, mostly local.
+	{tld: "de", weight: 6, spread: 6, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "uk", weight: 5, spread: 6, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "jp", weight: 3, spread: 6, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "fr", weight: 2, spread: 5, foreignFrac: 0.06, vulnBias: 0},
+	{tld: "nl", weight: 1.8, spread: 5, foreignFrac: 0.06, vulnBias: 0},
+	{tld: "ca", weight: 1.6, spread: 5, foreignFrac: 0.08, vulnBias: 0},
+	{tld: "au", weight: 1.6, spread: 5, foreignFrac: 0.10, vulnBias: 0},
+	{tld: "ru", weight: 1.5, spread: 12, foreignFrac: 0.45, vulnBias: 0.10},
+	{tld: "se", weight: 1.0, spread: 5, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "ch", weight: 0.9, spread: 5, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "es", weight: 0.9, spread: 9, foreignFrac: 0.38, vulnBias: 0.03},
+	{tld: "br", weight: 1.1, spread: 10, foreignFrac: 0.40, vulnBias: 0.05},
+	{tld: "kr", weight: 0.9, spread: 10, foreignFrac: 0.40, vulnBias: 0.05},
+	{tld: "dk", weight: 0.6, spread: 4, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "at", weight: 0.6, spread: 4, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "be", weight: 0.6, spread: 4, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "no", weight: 0.5, spread: 4, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "fi", weight: 0.5, spread: 4, foreignFrac: 0.05, vulnBias: 0},
+	{tld: "nz", weight: 0.4, spread: 4, foreignFrac: 0.08, vulnBias: 0},
+	{tld: "il", weight: 0.4, spread: 8, foreignFrac: 0.38, vulnBias: 0.05},
+	{tld: "in", weight: 0.5, spread: 9, foreignFrac: 0.40, vulnBias: 0.08},
+	{tld: "za", weight: 0.4, spread: 8, foreignFrac: 0.38, vulnBias: 0.05},
+	{tld: "mx", weight: 0.4, spread: 8, foreignFrac: 0.38, vulnBias: 0.05},
+	{tld: "ar", weight: 0.4, spread: 8, foreignFrac: 0.38, vulnBias: 0.05},
+	{tld: "gr", weight: 0.4, spread: 9, foreignFrac: 0.40, vulnBias: 0.05},
+	{tld: "tr", weight: 0.4, spread: 9, foreignFrac: 0.40, vulnBias: 0.05},
+	{tld: "cz", weight: 0.4, spread: 7, foreignFrac: 0.32, vulnBias: 0.03},
+	{tld: "hu", weight: 0.4, spread: 7, foreignFrac: 0.32, vulnBias: 0.03},
+	{tld: "pt", weight: 0.3, spread: 7, foreignFrac: 0.32, vulnBias: 0.03},
+	{tld: "sg", weight: 0.3, spread: 4, foreignFrac: 0.08, vulnBias: 0.03},
+	{tld: "th", weight: 0.3, spread: 9, foreignFrac: 0.42, vulnBias: 0.05},
+	{tld: "id", weight: 0.25, spread: 9, foreignFrac: 0.45, vulnBias: 0.08},
+	{tld: "ph", weight: 0.2, spread: 9, foreignFrac: 0.45, vulnBias: 0.08},
+	{tld: "vn", weight: 0.2, spread: 9, foreignFrac: 0.45, vulnBias: 0.08},
+	{tld: "ro", weight: 0.3, spread: 9, foreignFrac: 0.42, vulnBias: 0.08},
+	{tld: "bg", weight: 0.25, spread: 8, foreignFrac: 0.42, vulnBias: 0.08},
+	{tld: "hr", weight: 0.2, spread: 4, foreignFrac: 0.10, vulnBias: 0.05},
+	{tld: "si", weight: 0.2, spread: 4, foreignFrac: 0.10, vulnBias: 0.05},
+	{tld: "sk", weight: 0.2, spread: 4, foreignFrac: 0.10, vulnBias: 0.05},
+	{tld: "lt", weight: 0.15, spread: 4, foreignFrac: 0.10, vulnBias: 0.05},
+	{tld: "lv", weight: 0.15, spread: 4, foreignFrac: 0.10, vulnBias: 0.05},
+	{tld: "ee", weight: 0.15, spread: 4, foreignFrac: 0.10, vulnBias: 0.05},
+
+	// ws: the ccTLD the paper singles out — its names' entire TCBs run
+	// old, exploitable BIND.
+	{tld: "ws", weight: 0.12, spread: 3, foreignFrac: 0, vulnBias: 1.0},
+}
+
+// vulnerableBanners are era-accurate exploitable version.bind strings
+// (all match the Feb-2004 matrix in internal/vulndb).
+var vulnerableBanners = []string{
+	"BIND 8.2.4", "BIND 8.2.2-P5", "BIND 8.2.3", "BIND 8.3.1",
+	"BIND 8.2.1", "BIND 8.3.3", "BIND 4.9.5", "BIND 8.2.6",
+	"BIND 9.2.0", "BIND 8.2.2-P7", "BIND 4.9.6",
+}
+
+// safeBanners are era-accurate non-exploitable version strings.
+var safeBanners = []string{
+	"BIND 9.2.2", "BIND 9.2.3", "BIND 8.3.4", "BIND 8.4.4",
+	"BIND 9.2.2-P3", "BIND 9.3.0", "BIND 4.9.11",
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,323 @@
+// Package topology builds and hosts the synthetic Internet the survey
+// crawls: a registry of zones, nameservers (with version.bind banners and
+// synthetic addresses), an in-memory transport with exact authoritative-
+// server semantics, plus hand-built scenario worlds reproducing the
+// paper's running examples and a statistical generator calibrated to the
+// paper's aggregate numbers.
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/dnsserver"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/dnszone"
+	"dnstrust/internal/resolver"
+)
+
+// ServerInfo describes one nameserver of the synthetic Internet.
+type ServerInfo struct {
+	// Host is the server's canonical host name.
+	Host string
+	// Addr is the server's synthetic address (unique per server).
+	Addr netip.Addr
+	// Banner is the version.bind answer; empty hides the version.
+	Banner string
+	// Zones lists the origins this server is authoritative for.
+	Zones []string
+	// Lame, when true, makes the server unresponsive (failure injection).
+	Lame bool
+}
+
+// Registry is the synthetic Internet: zones, servers, and addressing.
+// Build it single-threaded, then Finalize; afterwards it is safe for
+// concurrent reads and queries.
+type Registry struct {
+	mu      sync.RWMutex
+	zones   map[string]*dnszone.Zone
+	servers map[string]*ServerInfo
+	byAddr  map[netip.Addr]*ServerInfo
+	zoneSet map[string]*dnsserver.ZoneSet // per server host
+	nextIP  uint32
+	final   bool
+}
+
+// NewRegistry creates an empty registry. Synthetic server addresses are
+// allocated sequentially from 10.0.0.0/8.
+func NewRegistry() *Registry {
+	return &Registry{
+		zones:   make(map[string]*dnszone.Zone),
+		servers: make(map[string]*ServerInfo),
+		byAddr:  make(map[netip.Addr]*ServerInfo),
+		zoneSet: make(map[string]*dnsserver.ZoneSet),
+		nextIP:  10<<24 + 1, // 10.0.0.1
+	}
+}
+
+// AddZone registers a zone. The zone's apex must be unique.
+func (r *Registry) AddZone(z *dnszone.Zone) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.zones[z.Origin()]; dup {
+		return fmt.Errorf("topology: duplicate zone %q", z.Origin())
+	}
+	r.zones[z.Origin()] = z
+	return nil
+}
+
+// Zone returns the zone with the given apex, or nil.
+func (r *Registry) Zone(apex string) *dnszone.Zone {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.zones[dnsname.Canonical(apex)]
+}
+
+// Zones returns all zone apexes, sorted.
+func (r *Registry) Zones() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.zones))
+	for apex := range r.zones {
+		out = append(out, apex)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddServer registers a nameserver host with a version banner and
+// allocates it a synthetic address.
+func (r *Registry) AddServer(host, banner string) (*ServerInfo, error) {
+	host = dnsname.Canonical(host)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if si, dup := r.servers[host]; dup {
+		return si, fmt.Errorf("topology: duplicate server %q", host)
+	}
+	ip := r.nextIP
+	r.nextIP++
+	addr := netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)})
+	si := &ServerInfo{Host: host, Addr: addr, Banner: banner}
+	r.servers[host] = si
+	r.byAddr[addr] = si
+	return si, nil
+}
+
+// AddHostAddress allocates a synthetic address for an ordinary host (a
+// web server, not a nameserver) and records its A record in the deepest
+// zone containing it.
+func (r *Registry) AddHostAddress(name string) error {
+	name = dnsname.Canonical(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	z := r.deepestZoneLocked(name)
+	if z == nil {
+		return fmt.Errorf("topology: no zone contains host %q", name)
+	}
+	ip := r.nextIP
+	r.nextIP++
+	addr := netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)})
+	return z.AddAddress(name, addr)
+}
+
+// Server returns the server with the given host name, or nil.
+func (r *Registry) Server(host string) *ServerInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.servers[dnsname.Canonical(host)]
+}
+
+// ServerByAddr returns the server bound to addr, or nil.
+func (r *Registry) ServerByAddr(addr netip.Addr) *ServerInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byAddr[addr]
+}
+
+// Servers returns all server host names, sorted.
+func (r *Registry) Servers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.servers))
+	for h := range r.servers {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumServers reports the number of registered servers.
+func (r *Registry) NumServers() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.servers)
+}
+
+// Assign makes the server authoritative for the given zone origins.
+func (r *Registry) Assign(host string, origins ...string) error {
+	host = dnsname.Canonical(host)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	si := r.servers[host]
+	if si == nil {
+		return fmt.Errorf("topology: unknown server %q", host)
+	}
+	for _, o := range origins {
+		o = dnsname.Canonical(o)
+		if _, ok := r.zones[o]; !ok {
+			return fmt.Errorf("topology: unknown zone %q", o)
+		}
+		si.Zones = append(si.Zones, o)
+	}
+	return nil
+}
+
+// RootServers returns the root zone's servers as resolver hints.
+func (r *Registry) RootServers() []resolver.ServerAddr {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	root := r.zones[""]
+	if root == nil {
+		return nil
+	}
+	var out []resolver.ServerAddr
+	for _, host := range root.NSHosts() {
+		if si := r.servers[host]; si != nil {
+			out = append(out, resolver.ServerAddr{Host: host, Addr: si.Addr})
+		}
+	}
+	return out
+}
+
+// Finalize validates and completes the world:
+//
+//   - every NS host referenced by any zone must be a registered server;
+//   - every server host gets an authoritative A record in the deepest
+//     zone containing it, so nameserver addresses resolve;
+//   - parent zones get glue for delegation NS hosts ("courtesy glue" is
+//     placed for out-of-bailiwick hosts too, as 2004 registries commonly
+//     did; the survey ignores glue when computing dependencies, so this
+//     only affects crawlability, not results);
+//   - per-server zone sets are built for query answering.
+func (r *Registry) Finalize() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.final {
+		return nil
+	}
+
+	// Authoritative A records for every server host.
+	for host, si := range r.servers {
+		z := r.deepestZoneLocked(host)
+		if z == nil {
+			return fmt.Errorf("topology: no zone contains server host %q", host)
+		}
+		if res := z.Lookup(host, dnswire.TypeA); res.Kind != dnszone.KindAnswer {
+			if err := z.AddAddress(host, si.Addr); err != nil {
+				return fmt.Errorf("topology: adding address for %q: %w", host, err)
+			}
+		}
+	}
+
+	// NS host existence + glue in parents.
+	for apex, z := range r.zones {
+		for _, host := range z.NSHosts() {
+			if r.servers[host] == nil {
+				return fmt.Errorf("topology: zone %q lists unknown nameserver %q", apex, host)
+			}
+		}
+		for _, child := range z.Cuts() {
+			childZone := r.zones[child]
+			if childZone == nil {
+				return fmt.Errorf("topology: zone %q delegates %q but that zone does not exist", apex, child)
+			}
+			res := z.Lookup(child, dnswire.TypeNS)
+			if res.Kind != dnszone.KindDelegation {
+				continue
+			}
+			for _, rr := range res.Authority {
+				ns, ok := rr.Data.(dnswire.NS)
+				if !ok {
+					continue
+				}
+				si := r.servers[ns.Host]
+				if si == nil {
+					return fmt.Errorf("topology: delegation %q lists unknown nameserver %q", child, ns.Host)
+				}
+				if dnsname.IsSubdomain(ns.Host, child) {
+					if err := z.AddGlue(ns.Host, si.Addr); err != nil {
+						return fmt.Errorf("topology: glue %q in %q: %w", ns.Host, apex, err)
+					}
+				}
+			}
+		}
+	}
+
+	// Courtesy glue at the root for TLD servers regardless of bailiwick:
+	// this is the bootstrap, exactly as the real root zone works.
+	if root := r.zones[""]; root != nil {
+		for _, child := range root.Cuts() {
+			res := root.Lookup(child, dnswire.TypeNS)
+			for _, rr := range res.Authority {
+				if ns, ok := rr.Data.(dnswire.NS); ok {
+					if si := r.servers[ns.Host]; si != nil {
+						_ = root.AddGlue(ns.Host, si.Addr)
+					}
+				}
+			}
+		}
+	}
+
+	// Build per-server zone sets.
+	for host, si := range r.servers {
+		zones := make([]*dnszone.Zone, 0, len(si.Zones))
+		seen := map[string]bool{}
+		for _, o := range si.Zones {
+			if seen[o] {
+				continue
+			}
+			seen[o] = true
+			zones = append(zones, r.zones[o])
+		}
+		zs, err := dnsserver.NewZoneSet(zones)
+		if err != nil {
+			return fmt.Errorf("topology: server %q: %w", host, err)
+		}
+		r.zoneSet[host] = zs
+	}
+	r.final = true
+	return nil
+}
+
+// deepestZoneLocked returns the deepest zone whose apex is an ancestor of
+// name, or nil.
+func (r *Registry) deepestZoneLocked(name string) *dnszone.Zone {
+	cur := name
+	for {
+		if z, ok := r.zones[cur]; ok {
+			return z
+		}
+		if cur == "" {
+			return nil
+		}
+		p, _ := dnsname.Parent(cur)
+		cur = p
+	}
+}
+
+// DeepestZone returns the deepest zone containing name, or nil.
+func (r *Registry) DeepestZone(name string) *dnszone.Zone {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.deepestZoneLocked(dnsname.Canonical(name))
+}
+
+// ZoneSetOf returns the zone set served by host (after Finalize).
+func (r *Registry) ZoneSetOf(host string) *dnsserver.ZoneSet {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.zoneSet[dnsname.Canonical(host)]
+}

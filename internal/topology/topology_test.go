@@ -1,0 +1,320 @@
+package topology
+
+import (
+	"context"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/dnszone"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	reg := NewRegistry()
+	z := dnszone.New("")
+	z.AddNS("a.root-servers.net")
+	if err := reg.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddZone(dnszone.New("")); err == nil {
+		t.Error("duplicate zone must be rejected")
+	}
+	si, err := reg.AddServer("a.root-servers.net", "BIND 9.2.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !si.Addr.IsValid() {
+		t.Error("no address allocated")
+	}
+	if _, err := reg.AddServer("a.root-servers.net", ""); err == nil {
+		t.Error("duplicate server must be rejected")
+	}
+	if reg.Server("A.ROOT-SERVERS.NET") != si {
+		t.Error("server lookup must canonicalize")
+	}
+	if reg.ServerByAddr(si.Addr) != si {
+		t.Error("address lookup failed")
+	}
+	if err := reg.Assign("a.root-servers.net", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Assign("unknown.host", ""); err == nil {
+		t.Error("assigning unknown server must fail")
+	}
+	if err := reg.Assign("a.root-servers.net", "unknown.zone"); err == nil {
+		t.Error("assigning unknown zone must fail")
+	}
+}
+
+func TestRegistryFinalizeValidation(t *testing.T) {
+	// A zone listing an unregistered nameserver must fail Finalize.
+	reg := NewRegistry()
+	root := dnszone.New("")
+	root.AddNS("a.root-servers.net")
+	if err := reg.AddZone(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.AddServer("a.root-servers.net", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Assign("a.root-servers.net", ""); err != nil {
+		t.Fatal(err)
+	}
+	z := dnszone.New("example.com")
+	z.AddNS("ns.unregistered.com")
+	if err := reg.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Finalize(); err == nil {
+		t.Error("Finalize must reject zones with unknown nameservers")
+	}
+}
+
+func TestWorldBuilderPanicsOnUnknownBanner(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetBanner on unknown server must panic")
+		}
+	}()
+	NewWorld().SetBanner("nonexistent.example", "BIND 8.2.4")
+}
+
+func TestScenarioWorldsFinalize(t *testing.T) {
+	for name, build := range map[string]func() *Registry{
+		"figure1": Figure1World,
+		"fbi":     FBIWorld,
+		"ukraine": UkraineWorld,
+	} {
+		reg := build()
+		if reg.NumServers() == 0 {
+			t.Errorf("%s: no servers", name)
+		}
+		if len(reg.RootServers()) == 0 {
+			t.Errorf("%s: no root servers", name)
+		}
+	}
+}
+
+func TestDirectTransportSemantics(t *testing.T) {
+	reg := FBIWorld()
+	tr := NewDirectTransport(reg)
+	ctx := context.Background()
+
+	si := reg.Server("dns.sprintip.com")
+	resp, err := tr.Query(ctx, si.Addr, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Authoritative || len(resp.Answers) != 1 {
+		t.Errorf("authoritative answer expected, got %s", resp)
+	}
+
+	// Unknown address.
+	if _, err := tr.Query(ctx, netip.MustParseAddr("192.0.2.1"), "x", dnswire.TypeA, dnswire.ClassINET); err == nil {
+		t.Error("unknown address must error")
+	}
+
+	// Lame server.
+	if err := reg.SetLame("dns.sprintip.com", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Query(ctx, si.Addr, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET); err == nil {
+		t.Error("lame server must error")
+	}
+	if err := reg.SetLame("unknown.host", true); err == nil {
+		t.Error("SetLame on unknown host must error")
+	}
+	if tr.Queries() < 2 {
+		t.Error("query counter not advancing")
+	}
+}
+
+func TestVersionBindProbe(t *testing.T) {
+	reg := FBIWorld()
+	tr := NewDirectTransport(reg)
+	probe := reg.ProbeFunc(tr)
+	banner, err := probe(context.Background(), "reston-ns2.telemail.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banner != "BIND 8.2.4" {
+		t.Errorf("banner = %q", banner)
+	}
+	// Hidden server.
+	banner, err = probe(context.Background(), "reston-ns3.telemail.net")
+	if err != nil || banner != "" {
+		t.Errorf("hidden banner = %q, %v", banner, err)
+	}
+	if _, err := probe(context.Background(), "unknown.example"); err == nil {
+		t.Error("probing unknown server must error")
+	}
+}
+
+func TestWireTransportEquivalence(t *testing.T) {
+	reg := FBIWorld()
+	direct := NewDirectTransport(reg)
+	wire := NewWireTransport(reg)
+	ctx := context.Background()
+	si := reg.Server("a.gov-servers.net")
+	for _, q := range []struct {
+		name string
+		typ  dnswire.Type
+	}{
+		{"www.fbi.gov", dnswire.TypeA},
+		{"fbi.gov", dnswire.TypeNS},
+		{"missing.gov", dnswire.TypeA},
+	} {
+		d, err1 := direct.Query(ctx, si.Addr, q.name, q.typ, dnswire.ClassINET)
+		x, err2 := wire.Query(ctx, si.Addr, q.name, q.typ, dnswire.ClassINET)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch for %s: %v vs %v", q.name, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if d.RCode != x.RCode || len(d.Answers) != len(x.Answers) ||
+			len(d.Authority) != len(x.Authority) || len(d.Additional) != len(x.Additional) {
+			t.Errorf("direct and wire transports disagree for %s:\n%s\nvs\n%s", q.name, d, x)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(GenParams{Seed: 7, Names: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenParams{Seed: 7, Names: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Corpus, b.Corpus) {
+		t.Fatal("corpora differ across identical seeds")
+	}
+	if !reflect.DeepEqual(a.Registry.Servers(), b.Registry.Servers()) {
+		t.Fatal("server sets differ across identical seeds")
+	}
+	for _, h := range a.Registry.Servers() {
+		if a.Registry.Server(h).Banner != b.Registry.Server(h).Banner {
+			t.Fatalf("banner of %s differs across identical seeds", h)
+		}
+	}
+	c, err := Generate(GenParams{Seed: 8, Names: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Corpus, c.Corpus) {
+		t.Error("different seeds gave identical corpora")
+	}
+}
+
+func TestGenerateCorpusProperties(t *testing.T) {
+	w, err := Generate(GenParams{Seed: 1, Names: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Corpus) != 3000 {
+		t.Errorf("corpus = %d names", len(w.Corpus))
+	}
+	seen := map[string]bool{}
+	tlds := map[string]bool{}
+	for _, n := range w.Corpus {
+		if seen[n] {
+			t.Fatalf("duplicate corpus name %s", n)
+		}
+		seen[n] = true
+		lab := n[strings.LastIndexByte(n, '.')+1:]
+		tlds[lab] = true
+	}
+	if len(tlds) < 40 {
+		t.Errorf("corpus spans only %d TLDs", len(tlds))
+	}
+	if len(w.Popular) == 0 || len(w.Popular) > 500 {
+		t.Errorf("popular subset = %d", len(w.Popular))
+	}
+	for _, p := range w.Popular {
+		if !seen[p] {
+			t.Fatalf("popular name %s not in corpus", p)
+		}
+	}
+}
+
+func TestGenerateBannersPlausible(t *testing.T) {
+	w, err := Generate(GenParams{Seed: 1, Names: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden, vulnerable, safe := 0, 0, 0
+	for _, h := range w.Registry.Servers() {
+		b := w.Registry.Server(h).Banner
+		switch {
+		case b == "":
+			hidden++
+		case strings.Contains(b, "8.2.") || strings.Contains(b, "4.9.5") ||
+			strings.Contains(b, "8.3.1") || strings.Contains(b, "8.3.3") ||
+			strings.Contains(b, "9.2.0") || strings.Contains(b, "4.9.6") ||
+			strings.Contains(b, "8.2.1"):
+			vulnerable++
+		default:
+			safe++
+		}
+	}
+	total := hidden + vulnerable + safe
+	if hidden == 0 || vulnerable == 0 || safe == 0 {
+		t.Fatalf("degenerate banner mix: hidden=%d vulnerable=%d safe=%d", hidden, vulnerable, safe)
+	}
+	if frac := float64(hidden) / float64(total); frac < 0.1 || frac > 0.5 {
+		t.Errorf("hidden fraction %.2f implausible", frac)
+	}
+}
+
+func TestGenerateSmallWorld(t *testing.T) {
+	// Tiny corpora must still produce valid worlds.
+	w, err := Generate(GenParams{Seed: 1, Names: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Corpus) == 0 {
+		t.Fatal("empty corpus")
+	}
+	r, err := w.Registry.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(context.Background(), w.Corpus[0], dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("resolve %s: %v", w.Corpus[0], err)
+	}
+	if len(res.Addrs) == 0 {
+		t.Error("no address for corpus name")
+	}
+}
+
+func TestAddHostAddress(t *testing.T) {
+	reg := FBIWorld()
+	if err := reg.AddHostAddress("tips.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+	// A name under an undelegated TLD falls through to the root zone,
+	// which exists in every world — so it is accepted there.
+	if err := reg.AddHostAddress("outside.unknown-tld-xyz"); err != nil {
+		t.Errorf("root zone should absorb undelegated names: %v", err)
+	}
+	z := reg.Zone("fbi.gov")
+	res := z.Lookup("tips.fbi.gov", dnswire.TypeA)
+	if res.Kind != dnszone.KindAnswer {
+		t.Errorf("lookup after AddHostAddress: %v", res.Kind)
+	}
+}
+
+func TestDeepestZone(t *testing.T) {
+	reg := FBIWorld()
+	if z := reg.DeepestZone("www.fbi.gov"); z == nil || z.Origin() != "fbi.gov" {
+		t.Errorf("DeepestZone = %v", z)
+	}
+	if z := reg.DeepestZone("a.gov-servers.net"); z == nil || z.Origin() != "gov-servers.net" {
+		t.Errorf("DeepestZone = %v", z)
+	}
+}

@@ -1,0 +1,154 @@
+package topology
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/dnsserver"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/resolver"
+)
+
+// Transport errors.
+var (
+	// ErrNoSuchServer means no server is bound to the queried address.
+	ErrNoSuchServer = errors.New("topology: no server at address")
+	// ErrServerDown simulates an unresponsive (lame) server.
+	ErrServerDown = errors.New("topology: server does not respond")
+)
+
+// DirectTransport answers resolver queries in memory with the exact
+// response semantics of the network server (it shares dnsserver.Respond).
+// It implements resolver.Transport.
+type DirectTransport struct {
+	reg *Registry
+	// queries counts transport calls, for ablation benchmarks.
+	queries atomic.Int64
+}
+
+// NewDirectTransport wraps a finalized registry.
+func NewDirectTransport(reg *Registry) *DirectTransport {
+	return &DirectTransport{reg: reg}
+}
+
+// Queries reports the number of queries served.
+func (t *DirectTransport) Queries() int64 { return t.queries.Load() }
+
+// Query implements resolver.Transport.
+func (t *DirectTransport) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t.queries.Add(1)
+	si := t.reg.ServerByAddr(server)
+	if si == nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchServer, server)
+	}
+	if si.Lame {
+		return nil, fmt.Errorf("%w: %s", ErrServerDown, si.Host)
+	}
+	zs := t.reg.ZoneSetOf(si.Host)
+	if zs == nil {
+		return nil, fmt.Errorf("topology: server %q has no zones (registry not finalized?)", si.Host)
+	}
+	req := dnswire.NewQuery(1, dnsname.Canonical(name), qtype, class)
+	return dnsserver.Respond(zs, si.Banner, req), nil
+}
+
+// VersionBind probes a server's banner through the same code path the
+// network prober uses.
+func (t *DirectTransport) VersionBind(ctx context.Context, server netip.Addr) (string, error) {
+	resp, err := t.Query(ctx, server, "version.bind", dnswire.TypeTXT, dnswire.ClassCHAOS)
+	if err != nil {
+		return "", err
+	}
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
+		return "", nil
+	}
+	if txt, ok := resp.Answers[0].Data.(dnswire.TXT); ok && len(txt.Text) > 0 {
+		return txt.Text[0], nil
+	}
+	return "", nil
+}
+
+// WireTransport is a DirectTransport variant that round-trips every
+// message through the full wire codec (pack + unpack on both directions),
+// exercising the identical byte path a network crawl would see without
+// socket overhead. Used by the transport ablation.
+type WireTransport struct {
+	inner *DirectTransport
+}
+
+// NewWireTransport wraps a finalized registry with wire-format framing.
+func NewWireTransport(reg *Registry) *WireTransport {
+	return &WireTransport{inner: NewDirectTransport(reg)}
+}
+
+// Query implements resolver.Transport with full pack/unpack framing.
+func (t *WireTransport) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	req := dnswire.NewQuery(1, dnsname.Canonical(name), qtype, class)
+	pkt, err := req.Pack()
+	if err != nil {
+		return nil, err
+	}
+	reqBack, err := dnswire.Unpack(pkt)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.inner.Query(ctx, server, reqBack.Questions[0].Name, reqBack.Questions[0].Type, reqBack.Questions[0].Class)
+	if err != nil {
+		return nil, err
+	}
+	out, err := resp.Pack()
+	if err != nil {
+		return nil, err
+	}
+	return dnswire.Unpack(out)
+}
+
+// ProbeFunc returns a version.bind prober keyed by host name, for the
+// crawler's fingerprinting pass.
+func (r *Registry) ProbeFunc(tr *DirectTransport) func(ctx context.Context, host string) (string, error) {
+	if tr == nil {
+		tr = NewDirectTransport(r)
+	}
+	return func(ctx context.Context, host string) (string, error) {
+		si := r.Server(host)
+		if si == nil {
+			return "", fmt.Errorf("topology: unknown server %q", host)
+		}
+		return tr.VersionBind(ctx, si.Addr)
+	}
+}
+
+// Resolver builds an iterative resolver over this registry's root servers
+// using the given transport (nil means a fresh DirectTransport).
+func (r *Registry) Resolver(tr resolver.Transport) (*resolver.Resolver, error) {
+	if tr == nil {
+		tr = NewDirectTransport(r)
+	}
+	roots := r.RootServers()
+	if len(roots) == 0 {
+		return nil, errors.New("topology: registry has no root servers")
+	}
+	return resolver.New(tr, resolver.Config{Roots: roots})
+}
+
+// SetLame marks a server lame (unresponsive) for failure injection.
+func (r *Registry) SetLame(host string, lame bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	si := r.servers[dnsname.Canonical(host)]
+	if si == nil {
+		return fmt.Errorf("topology: unknown server %q", host)
+	}
+	si.Lame = lame
+	return nil
+}
+
+var _ resolver.Transport = (*DirectTransport)(nil)
+var _ resolver.Transport = (*WireTransport)(nil)

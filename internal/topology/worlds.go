@@ -1,0 +1,244 @@
+package topology
+
+import (
+	"fmt"
+
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/dnszone"
+)
+
+// WorldBuilder is a fluent helper for assembling registries by hand. It
+// panics on programming errors (its inputs are compile-time scenario
+// constants), keeping scenario definitions readable.
+type WorldBuilder struct {
+	reg *Registry
+}
+
+// NewWorld starts a world with a root zone served by the given hosts
+// (conventionally under root-servers.net).
+func NewWorld(rootServers ...string) *WorldBuilder {
+	if len(rootServers) == 0 {
+		rootServers = []string{
+			"a.root-servers.net", "b.root-servers.net", "c.root-servers.net",
+		}
+	}
+	b := &WorldBuilder{reg: NewRegistry()}
+	root := dnszone.New("")
+	for _, h := range rootServers {
+		root.AddNS(h)
+	}
+	b.must(b.reg.AddZone(root))
+	for _, h := range rootServers {
+		b.addServerIfNew(h, "")
+		b.must(b.reg.Assign(h, ""))
+	}
+	// root-servers.net must itself exist so the root hosts resolve; it is
+	// served by the root servers, mirroring reality.
+	b.Zone("root-servers.net", rootServers...)
+	return b
+}
+
+func (b *WorldBuilder) must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("topology.WorldBuilder: %v", err))
+	}
+}
+
+func (b *WorldBuilder) addServerIfNew(host, banner string) {
+	if b.reg.Server(host) == nil {
+		_, err := b.reg.AddServer(host, banner)
+		b.must(err)
+	}
+}
+
+// Registry returns the underlying registry (call Finalize when done).
+func (b *WorldBuilder) Registry() *Registry { return b.reg }
+
+// Zone creates a zone with the given apex, served by hosts, and delegates
+// it from the nearest existing ancestor zone. Server hosts are registered
+// on first use (with hidden banners; use SetBanner to fingerprint them).
+// It returns the builder for chaining.
+func (b *WorldBuilder) Zone(apex string, hosts ...string) *WorldBuilder {
+	apex = dnsname.Canonical(apex)
+	z := dnszone.New(apex)
+	for _, h := range hosts {
+		z.AddNS(h)
+	}
+	b.must(b.reg.AddZone(z))
+	// Delegate from the nearest ancestor zone that exists.
+	parent, ok := dnsname.Parent(apex)
+	for ; ok; parent, ok = dnsname.Parent(parent) {
+		if pz := b.reg.Zone(parent); pz != nil {
+			b.must(pz.Delegate(apex, hosts...))
+			break
+		}
+		if parent == "" {
+			break
+		}
+	}
+	for _, h := range hosts {
+		b.addServerIfNew(h, "")
+		b.must(b.reg.Assign(h, apex))
+	}
+	return b
+}
+
+// SetBanner sets a server's version.bind banner.
+func (b *WorldBuilder) SetBanner(host, banner string) *WorldBuilder {
+	si := b.reg.Server(host)
+	if si == nil {
+		panic(fmt.Sprintf("topology.WorldBuilder: unknown server %q", host))
+	}
+	si.Banner = banner
+	return b
+}
+
+// Host adds an ordinary (non-nameserver) host record; Finalize gives
+// nameserver hosts their addresses automatically, but web hosts like
+// www.cs.cornell.edu need explicit creation.
+func (b *WorldBuilder) Host(name string) *WorldBuilder {
+	b.must(b.reg.AddHostAddress(name))
+	return b
+}
+
+// Finalize validates the world and returns the registry.
+func (b *WorldBuilder) Finalize() *Registry {
+	b.must(b.reg.Finalize())
+	return b.reg
+}
+
+// Figure1World reproduces the delegation graph of Figure 1 in the paper:
+// the dependency structure of www.cs.cornell.edu as of July 2004,
+// spanning cornell.edu, rochester.edu, wisc.edu and umich.edu.
+func Figure1World() *Registry {
+	b := NewWorld()
+
+	// gTLD infrastructure: com, net, edu are served by the thirteen
+	// gtld-servers.net hosts, which depend on nstld.com (a2..m3.nstld.com),
+	// exactly as the figure's top box shows.
+	gtld := make([]string, 0, 13)
+	for c := 'a'; c <= 'm'; c++ {
+		gtld = append(gtld, fmt.Sprintf("%c.gtld-servers.net", c))
+	}
+	nstld := []string{"a2.nstld.com", "m2.nstld.com", "a3.nstld.com", "m3.nstld.com"}
+
+	b.Zone("com", gtld...)
+	b.Zone("net", gtld...)
+	b.Zone("edu", gtld...)
+	b.Zone("gtld-servers.net", nstld...)
+	b.Zone("nstld.com", nstld...)
+
+	// Cornell: cornell.edu is served by cit hosts plus one cs.rochester
+	// host; cs.cornell.edu by its own hosts plus dns.cs.wisc.edu.
+	b.Zone("cornell.edu",
+		"dns.cit.cornell.edu", "bigred.cit.cornell.edu", "cudns.cit.cornell.edu",
+		"cayuga.cs.rochester.edu", "simon.cs.cornell.edu")
+	b.Zone("cs.cornell.edu",
+		"penguin.cs.cornell.edu", "sunup.cs.cornell.edu", "sundown.cs.cornell.edu",
+		"sunburn.cs.cornell.edu", "iago.cs.cornell.edu")
+	b.Zone("cit.cornell.edu",
+		"dns.cit.cornell.edu", "bigred.cit.cornell.edu", "cudns.cit.cornell.edu")
+
+	// Rochester: rochester.edu and its sub-zones, depending on wisc.
+	b.Zone("rochester.edu",
+		"galileo.cc.rochester.edu", "ns1.utd.rochester.edu", "ns2.utd.rochester.edu",
+		"dns.itd.umich.edu", "dns2.itd.umich.edu")
+	b.Zone("cs.rochester.edu",
+		"cayuga.cs.rochester.edu", "slate.cs.rochester.edu", "cc.rochester.edu")
+	b.Zone("utd.rochester.edu", "ns1.utd.rochester.edu", "ns2.utd.rochester.edu",
+		"galileo.cc.rochester.edu")
+	b.Zone("cc.rochester.edu",
+		"galileo.cc.rochester.edu", "simon.cs.cornell.edu", "dns.cs.wisc.edu",
+		"ns1.utd.rochester.edu", "ns2.utd.rochester.edu")
+
+	// Wisconsin and Michigan.
+	b.Zone("wisc.edu", "dns.cs.wisc.edu", "dns2.itd.umich.edu")
+	b.Zone("cs.wisc.edu", "dns.cs.wisc.edu", "dns2.cs.wisc.edu", "dns2.itd.umich.edu")
+	b.Zone("umich.edu", "dns.itd.umich.edu", "dns2.itd.umich.edu", "dns.cs.wisc.edu")
+	b.Zone("itd.umich.edu", "dns.itd.umich.edu", "dns2.itd.umich.edu")
+
+	// The surveyed web server.
+	b.Host("www.cs.cornell.edu")
+
+	return b.Finalize()
+}
+
+// FBIWorld reproduces the §3.2 case study: fbi.gov served by
+// dns{,2}.sprintip.com; sprintip.com served by reston-ns[123].telemail.net;
+// reston-ns2 runs BIND 8.2.4 with four known exploits.
+func FBIWorld() *Registry {
+	b := NewWorld()
+	gov := []string{"a.gov-servers.net", "b.gov-servers.net"}
+	gtld := []string{"a.gtld-servers.net", "b.gtld-servers.net", "c.gtld-servers.net"}
+	b.Zone("com", gtld...)
+	b.Zone("net", gtld...)
+	b.Zone("gov", gov...)
+	b.Zone("gov-servers.net", gov...)
+	b.Zone("gtld-servers.net", gtld...)
+
+	b.Zone("fbi.gov", "dns.sprintip.com", "dns2.sprintip.com")
+	b.Zone("sprintip.com",
+		"reston-ns1.telemail.net", "reston-ns2.telemail.net", "reston-ns3.telemail.net")
+	b.Zone("telemail.net",
+		"reston-ns1.telemail.net", "reston-ns2.telemail.net", "reston-ns3.telemail.net")
+
+	b.SetBanner("dns.sprintip.com", "BIND 9.2.2")
+	b.SetBanner("dns2.sprintip.com", "BIND 9.2.2")
+	b.SetBanner("reston-ns1.telemail.net", "BIND 9.2.3")
+	b.SetBanner("reston-ns2.telemail.net", "BIND 8.2.4") // the vulnerable one
+	b.SetBanner("reston-ns3.telemail.net", "")           // hidden
+
+	b.Host("www.fbi.gov")
+	return b.Finalize()
+}
+
+// UkraineWorld reproduces the §3.1 worst case: www.rkc.lviv.ua, whose
+// delegation chain fans out to nameservers across universities and ISPs
+// worldwide, giving it a TCB of hundreds of servers.
+func UkraineWorld() *Registry {
+	b := NewWorld()
+	gtld := []string{"a.gtld-servers.net", "b.gtld-servers.net"}
+	b.Zone("com", gtld...)
+	b.Zone("net", gtld...)
+	b.Zone("edu", gtld...)
+	b.Zone("gtld-servers.net", gtld...)
+
+	// The ua TLD is served by hosts scattered across the globe — each in a
+	// university or ISP domain with its own dependency tail.
+	uaServers := []string{
+		"ns.berkeley.edu", "ns.nyu.edu", "ns.ucla.edu", "ns.monash.edu.au",
+		"ns.ripe.net", "dns.net.ua", "ns.lucky.net.ua", "ns.uar.net.ua",
+	}
+	b.Zone("au", "ns.telstra.net", "munnari.oz.au")
+	b.Zone("oz.au", "munnari.oz.au", "ns.telstra.net")
+	b.Zone("ua", uaServers...)
+	b.Zone("edu.au", "ns.telstra.net", "ns.monash.edu.au")
+
+	// University domains with cross-dependencies (the small world).
+	b.Zone("berkeley.edu", "ns.berkeley.edu", "ns.ucla.edu", "ns1.stanford.edu")
+	b.Zone("nyu.edu", "ns.nyu.edu", "ns.columbia.edu")
+	b.Zone("ucla.edu", "ns.ucla.edu", "ns.berkeley.edu", "ns.usc.edu")
+	b.Zone("stanford.edu", "ns1.stanford.edu", "ns2.stanford.edu")
+	b.Zone("columbia.edu", "ns.columbia.edu", "ns.nyu.edu")
+	b.Zone("usc.edu", "ns.usc.edu", "ns.ucla.edu")
+	b.Zone("monash.edu.au", "ns.monash.edu.au", "ns.telstra.net")
+	b.Zone("telstra.net", "ns.telstra.net")
+	b.Zone("ripe.net", "ns.ripe.net", "ns2.ripe.net")
+
+	// Ukrainian infrastructure.
+	b.Zone("net.ua", "dns.net.ua", "ns.lucky.net.ua")
+	b.Zone("lucky.net.ua", "ns.lucky.net.ua", "dns.net.ua")
+	b.Zone("uar.net.ua", "ns.uar.net.ua", "dns.net.ua")
+	b.Zone("lviv.ua", "dns.net.ua", "ns.lucky.net.ua", "ns.berkeley.edu", "ns.ripe.net")
+	b.Zone("rkc.lviv.ua", "ns.rkc.lviv.ua", "dns.net.ua", "ns.monash.edu.au")
+
+	// Old BIND all over the Ukrainian chain.
+	b.SetBanner("dns.net.ua", "BIND 8.2.2-P5")
+	b.SetBanner("ns.lucky.net.ua", "BIND 4.9.5")
+	b.SetBanner("ns.rkc.lviv.ua", "BIND 8.2.1")
+	b.SetBanner("ns.monash.edu.au", "BIND 8.2.4")
+	b.SetBanner("ns.berkeley.edu", "BIND 9.2.2")
+
+	b.Host("www.rkc.lviv.ua")
+	return b.Finalize()
+}

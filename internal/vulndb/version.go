@@ -1,0 +1,164 @@
+// Package vulndb encodes the ISC BIND vulnerability matrix as it stood in
+// early 2004 (the paper's reference [4]) and matches version.bind banners
+// against it. Names whose servers match at least one entry are what the
+// paper calls "vulnerable"; banners that cannot be parsed are treated
+// optimistically as safe, exactly as the survey did.
+package vulndb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Version is a parsed BIND version: major.minor.patch plus an optional
+// patch level ("-P5") and pre-release marker ("b1", "rc2", "-T1B").
+type Version struct {
+	Major, Minor, Patch int
+	// PatchLevel is the numeric N of a "-PN" suffix, or 0.
+	PatchLevel int
+	// Pre is true for beta/release-candidate/test builds, which sort
+	// before the corresponding release.
+	Pre bool
+	// Raw preserves the banner substring the version was parsed from.
+	Raw string
+}
+
+func (v Version) String() string {
+	if v.Raw != "" {
+		return v.Raw
+	}
+	s := fmt.Sprintf("%d.%d.%d", v.Major, v.Minor, v.Patch)
+	if v.PatchLevel > 0 {
+		s += fmt.Sprintf("-P%d", v.PatchLevel)
+	}
+	return s
+}
+
+// key orders versions totally: pre-releases sort immediately before their
+// release, patch levels after it.
+func (v Version) key() int64 {
+	// Field widths: patch level needs 2*999+1 < 10^4, so each field above
+	// it gets four decimal digits of slack.
+	k := int64(v.Major)*1e12 + int64(v.Minor)*1e8 + int64(v.Patch)*1e4
+	k += int64(v.PatchLevel) * 2
+	if !v.Pre {
+		k++ // release sorts after its own pre-release builds
+	}
+	return k
+}
+
+// Compare orders two versions; it returns -1, 0 or +1.
+func (v Version) Compare(o Version) int {
+	a, b := v.key(), o.key()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// V builds a release version for range tables.
+func V(major, minor, patch int) Version {
+	return Version{Major: major, Minor: minor, Patch: patch}
+}
+
+// VP builds a patch-level version (e.g. VP(8,2,2,5) is 8.2.2-P5).
+func VP(major, minor, patch, pl int) Version {
+	return Version{Major: major, Minor: minor, Patch: patch, PatchLevel: pl}
+}
+
+// ParseBanner extracts a BIND version from a version.bind TXT banner.
+// Real banners look like "BIND 8.2.4", "8.2.2-P5", "9.2.3rc2",
+// "BIND 4.9.6-REL" or "named 8.3.1". It returns ok=false for hidden or
+// non-BIND banners ("refused", "surely you must be joking", dnsmasq, ...),
+// which the survey treats as non-vulnerable.
+func ParseBanner(banner string) (Version, bool) {
+	s := strings.TrimSpace(strings.ToLower(banner))
+	if s == "" {
+		return Version{}, false
+	}
+	for _, prefix := range []string{"bind", "named"} {
+		if rest, ok := strings.CutPrefix(s, prefix); ok {
+			s = strings.TrimSpace(rest)
+			break
+		}
+	}
+	// The remainder must start with a digit to be a version.
+	if s == "" || s[0] < '0' || s[0] > '9' {
+		return Version{}, false
+	}
+	// Cut at first whitespace: "8.2.4 (our build)" -> "8.2.4".
+	if i := strings.IndexAny(s, " \t("); i >= 0 {
+		s = s[:i]
+	}
+	v := Version{Raw: s}
+	num := func(t string) (int, bool) {
+		n, err := strconv.Atoi(t)
+		return n, err == nil && n >= 0
+	}
+
+	// Split off suffixes: -P5, -REL, b1, rc2, -T1B.
+	core := s
+	for _, marker := range []string{"-p", "_p"} {
+		if i := strings.LastIndex(core, marker); i >= 0 {
+			if pl, ok := num(strings.TrimRight(core[i+len(marker):], "abcdefghijklmnopqrstuvwxyz")); ok {
+				v.PatchLevel = pl
+				core = core[:i]
+			}
+			break
+		}
+	}
+	core = strings.TrimSuffix(core, "-rel")
+	for _, pre := range []string{"rc", "b", "-t", "a"} {
+		if i := strings.Index(core, pre); i > 0 {
+			// Only treat as pre-release if what precedes is the version core
+			// and what follows begins with a digit or is empty-ish.
+			head, tail := core[:i], core[i+len(pre):]
+			if isVersionCore(head) && (tail == "" || (tail[0] >= '0' && tail[0] <= '9')) {
+				v.Pre = true
+				core = head
+				break
+			}
+		}
+	}
+	core = strings.TrimSuffix(core, "-")
+
+	parts := strings.Split(core, ".")
+	if len(parts) < 2 || len(parts) > 4 {
+		return Version{}, false
+	}
+	var ok bool
+	if v.Major, ok = num(parts[0]); !ok {
+		return Version{}, false
+	}
+	if v.Minor, ok = num(parts[1]); !ok {
+		return Version{}, false
+	}
+	if len(parts) >= 3 {
+		if v.Patch, ok = num(parts[2]); !ok {
+			return Version{}, false
+		}
+	}
+	// BIND majors in the wild: 4, 8, 9.
+	if v.Major != 4 && v.Major != 8 && v.Major != 9 {
+		return Version{}, false
+	}
+	return v, true
+}
+
+func isVersionCore(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && c != '.' {
+			return false
+		}
+	}
+	return true
+}

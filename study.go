@@ -1,0 +1,123 @@
+// Package dnstrust reproduces "Perils of Transitive Trust in the Domain
+// Name System" (Ramasubramanian & Sirer, IMC 2005) as a library: it
+// generates a synthetic Internet calibrated to the paper's July-2004
+// survey, crawls the delegation dependencies of a web-directory-style
+// corpus, and reproduces every figure and headline statistic of the
+// paper's evaluation — trusted-computing-base sizes, BIND-exploit
+// poisoning, min-cut bottlenecks, and nameserver control rankings.
+//
+// The quickest start:
+//
+//	study, err := dnstrust.NewStudy(ctx, dnstrust.Options{Names: 20000})
+//	...
+//	comparisons, err := dnstrust.RunAll(ctx, study, os.Stdout)
+//
+// Individual subsystems (wire codec, authoritative server, iterative
+// resolver, vulnerability matrix, attack simulator) live in internal
+// packages; this package wires them together.
+package dnstrust
+
+import (
+	"context"
+
+	"dnstrust/internal/analysis"
+	"dnstrust/internal/audit"
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/hijack"
+	"dnstrust/internal/mincut"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+)
+
+// Options configures a study.
+type Options struct {
+	// Seed drives world generation; equal seeds give identical studies.
+	// Zero means seed 1.
+	Seed int64
+	// Names is the survey corpus size. Zero means 20000; the paper's
+	// full scale is 593160.
+	Names int
+	// Workers is the crawl parallelism (0 = GOMAXPROCS).
+	Workers int
+	// WireFramed routes every query through the full DNS wire codec
+	// (pack + unpack both ways) instead of in-memory message passing.
+	WireFramed bool
+	// Progress receives crawl progress callbacks when non-nil.
+	Progress func(done, total int)
+}
+
+// Study is a generated world plus its completed survey.
+type Study struct {
+	// World is the synthetic Internet and its corpus.
+	World *topology.World
+	// Survey is the crawl dataset (graph, banners, vulnerabilities).
+	Survey *crawler.Survey
+}
+
+// NewStudy generates a world and surveys it end to end.
+func NewStudy(ctx context.Context, opts Options) (*Study, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Names == 0 {
+		opts.Names = 20000
+	}
+	world, err := topology.Generate(topology.GenParams{Seed: opts.Seed, Names: opts.Names})
+	if err != nil {
+		return nil, err
+	}
+	return SurveyWorld(ctx, world, opts)
+}
+
+// SurveyWorld crawls an existing world (hand-built or generated).
+func SurveyWorld(ctx context.Context, world *topology.World, opts Options) (*Study, error) {
+	direct := topology.NewDirectTransport(world.Registry)
+	var tr resolver.Transport = direct
+	if opts.WireFramed {
+		tr = topology.NewWireTransport(world.Registry)
+	}
+	r, err := world.Registry.Resolver(tr)
+	if err != nil {
+		return nil, err
+	}
+	survey, err := crawler.Run(ctx, r, world.Corpus, world.Registry.ProbeFunc(direct), crawler.Config{
+		Workers:  opts.Workers,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Study{World: world, Survey: survey}, nil
+}
+
+// TCB returns the trusted computing base of a surveyed name.
+func (s *Study) TCB(name string) ([]string, error) {
+	return s.Survey.Graph.TCB(name)
+}
+
+// DOT renders a surveyed name's delegation graph in Graphviz format.
+func (s *Study) DOT(name string) (string, error) {
+	return s.Survey.Graph.DOT(name)
+}
+
+// Summary computes the headline statistics over the whole corpus.
+func (s *Study) Summary() *analysis.Summary {
+	return analysis.Summarize(s.Survey, s.Survey.Names)
+}
+
+// Bottleneck runs the §3.2 min-cut analysis for one name.
+func (s *Study) Bottleneck(name string) (*mincut.Result, error) {
+	return analysis.BottleneckOf(s.Survey, name)
+}
+
+// Attack builds a hijack scenario with the given compromised and downed
+// servers against this study's dependency graph.
+func (s *Study) Attack(compromised, downed []string) (*hijack.Attack, error) {
+	return hijack.New(s.Survey.Graph, compromised, downed)
+}
+
+// Audit runs the §5 diligence check on a surveyed name: where its trust
+// goes and which dependencies are dangerous.
+func (s *Study) Audit(name string) ([]audit.Finding, error) {
+	return audit.Name(s.Survey, name, audit.Policy{})
+}

@@ -1,0 +1,161 @@
+package dnstrust
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The study is expensive; build it once for the whole test binary.
+var (
+	studyOnce sync.Once
+	testStudy *Study
+	studyErr  error
+)
+
+func sharedStudy(t *testing.T) *Study {
+	t.Helper()
+	studyOnce.Do(func() {
+		testStudy, studyErr = NewStudy(context.Background(), Options{Seed: 1, Names: 6000})
+	})
+	if studyErr != nil {
+		t.Fatal(studyErr)
+	}
+	return testStudy
+}
+
+func TestNewStudyDefaults(t *testing.T) {
+	s := sharedStudy(t)
+	if len(s.Survey.Names) == 0 {
+		t.Fatal("no names surveyed")
+	}
+	if len(s.Survey.Failed) != 0 {
+		for n, err := range s.Survey.Failed {
+			t.Errorf("failed walk %s: %v", n, err)
+		}
+	}
+	if got := len(s.Survey.Names); got != len(s.World.Corpus) {
+		t.Errorf("surveyed %d of %d corpus names", got, len(s.World.Corpus))
+	}
+}
+
+func TestStudyFacade(t *testing.T) {
+	s := sharedStudy(t)
+	name := s.Survey.Names[0]
+	tcb, err := s.TCB(name)
+	if err != nil || len(tcb) == 0 {
+		t.Fatalf("TCB(%s) = %v, %v", name, tcb, err)
+	}
+	dot, err := s.DOT(name)
+	if err != nil || !strings.Contains(dot, "digraph") {
+		t.Fatalf("DOT: %v", err)
+	}
+	sum := s.Summary()
+	if sum.Names == 0 || sum.TCB.Mean() <= 0 {
+		t.Fatal("summary empty")
+	}
+	res, err := s.Bottleneck(name)
+	if err != nil || res.Size < 1 {
+		t.Fatalf("Bottleneck: %+v, %v", res, err)
+	}
+	atk, err := s.Attack(res.Cut, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := atk.Verdict(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "complete" {
+		t.Errorf("compromising the min-cut of %s gave %v, want complete", name, v)
+	}
+}
+
+// TestRunAllExperiments is the reproduction gate: every experiment must
+// run, and every paper-vs-measured shape claim must hold at this scale.
+func TestRunAllExperiments(t *testing.T) {
+	s := sharedStudy(t)
+	var buf bytes.Buffer
+	rows, err := RunAll(context.Background(), s, &buf)
+	if err != nil {
+		t.Fatalf("RunAll: %v\noutput so far:\n%s", err, buf.String())
+	}
+	if len(rows) < 25 {
+		t.Errorf("only %d comparison rows", len(rows))
+	}
+	for _, c := range rows {
+		if !c.Holds {
+			t.Errorf("%s / %s: paper %q measured %q — shape does NOT hold",
+				c.Experiment, c.Quantity, c.Paper, c.Measured)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 7", "T-C", "fbi.gov",
+		"Paper vs measured",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 13 {
+		t.Fatalf("%d experiments, want 13 (9 figures + 4 tables)", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	a, err := NewStudy(context.Background(), Options{Seed: 9, Names: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStudy(context.Background(), Options{Seed: 9, Names: 300, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Survey.Names) != len(b.Survey.Names) {
+		t.Fatal("name counts differ")
+	}
+	for i := range a.Survey.Names {
+		if a.Survey.Names[i] != b.Survey.Names[i] {
+			t.Fatal("names differ")
+		}
+		if a.Survey.Graph.TCBSize(a.Survey.Names[i]) != b.Survey.Graph.TCBSize(b.Survey.Names[i]) {
+			t.Fatal("TCB sizes differ")
+		}
+	}
+}
+
+func TestWireFramedStudyMatchesDirect(t *testing.T) {
+	direct, err := NewStudy(context.Background(), Options{Seed: 11, Names: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired, err := NewStudy(context.Background(), Options{Seed: 11, Names: 200, WireFramed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Survey.Names) != len(wired.Survey.Names) {
+		t.Fatal("name counts differ between transports")
+	}
+	for _, n := range direct.Survey.Names {
+		if direct.Survey.Graph.TCBSize(n) != wired.Survey.Graph.TCBSize(n) {
+			t.Fatalf("TCB(%s) differs between direct and wire-framed transports", n)
+		}
+	}
+}
