@@ -1,0 +1,157 @@
+// Command dnsbench runs the survey engine's benchmark suite and writes
+// the results as machine-readable JSON, so the performance trajectory of
+// the crawl engine is tracked from PR to PR.
+//
+// Usage:
+//
+//	dnsbench [-out BENCH_1.json] [-names 1200] [-seed 5] [-rtt 200µs]
+//
+// The crawl benchmarks run over a simulated per-query round-trip
+// (surveys are network-bound; worker scaling means overlapping RTTs),
+// plus a zero-RTT CPU-only crawl and a cache-contention microbench.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+)
+
+// Result is one benchmark's machine-readable outcome.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the file schema of BENCH_N.json.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Names      int      `json:"names"`
+	Seed       int64    `json:"seed"`
+	RTT        string   `json:"rtt"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output file")
+	names := flag.Int("names", 1200, "benchmark corpus size")
+	seed := flag.Int64("seed", 5, "world generation seed")
+	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-query round-trip for crawl benches")
+	flag.Parse()
+
+	world, err := topology.Generate(topology.GenParams{Seed: *seed, Names: *names})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Names:      *names,
+		Seed:       *seed,
+		RTT:        rtt.String(),
+	}
+
+	crawlBench := func(workers int, queryRTT time.Duration) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var tr resolver.Transport = topology.NewDirectTransport(world.Registry)
+				if queryRTT > 0 {
+					tr = topology.NewLatencyTransport(tr, queryRTT)
+				}
+				r, err := world.Registry.Resolver(tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := crawler.Run(context.Background(), r, world.Corpus, nil,
+					crawler.Config{Workers: workers, SkipVersionProbe: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(s.Names) != len(world.Corpus) {
+					b.Fatalf("walked %d of %d names", len(s.Names), len(world.Corpus))
+				}
+			}
+			b.ReportMetric(float64(len(world.Corpus))*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+		}
+	}
+
+	run := func(name string, fn func(b *testing.B)) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		r := testing.Benchmark(fn)
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Extra:       r.Extra,
+		})
+	}
+
+	for _, workers := range []int{1, 4, 8, 16} {
+		run(fmt.Sprintf("SurveyCrawlWorkers/workers=%d", workers), crawlBench(workers, *rtt))
+	}
+	run("SurveyCrawlDirect", crawlBench(0, 0))
+	run("WalkerContention", func(b *testing.B) {
+		r, err := world.Registry.Resolver(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := resolver.NewWalker(r)
+		ctx := context.Background()
+		for _, n := range world.Corpus {
+			if _, err := w.WalkName(ctx, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		// b.Fatal must not be called from RunParallel workers; collect
+		// the first error and fail on the benchmark goroutine.
+		var walkErr atomic.Pointer[error]
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				name := world.Corpus[i%len(world.Corpus)]
+				i++
+				if _, err := w.WalkName(ctx, name); err != nil {
+					walkErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		})
+		if errp := walkErr.Load(); errp != nil {
+			b.Fatal(*errp)
+		}
+	})
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}

@@ -28,6 +28,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit the comparison table as Markdown (for EXPERIMENTS.md)")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. \"Figure 7\")")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	stats := flag.Bool("stats", false, "print crawl-engine statistics (transport queries, dedup counters)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -51,6 +52,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "\rcrawl complete: %d names, %d nameservers, %d failures (%.1fs)\n",
 			len(study.Survey.Names), study.Survey.Graph.NumHosts(), len(study.Survey.Failed),
 			time.Since(start).Seconds())
+	}
+	if *stats {
+		st := study.Survey.Stats
+		fmt.Fprintf(os.Stderr,
+			"engine: %d workers, %d transport queries, %d query-memo hits, %d shared walks, %d inline fallbacks\n",
+			st.Workers, st.Walker.Queries, st.Walker.MemoHits, st.Walker.SharedWalks, st.Walker.InlineWalks)
 	}
 
 	var rows []dnstrust.Comparison

@@ -1,0 +1,3 @@
+module dnstrust
+
+go 1.24

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"dnstrust/internal/resolver"
+)
+
+// Builder is the streaming snapshot assembler: the crawl engine feeds it
+// per-name walk results as they complete (no end-of-crawl barrier), and
+// Finish folds the accumulated name-level state into the walker's
+// zone/host snapshot and builds the dependency Graph in one pass.
+//
+// A Builder is single-owner: exactly one goroutine (the crawl's
+// assembler) calls Complete/Fail. Finish may be called once, after the
+// last result.
+type Builder struct {
+	nameChain map[string][]string
+	failed    map[string]error
+}
+
+// NewBuilder creates an empty streaming assembler. sizeHint, when
+// positive, pre-sizes the name table for the expected corpus.
+func NewBuilder(sizeHint int) *Builder {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Builder{
+		nameChain: make(map[string][]string, sizeHint),
+		failed:    make(map[string]error),
+	}
+}
+
+// Complete records one successfully walked name and its zone chain.
+func (b *Builder) Complete(name string, chain []string) {
+	b.nameChain[name] = chain
+}
+
+// Fail records one name whose walk failed.
+func (b *Builder) Fail(name string, err error) {
+	b.failed[name] = err
+}
+
+// Done reports how many names (successes plus failures) have been
+// absorbed so far.
+func (b *Builder) Done() int { return len(b.nameChain) + len(b.failed) }
+
+// Names returns the successfully walked names, sorted.
+func (b *Builder) Names() []string {
+	out := make([]string, 0, len(b.nameChain))
+	for n := range b.nameChain {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Failed returns the per-name failure map. The map is shared with the
+// builder; callers own it after Finish.
+func (b *Builder) Failed() map[string]error { return b.failed }
+
+// Finish folds the accumulated name results into snap (which carries the
+// walker's zone and host-chain state) and builds the dependency graph.
+func (b *Builder) Finish(snap *resolver.Snapshot) *Graph {
+	for name, chain := range b.nameChain {
+		snap.NameChain[name] = chain
+	}
+	for name, err := range b.failed {
+		snap.Failed[name] = err
+	}
+	return Build(snap)
+}

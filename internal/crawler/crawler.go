@@ -6,6 +6,7 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -29,6 +30,16 @@ type Config struct {
 	Progress func(done, total int)
 }
 
+// CrawlStats summarizes the engine's work for one crawl: scale, the
+// parallelism used, and how much of the walk load was absorbed by the
+// walker's dedup layers instead of crossing the transport.
+type CrawlStats struct {
+	// Workers is the parallelism the crawl ran with.
+	Workers int
+	// Walker carries the walker's query/memo/single-flight counters.
+	Walker resolver.Stats
+}
+
 // Survey is the complete dataset of one crawl: the dependency snapshot,
 // the banner of every discovered server, and the vulnerability analysis
 // against the BIND matrix.
@@ -48,6 +59,9 @@ type Survey struct {
 	Vulns map[string][]vulndb.Vuln
 	// DB is the vulnerability matrix the survey was scored against.
 	DB *vulndb.DB
+	// Stats summarizes the crawl engine's work (zero for surveys built
+	// from a snapshot rather than crawled).
+	Stats CrawlStats
 }
 
 // Vulnerable reports whether a host has at least one known exploit.
@@ -100,6 +114,14 @@ func FromSnapshot(snap *resolver.Snapshot) *Survey {
 // Run crawls the corpus over the given resolver and version prober.
 // probe fetches the version.bind banner of a nameserver host; pass nil to
 // skip fingerprinting.
+//
+// The crawl is a streaming pipeline: a feeder pushes corpus names into a
+// bounded channel, the worker pool walks them over a shared (sharded,
+// single-flight) Walker, and completed results flow straight into the
+// snapshot assembler as each name finishes — there is no end-of-crawl
+// barrier between walking and assembly. Cancellation drains the
+// pipeline; worker-level failures are aggregated per worker and joined
+// into the returned error.
 func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(ctx context.Context, host string) (string, error), cfg Config) (*Survey, error) {
 	if len(corpus) == 0 {
 		return nil, fmt.Errorf("crawler: empty corpus")
@@ -115,18 +137,32 @@ func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(
 		chain []string
 		err   error
 	}
-	in := make(chan string)
-	out := make(chan walkOut)
+	// Bounded channels keep memory flat at any corpus size: the feeder
+	// stays a few names ahead, and results are absorbed as they complete.
+	in := make(chan string, workers*2)
+	out := make(chan walkOut, workers*2)
+	workerErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
 			for name := range in {
 				chain, err := w.WalkName(ctx, name)
-				out <- walkOut{name: name, chain: chain, err: err}
+				if err != nil && ctx.Err() != nil {
+					// The crawl is being torn down: record the abort for
+					// this worker and stop draining.
+					workerErrs[id] = fmt.Errorf("crawler: worker %d aborted: %w", id, err)
+					return
+				}
+				select {
+				case out <- walkOut{name: name, chain: chain, err: err}:
+				case <-ctx.Done():
+					workerErrs[id] = fmt.Errorf("crawler: worker %d aborted: %w", id, ctx.Err())
+					return
+				}
 			}
-		}()
+		}(i)
 	}
 	go func() {
 		defer close(in)
@@ -143,39 +179,40 @@ func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(
 		close(out)
 	}()
 
-	chains := make(map[string][]string, len(corpus))
-	failed := map[string]error{}
-	done := 0
+	// Snapshot assembler: absorbs results as names complete.
+	asm := core.NewBuilder(len(corpus))
 	for res := range out {
-		done++
-		if cfg.Progress != nil && done%1000 == 0 {
-			cfg.Progress(done, len(corpus))
-		}
 		if res.err != nil {
-			failed[res.name] = res.err
-			continue
+			asm.Fail(res.name, res.err)
+		} else {
+			asm.Complete(res.name, res.chain)
 		}
-		chains[res.name] = res.chain
+		if cfg.Progress != nil && asm.Done()%1000 == 0 {
+			cfg.Progress(asm.Done(), len(corpus))
+		}
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, errors.Join(append([]error{err}, workerErrs...)...)
+	}
+	if err := errors.Join(workerErrs...); err != nil {
 		return nil, err
 	}
 
-	snap := w.Snapshot(chains, failed)
-	graph := core.Build(snap)
+	// Extract the walker's sharded discovery state and fold the streamed
+	// name results into it.
+	snap := w.Snapshot(nil, nil)
+	graph := asm.Finish(snap)
 
 	s := &Survey{
 		Graph:    graph,
 		Snapshot: snap,
-		Failed:   failed,
+		Names:    asm.Names(),
+		Failed:   asm.Failed(),
 		Banner:   make(map[string]string),
 		Vulns:    make(map[string][]vulndb.Vuln),
 		DB:       vulndb.Default(),
+		Stats:    CrawlStats{Workers: workers, Walker: w.Stats()},
 	}
-	for name := range chains {
-		s.Names = append(s.Names, name)
-	}
-	sort.Strings(s.Names)
 
 	// Fingerprint every discovered nameserver.
 	if probe != nil && !cfg.SkipVersionProbe {
@@ -192,8 +229,8 @@ func (s *Survey) probeAll(ctx context.Context, probe func(ctx context.Context, h
 		host   string
 		banner string
 	}
-	in := make(chan string)
-	out := make(chan probeOut)
+	in := make(chan string, workers*2)
+	out := make(chan probeOut, workers*2)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)

@@ -1,0 +1,119 @@
+package crawler_test
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/topology"
+)
+
+// crawlWith crawls a world with the given parallelism on a fresh
+// transport and returns the survey plus the transport's query count.
+func crawlWith(t *testing.T, world *topology.World, workers int, trace topology.TraceFunc) (*crawler.Survey, int64) {
+	t.Helper()
+	tr := topology.NewDirectTransport(world.Registry)
+	if trace != nil {
+		tr.SetTrace(trace)
+	}
+	r, err := world.Registry.Resolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := crawler.Run(context.Background(), r, world.Corpus, nil,
+		crawler.Config{Workers: workers, SkipVersionProbe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tr.Queries()
+}
+
+// TestSurveyQueryCountInvariance is the single-flight proof: crawling
+// the same world with 1 worker and with 16 workers must cross the
+// transport exactly the same number of times — and with exactly the same
+// multiset of queries. Any duplicated walk (two workers re-discovering
+// one zone) would show up as extra transport work at 16 workers.
+func TestSurveyQueryCountInvariance(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 11, Names: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queries are compared as (name, qtype): that is the walker's memo
+	// key, so each logical question crosses the transport exactly once
+	// regardless of schedule. Which authoritative server answers it may
+	// differ between schedules (the first walker to need the question
+	// asks it with its own candidate list) — the answer is the same.
+	type q struct {
+		name  string
+		qtype dnswire.Type
+	}
+	record := func(dst map[q]int, mu *sync.Mutex) topology.TraceFunc {
+		return func(server netip.Addr, name string, qtype dnswire.Type) {
+			mu.Lock()
+			dst[q{name, qtype}]++
+			mu.Unlock()
+		}
+	}
+
+	var mu1, mu16 sync.Mutex
+	qs1 := map[q]int{}
+	qs16 := map[q]int{}
+	s1, n1 := crawlWith(t, world, 1, record(qs1, &mu1))
+	s16, n16 := crawlWith(t, world, 16, record(qs16, &mu16))
+
+	if n1 != n16 {
+		t.Errorf("transport queries: workers=1 issued %d, workers=16 issued %d — duplicated walks", n1, n16)
+	}
+	if len(s1.Names) != len(s16.Names) || s1.Graph.NumHosts() != s16.Graph.NumHosts() {
+		t.Errorf("survey shape differs: %d/%d names, %d/%d hosts",
+			len(s1.Names), len(s16.Names), s1.Graph.NumHosts(), s16.Graph.NumHosts())
+	}
+
+	// Same multiset of (name, qtype) questions, not just same total.
+	for k, c1 := range qs1 {
+		if c16 := qs16[k]; c16 != c1 {
+			t.Errorf("query %v/%v: %d times at workers=1, %d at workers=16", k.name, k.qtype, c1, c16)
+		}
+	}
+	for k := range qs16 {
+		if _, ok := qs1[k]; !ok {
+			t.Errorf("query %v/%v issued only at workers=16", k.name, k.qtype)
+		}
+	}
+
+	// The parallel crawl must actually have exercised the dedup layers.
+	if s16.Stats.Walker.MemoHits == 0 && s16.Stats.Walker.SharedWalks == 0 {
+		t.Error("16-worker crawl reports no memo hits and no shared walks")
+	}
+}
+
+// TestSurveyRaceStress drives the full pipeline at high parallelism on a
+// shared-heavy corpus; its value is under `go test -race`, where any
+// unsynchronized access in the walker shards, flight group, registry
+// view, or streaming assembler fails the run.
+func TestSurveyRaceStress(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 13, Names: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := topology.NewDirectTransport(world.Registry)
+	r, err := world.Registry.Resolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := crawler.Run(context.Background(), r, world.Corpus,
+		world.Registry.ProbeFunc(tr), crawler.Config{Workers: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Names)+len(s.Failed) != len(world.Corpus) {
+		t.Errorf("lost results: %d walked + %d failed of %d", len(s.Names), len(s.Failed), len(world.Corpus))
+	}
+	for n, err := range s.Failed {
+		t.Errorf("failed %s: %v", n, err)
+	}
+}

@@ -1,0 +1,115 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errWouldCycle reports that waiting on an in-flight computation would
+// deadlock: the flight's owner is itself (transitively) blocked on a
+// flight owned by the caller. The caller must compute inline instead;
+// per-goroutine visit sets then detect any true resolution cycle exactly
+// as a single-threaded walk would.
+var errWouldCycle = errors.New("resolver: single-flight wait would deadlock")
+
+// flightGroup provides per-key single-flight deduplication for the
+// walker: when several walk goroutines need the same undiscovered
+// zone/host, one performs the work and the rest block on its result
+// instead of duplicating transport queries or serializing on a global
+// lock.
+//
+// Unlike x/sync/singleflight, walker flights nest — the function running
+// under one key recursively acquires other keys (a zone walk resolves
+// nameserver hosts, whose address chains walk further zones). Two
+// goroutines can therefore wait on each other's flights (host A's chain
+// needs host B's and vice versa, the glue-less mutual dependency the
+// paper's crawler had to tolerate). The group tracks, per owner, which
+// key it is currently blocked on; before a caller blocks, it follows the
+// owner→key wait chain and refuses (errWouldCycle) if waiting would close
+// a loop. Wait edges are registered under the group mutex before
+// blocking, so the goroutine adding the final edge of any loop always
+// observes it.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	// waiting maps an owner id to the key it is currently blocked on.
+	// An owner is a single synchronous walk (one goroutine), so it waits
+	// on at most one key at a time.
+	waiting map[int64]string
+}
+
+type flight struct {
+	owner int64
+	done  chan struct{}
+	val   any
+	err   error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{
+		flights: make(map[string]*flight),
+		waiting: make(map[int64]string),
+	}
+}
+
+// do executes fn under single-flight for key on behalf of owner. If the
+// key is already in flight, do blocks until that flight completes and
+// returns its result with shared=true — unless blocking would deadlock,
+// in which case it returns errWouldCycle without running fn.
+func (g *flightGroup) do(ctx context.Context, owner int64, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		if f.owner == owner || g.wouldCycleLocked(owner, f) {
+			g.mu.Unlock()
+			return nil, false, errWouldCycle
+		}
+		g.waiting[owner] = key
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			g.clearWait(owner)
+			return f.val, true, f.err
+		case <-ctx.Done():
+			g.clearWait(owner)
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{owner: owner, done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+func (g *flightGroup) clearWait(owner int64) {
+	g.mu.Lock()
+	delete(g.waiting, owner)
+	g.mu.Unlock()
+}
+
+// wouldCycleLocked follows the wait chain starting at f's owner and
+// reports whether it leads back to owner. Called with g.mu held.
+func (g *flightGroup) wouldCycleLocked(owner int64, f *flight) bool {
+	for hops := 0; hops <= len(g.waiting); hops++ {
+		key, ok := g.waiting[f.owner]
+		if !ok {
+			return false // f's owner is running, not blocked
+		}
+		next, ok := g.flights[key]
+		if !ok {
+			return false // that flight just completed
+		}
+		if next.owner == owner {
+			return true
+		}
+		f = next
+	}
+	return true // chain longer than the wait set: refuse conservatively
+}

@@ -1,0 +1,163 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightDedup: concurrent do() calls for one key run fn exactly once
+// and every caller observes the same result.
+func TestFlightDedup(t *testing.T) {
+	g := newFlightGroup()
+	var execs atomic.Int64
+	gate := make(chan struct{})
+
+	const callers = 16
+	var wg sync.WaitGroup
+	vals := make([]any, callers)
+	shared := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, sh, err := g.do(context.Background(), int64(i+1), "k", func() (any, error) {
+				execs.Add(1)
+				<-gate // hold the flight open so everyone piles up
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			vals[i], shared[i] = v, sh
+		}(i)
+	}
+	// Let the waiters accumulate, then release the owner.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	nShared := 0
+	for i := range vals {
+		if vals[i] != 42 {
+			t.Errorf("caller %d got %v", i, vals[i])
+		}
+		if shared[i] {
+			nShared++
+		}
+	}
+	if nShared != callers-1 {
+		t.Errorf("%d callers shared the flight, want %d", nShared, callers-1)
+	}
+}
+
+// TestFlightCrossWaitFallsBack: two owners each holding a flight and
+// needing the other's must not deadlock — the one that would close the
+// wait cycle gets errWouldCycle and computes inline.
+func TestFlightCrossWaitFallsBack(t *testing.T) {
+	g := newFlightGroup()
+	ctx := context.Background()
+
+	aStarted := make(chan struct{})
+	bStarted := make(chan struct{})
+	innerErr := make(chan error, 1)
+	done := make(chan struct{})
+
+	// Owner 2: opens flight "B", then blocks waiting on owner 1's "A".
+	go func() {
+		<-aStarted
+		_, _, _ = g.do(ctx, 2, "B", func() (any, error) {
+			close(bStarted)
+			v, sh, err := g.do(ctx, 2, "A", func() (any, error) {
+				return nil, errors.New("owner 2 must not run A")
+			})
+			if err != nil || !sh || v != "a" {
+				t.Errorf("owner 2 wait on A: v=%v shared=%v err=%v", v, sh, err)
+			}
+			return "b", nil
+		})
+		close(done)
+	}()
+
+	// Owner 1: opens flight "A"; once owner 2 is provably blocked on it,
+	// tries to wait on "B" — that edge would close a cycle.
+	_, _, err := g.do(ctx, 1, "A", func() (any, error) {
+		close(aStarted)
+		<-bStarted
+		for { // wait until owner 2 has registered its wait on "A"
+			g.mu.Lock()
+			blocked := g.waiting[2] == "A"
+			g.mu.Unlock()
+			if blocked {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		_, _, err := g.do(ctx, 1, "B", func() (any, error) {
+			return nil, errors.New("must not run: cycle expected")
+		})
+		innerErr <- err
+		return "a", nil
+	})
+	if err != nil {
+		t.Fatalf("owner 1 flight A: %v", err)
+	}
+	if err := <-innerErr; !errors.Is(err, errWouldCycle) {
+		t.Fatalf("owner 1 wait on B = %v, want errWouldCycle", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("owner 2 deadlocked")
+	}
+}
+
+// TestFlightWaiterCancellation: a waiter whose context dies while the
+// owner is still working unblocks with the context error; the owner's
+// result is unaffected.
+func TestFlightWaiterCancellation(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	ownerDone := make(chan error, 1)
+
+	go func() {
+		_, _, err := g.do(context.Background(), 1, "k", func() (any, error) {
+			<-gate
+			return "v", nil
+		})
+		ownerDone <- err
+	}()
+	for { // wait until the flight is registered
+		g.mu.Lock()
+		_, ok := g.flights["k"]
+		g.mu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := g.do(ctx, 2, "k", func() (any, error) { return nil, nil })
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: shared=%v err=%v", shared, err)
+	}
+	// The owner's wait entry must be gone so it is not seen as blocked.
+	g.mu.Lock()
+	if _, ok := g.waiting[2]; ok {
+		t.Error("cancelled waiter left a dangling wait edge")
+	}
+	g.mu.Unlock()
+
+	close(gate)
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner: %v", err)
+	}
+}

@@ -2,10 +2,11 @@ package resolver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/dnswire"
@@ -72,57 +73,198 @@ func (s *Snapshot) Hosts() []string {
 	return out
 }
 
+// Stats summarizes a walker's work: how much crossed the transport and
+// how much was absorbed by the memo and single-flight layers.
+type Stats struct {
+	// Queries is the number of transport queries issued.
+	Queries int64
+	// MemoHits counts queries answered from the query memo (including
+	// waits on another worker's in-flight query) without touching the
+	// transport.
+	MemoHits int64
+	// SharedWalks counts chain/address walks that attached to another
+	// worker's in-flight walk instead of duplicating it.
+	SharedWalks int64
+	// InlineWalks counts walks computed inline because waiting on the
+	// in-flight owner would have deadlocked (mutual glue-less
+	// dependencies); these are correctness fallbacks, not duplicated
+	// transport work — queries stay deduplicated by the memo.
+	InlineWalks int64
+}
+
 // Walker performs exhaustive dependency walks with global memoization:
 // each zone cut is discovered once, each nameserver host's address chain
 // is walked once, no matter how many surveyed names share them. It
 // discovers zone cuts label by label with NS queries, so cuts hidden by
 // shared parent/child servers (where no referral is ever emitted) are
-// still found — the same methodology the survey's crawler used. A Walker
-// is safe for concurrent use.
+// still found — the same methodology the survey's crawler used.
+//
+// A Walker is safe for concurrent use and built for it: discovery state
+// is sharded by key so parallel walks contend only within a namespace
+// slice, whole-zone/host walks deduplicate through per-key single-flight
+// (see flightGroup), and every logical query is memoized so it crosses
+// the transport exactly once regardless of worker count or schedule.
 type Walker struct {
 	r *Resolver
 
-	mu sync.RWMutex
-	// zones caches discovered delegations by apex.
-	zones map[string]*ZoneInfo
-	// servers caches resolved, usable server addresses per zone apex.
-	servers map[string][]ServerAddr
-	// addrs caches resolved nameserver host addresses.
-	addrs map[string][]netip.Addr
-	// chains caches full zone chains per resolved name/host.
-	chains map[string][]string
-	// hostErr caches hosts whose address resolution failed.
-	hostErr map[string]error
-	// queries counts transport queries issued (for ablation benches).
-	queries int
+	shards  [numShards]cacheShard
+	qmemo   [numShards]queryShard
+	flights *flightGroup
+
+	// nextOwner allocates walk identities for deadlock detection.
+	nextOwner atomic.Int64
+
+	queries     atomic.Int64
+	memoHits    atomic.Int64
+	sharedWalks atomic.Int64
+	inlineWalks atomic.Int64
 }
 
 // NewWalker creates a Walker over r. The root servers from r's config are
 // pre-seeded as the root zone.
 func NewWalker(r *Resolver) *Walker {
-	w := &Walker{
-		r:       r,
-		zones:   make(map[string]*ZoneInfo),
-		servers: make(map[string][]ServerAddr),
-		addrs:   make(map[string][]netip.Addr),
-		chains:  make(map[string][]string),
-		hostErr: make(map[string]error),
+	w := &Walker{r: r, flights: newFlightGroup()}
+	for i := range w.shards {
+		w.shards[i].init()
+	}
+	for i := range w.qmemo {
+		w.qmemo[i].m = make(map[queryKey]*queryEntry)
 	}
 	rootHosts := make([]string, 0, len(r.cfg.Roots))
 	for _, s := range r.cfg.Roots {
 		rootHosts = append(rootHosts, s.Host)
 	}
 	sort.Strings(rootHosts)
-	w.zones[""] = &ZoneInfo{Apex: "", Parent: "", NSHosts: rootHosts}
-	w.servers[""] = append([]ServerAddr(nil), r.cfg.Roots...)
+	rootShard := w.shardOf("")
+	rootShard.zones[""] = &ZoneInfo{Apex: "", Parent: "", NSHosts: rootHosts}
+	rootShard.servers[""] = append([]ServerAddr(nil), r.cfg.Roots...)
 	return w
 }
 
 // Queries reports how many transport queries the walker has issued.
-func (w *Walker) Queries() int {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.queries
+func (w *Walker) Queries() int { return int(w.queries.Load()) }
+
+// Stats reports the walker's cumulative work counters.
+func (w *Walker) Stats() Stats {
+	return Stats{
+		Queries:     w.queries.Load(),
+		MemoHits:    w.memoHits.Load(),
+		SharedWalks: w.sharedWalks.Load(),
+		InlineWalks: w.inlineWalks.Load(),
+	}
+}
+
+// --- sharded cache accessors ---
+
+func (w *Walker) shardOf(key string) *cacheShard {
+	return &w.shards[fnv1a(key)&(numShards-1)]
+}
+
+func (w *Walker) cachedChain(name string) ([]string, bool) {
+	s := w.shardOf(name)
+	s.mu.RLock()
+	chain, ok := s.chains[name]
+	s.mu.RUnlock()
+	return chain, ok
+}
+
+func (w *Walker) storeChain(name string, chain []string) {
+	s := w.shardOf(name)
+	s.mu.Lock()
+	if _, ok := s.chains[name]; !ok {
+		s.chains[name] = chain
+	}
+	s.mu.Unlock()
+}
+
+func (w *Walker) zoneInfo(apex string) *ZoneInfo {
+	s := w.shardOf(apex)
+	s.mu.RLock()
+	zi := s.zones[apex]
+	s.mu.RUnlock()
+	return zi
+}
+
+// recordZone stores a newly discovered cut (first discovery wins).
+func (w *Walker) recordZone(parent, child string, hosts []string) {
+	s := w.shardOf(child)
+	s.mu.Lock()
+	if _, known := s.zones[child]; !known {
+		s.zones[child] = &ZoneInfo{Apex: child, Parent: parent, NSHosts: hosts}
+	}
+	s.mu.Unlock()
+}
+
+// cachedServers returns the cached usable servers of apex, if any.
+func (w *Walker) cachedServers(apex string) []ServerAddr {
+	s := w.shardOf(apex)
+	s.mu.RLock()
+	srv := s.servers[apex]
+	s.mu.RUnlock()
+	return srv
+}
+
+// storeServers caches the usable servers of apex (first store wins).
+func (w *Walker) storeServers(apex string, servers []ServerAddr) {
+	s := w.shardOf(apex)
+	s.mu.Lock()
+	if len(s.servers[apex]) == 0 && len(servers) > 0 {
+		s.servers[apex] = servers
+	}
+	s.mu.Unlock()
+}
+
+func (w *Walker) cachedAddrs(host string) ([]netip.Addr, bool) {
+	s := w.shardOf(host)
+	s.mu.RLock()
+	addrs, ok := s.addrs[host]
+	s.mu.RUnlock()
+	return addrs, ok
+}
+
+func (w *Walker) storeAddrs(host string, addrs []netip.Addr) {
+	s := w.shardOf(host)
+	s.mu.Lock()
+	if _, ok := s.addrs[host]; !ok {
+		s.addrs[host] = addrs
+	}
+	s.mu.Unlock()
+}
+
+func (w *Walker) cachedHostErr(host string) (error, bool) {
+	s := w.shardOf(host)
+	s.mu.RLock()
+	err, ok := s.hostErr[host]
+	s.mu.RUnlock()
+	return err, ok
+}
+
+func (w *Walker) storeHostErr(host string, err error) {
+	s := w.shardOf(host)
+	s.mu.Lock()
+	if _, ok := s.hostErr[host]; !ok {
+		s.hostErr[host] = err
+	}
+	s.mu.Unlock()
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation.
+// Cancellation is never cached and never shared across walks: a result
+// poisoned by one walk's deadline must not fail a concurrent walk whose
+// context is still live.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// walkCtx carries one walk's identity (for cross-goroutine deadlock
+// detection) and its recursion stack (for glue-less cycle detection).
+type walkCtx struct {
+	owner    int64
+	visiting visitSet
+}
+
+func (w *Walker) newWalkCtx() *walkCtx {
+	return &walkCtx{owner: w.nextOwner.Add(1), visiting: newVisitSet()}
 }
 
 // WalkName discovers the complete dependency structure of name: its own
@@ -131,11 +273,12 @@ func (w *Walker) Queries() int {
 // to extract them. It returns the name's own zone chain.
 func (w *Walker) WalkName(ctx context.Context, name string) ([]string, error) {
 	name = dnsname.Canonical(name)
-	chain, err := w.chainOf(ctx, name, newVisitSet())
+	wc := w.newWalkCtx()
+	chain, err := w.chainOf(ctx, name, wc)
 	if err != nil {
 		return nil, err
 	}
-	if err := w.walkHosts(ctx, chain); err != nil {
+	if err := w.walkHosts(ctx, chain, wc); err != nil {
 		return chain, err
 	}
 	return chain, nil
@@ -143,7 +286,7 @@ func (w *Walker) WalkName(ctx context.Context, name string) ([]string, error) {
 
 // walkHosts walks the address chains of all NS hosts of the given zones,
 // then of the zones those chains reveal, until closure.
-func (w *Walker) walkHosts(ctx context.Context, seedZones []string) error {
+func (w *Walker) walkHosts(ctx context.Context, seedZones []string, wc *walkCtx) error {
 	pending := append([]string(nil), seedZones...)
 	seenZone := map[string]bool{}
 	seenHost := map[string]bool{}
@@ -154,9 +297,7 @@ func (w *Walker) walkHosts(ctx context.Context, seedZones []string) error {
 			continue
 		}
 		seenZone[apex] = true
-		w.mu.RLock()
-		zi := w.zones[apex]
-		w.mu.RUnlock()
+		zi := w.zoneInfo(apex)
 		if zi == nil {
 			continue
 		}
@@ -165,13 +306,16 @@ func (w *Walker) walkHosts(ctx context.Context, seedZones []string) error {
 				continue
 			}
 			seenHost[host] = true
-			chain, err := w.chainOf(ctx, host, newVisitSet())
+			chain, err := w.chainOf(ctx, host, wc)
 			if err != nil {
+				if isCtxErr(err) {
+					// The crawl is being torn down, not a lame host:
+					// never record cancellation as a host failure.
+					return err
+				}
 				// A lame nameserver host: record and continue. The zone is
 				// still served by its other servers.
-				w.mu.Lock()
-				w.hostErr[host] = err
-				w.mu.Unlock()
+				w.storeHostErr(host, err)
 				continue
 			}
 			pending = append(pending, chain...)
@@ -181,42 +325,60 @@ func (w *Walker) walkHosts(ctx context.Context, seedZones []string) error {
 }
 
 // visitSet tracks the hosts on the current recursion stack to detect
-// glue-less resolution cycles; it is per-call, not global, so concurrent
+// glue-less resolution cycles; it is per-walk, not global, so concurrent
 // walks do not interfere.
 type visitSet map[string]bool
 
 func newVisitSet() visitSet { return make(visitSet) }
 
 // chainOf returns the zone chain of name (TLD-first, root excluded),
-// walking the delegation tree and caching every step.
-func (w *Walker) chainOf(ctx context.Context, name string, visiting visitSet) ([]string, error) {
-	w.mu.RLock()
-	if chain, ok := w.chains[name]; ok {
-		w.mu.RUnlock()
+// walking the delegation tree under per-name single-flight: concurrent
+// walks of the same undiscovered name block on one in-flight computation.
+func (w *Walker) chainOf(ctx context.Context, name string, wc *walkCtx) ([]string, error) {
+	if chain, ok := w.cachedChain(name); ok {
 		return chain, nil
 	}
-	w.mu.RUnlock()
+	v, shared, err := w.flights.do(ctx, wc.owner, "chain\x00"+name, func() (any, error) {
+		return w.computeChain(ctx, name, wc)
+	})
+	if errors.Is(err, errWouldCycle) {
+		w.inlineWalks.Add(1)
+		return w.computeChain(ctx, name, wc)
+	}
+	if shared && err != nil && isCtxErr(err) && ctx.Err() == nil {
+		// The flight's owner was cancelled, not us: recompute with our
+		// live context (cancelled results are never cached).
+		return w.computeChain(ctx, name, wc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		w.sharedWalks.Add(1)
+	}
+	return v.([]string), nil
+}
 
-	az, _, err := w.descendToZone(ctx, name, visiting)
+func (w *Walker) computeChain(ctx context.Context, name string, wc *walkCtx) ([]string, error) {
+	if chain, ok := w.cachedChain(name); ok {
+		return chain, nil
+	}
+	az, _, err := w.descendToZone(ctx, name, wc)
 	if err != nil {
 		return nil, err
 	}
 	chain := w.reconstructChain(az)
-	w.mu.Lock()
-	w.chains[name] = chain
-	w.mu.Unlock()
+	w.storeChain(name, chain)
 	return chain, nil
 }
 
 // reconstructChain follows parent pointers from apex to the root and
 // returns the chain TLD-first with the root excluded.
 func (w *Walker) reconstructChain(apex string) []string {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
 	var rev []string
 	for apex != "" {
 		rev = append(rev, apex)
-		zi := w.zones[apex]
+		zi := w.zoneInfo(apex)
 		if zi == nil {
 			break
 		}
@@ -240,7 +402,7 @@ func (w *Walker) reconstructChain(apex string) []string {
 //   - NXDOMAIN means the name does not exist.
 //
 // It returns the authoritative zone's apex and usable servers.
-func (w *Walker) descendToZone(ctx context.Context, name string, visiting visitSet) (string, []ServerAddr, error) {
+func (w *Walker) descendToZone(ctx context.Context, name string, wc *walkCtx) (string, []ServerAddr, error) {
 	apex, servers := w.deepestKnown(name)
 	if len(servers) == 0 {
 		return apex, nil, ErrNoServers
@@ -277,7 +439,7 @@ func (w *Walker) descendToZone(ctx context.Context, name string, visiting visitS
 				// An answer without NS data (e.g. a CNAME): terminal.
 				return apex, servers, nil
 			}
-			next, err := w.enterZoneAnswer(ctx, apex, anc, hosts, servers, visiting)
+			next, err := w.enterZoneAnswer(ctx, apex, anc, hosts, servers, wc)
 			if err != nil {
 				return apex, nil, err
 			}
@@ -290,7 +452,7 @@ func (w *Walker) descendToZone(ctx context.Context, name string, visiting visitS
 			if child == apex || !dnsname.IsSubdomain(child, apex) || !dnsname.IsSubdomain(name, child) {
 				return apex, nil, fmt.Errorf("resolver: bogus referral %q from zone %q", child, apex)
 			}
-			next, err := w.enterZoneReferral(ctx, apex, child, resp, visiting)
+			next, err := w.enterZoneReferral(ctx, apex, child, resp, wc)
 			if err != nil {
 				return apex, nil, err
 			}
@@ -316,49 +478,22 @@ func nsHosts(rrs []dnswire.RR) []string {
 // deepestKnown returns the deepest cached zone that is an ancestor of
 // name along with its usable servers. The root is always known.
 func (w *Walker) deepestKnown(name string) (string, []ServerAddr) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
 	apex := name
 	for {
-		if srv, ok := w.servers[apex]; ok && len(srv) > 0 {
+		if srv := w.cachedServers(apex); len(srv) > 0 {
 			return apex, append([]ServerAddr(nil), srv...)
 		}
 		if apex == "" {
-			return "", append([]ServerAddr(nil), w.servers[""]...)
+			return "", append([]ServerAddr(nil), w.cachedServers("")...)
 		}
 		p, _ := dnsname.Parent(apex)
 		apex = p
 	}
 }
 
-// recordZone stores a newly discovered cut (first discovery wins).
-func (w *Walker) recordZone(parent, child string, hosts []string) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, known := w.zones[child]; !known {
-		w.zones[child] = &ZoneInfo{Apex: child, Parent: parent, NSHosts: hosts}
-	}
-}
-
-// cachedServers returns the cached usable servers of apex, if any.
-func (w *Walker) cachedServers(apex string) []ServerAddr {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.servers[apex]
-}
-
-// storeServers caches the usable servers of apex (first store wins).
-func (w *Walker) storeServers(apex string, servers []ServerAddr) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if len(w.servers[apex]) == 0 && len(servers) > 0 {
-		w.servers[apex] = servers
-	}
-}
-
 // enterZoneReferral enters a cut revealed by a referral: harvest glue,
 // resolve glue-less server addresses recursively.
-func (w *Walker) enterZoneReferral(ctx context.Context, parent, child string, resp *dnswire.Message, visiting visitSet) ([]ServerAddr, error) {
+func (w *Walker) enterZoneReferral(ctx context.Context, parent, child string, resp *dnswire.Message, wc *walkCtx) ([]ServerAddr, error) {
 	hosts := nsHosts(resp.Authority)
 	glue := map[string][]netip.Addr{}
 	for _, rr := range resp.Additional {
@@ -379,17 +514,15 @@ func (w *Walker) enterZoneReferral(ctx context.Context, parent, child string, re
 	var lastErr error
 	for _, host := range hosts {
 		if addrs, ok := glue[host]; ok && len(addrs) > 0 {
-			// Remember glue addresses; dependency walking still resolves
-			// the host authoritatively later (glue is not authoritative).
-			w.mu.Lock()
-			if _, ok := w.addrs[host]; !ok {
-				w.addrs[host] = addrs
-			}
-			w.mu.Unlock()
+			// Glue bootstraps this referral's server list only; it is not
+			// authoritative, so it never enters the global address cache.
+			// (That also keeps the transport query set schedule-invariant:
+			// whether a host needs an authoritative A query can never
+			// depend on which walk harvested glue first.)
 			out = append(out, ServerAddr{Host: host, Addr: addrs[0]})
 			continue
 		}
-		addrs, err := w.resolveHostAddr(ctx, host, visiting)
+		addrs, err := w.resolveHostAddr(ctx, host, wc)
 		if err != nil {
 			lastErr = err
 			continue
@@ -413,7 +546,7 @@ func (w *Walker) enterZoneReferral(ctx context.Context, parent, child string, re
 // server addresses are fetched from the answering servers themselves —
 // they are authoritative for the child; out-of-bailiwick hosts resolve
 // through their own chains.
-func (w *Walker) enterZoneAnswer(ctx context.Context, parent, child string, hosts []string, parentServers []ServerAddr, visiting visitSet) ([]ServerAddr, error) {
+func (w *Walker) enterZoneAnswer(ctx context.Context, parent, child string, hosts []string, parentServers []ServerAddr, wc *walkCtx) ([]ServerAddr, error) {
 	w.recordZone(parent, child, hosts)
 	if cached := w.cachedServers(child); len(cached) > 0 {
 		return cached, nil
@@ -421,10 +554,7 @@ func (w *Walker) enterZoneAnswer(ctx context.Context, parent, child string, host
 	var out []ServerAddr
 	var lastErr error
 	for _, host := range hosts {
-		w.mu.RLock()
-		cached, haveAddr := w.addrs[host]
-		w.mu.RUnlock()
-		if haveAddr && len(cached) > 0 {
+		if cached, ok := w.cachedAddrs(host); ok && len(cached) > 0 {
 			out = append(out, ServerAddr{Host: host, Addr: cached[0]})
 			continue
 		}
@@ -434,13 +564,11 @@ func (w *Walker) enterZoneAnswer(ctx context.Context, parent, child string, host
 				lastErr = err
 				continue
 			}
-			w.mu.Lock()
-			w.addrs[host] = addrs
-			w.mu.Unlock()
+			w.storeAddrs(host, addrs)
 			out = append(out, ServerAddr{Host: host, Addr: addrs[0]})
 			continue
 		}
-		addrs, err := w.resolveHostAddr(ctx, host, visiting)
+		addrs, err := w.resolveHostAddr(ctx, host, wc)
 		if err != nil {
 			lastErr = err
 			continue
@@ -481,25 +609,47 @@ func (w *Walker) queryAddr(ctx context.Context, servers []ServerAddr, host strin
 }
 
 // resolveHostAddr resolves a nameserver host's address through its own
-// delegation chain, guarding against glue-less cycles.
-func (w *Walker) resolveHostAddr(ctx context.Context, host string, visiting visitSet) ([]netip.Addr, error) {
-	w.mu.RLock()
-	if addrs, ok := w.addrs[host]; ok {
-		w.mu.RUnlock()
+// delegation chain under per-host single-flight, guarding against
+// glue-less cycles.
+func (w *Walker) resolveHostAddr(ctx context.Context, host string, wc *walkCtx) ([]netip.Addr, error) {
+	if addrs, ok := w.cachedAddrs(host); ok {
 		return addrs, nil
 	}
-	if err, ok := w.hostErr[host]; ok {
-		w.mu.RUnlock()
+	if err, ok := w.cachedHostErr(host); ok {
 		return nil, err
 	}
-	w.mu.RUnlock()
-	if visiting[host] {
+	if wc.visiting[host] {
 		return nil, fmt.Errorf("%w: glue-less cycle through %q", ErrLameDelegation, host)
 	}
-	visiting[host] = true
-	defer delete(visiting, host)
+	v, shared, err := w.flights.do(ctx, wc.owner, "addr\x00"+host, func() (any, error) {
+		return w.computeHostAddr(ctx, host, wc)
+	})
+	if errors.Is(err, errWouldCycle) {
+		w.inlineWalks.Add(1)
+		return w.computeHostAddr(ctx, host, wc)
+	}
+	if shared && err != nil && isCtxErr(err) && ctx.Err() == nil {
+		// The flight's owner was cancelled, not us: recompute with our
+		// live context (cancelled results are never cached).
+		return w.computeHostAddr(ctx, host, wc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		w.sharedWalks.Add(1)
+	}
+	return v.([]netip.Addr), nil
+}
 
-	az, servers, err := w.descendToZone(ctx, host, visiting)
+func (w *Walker) computeHostAddr(ctx context.Context, host string, wc *walkCtx) ([]netip.Addr, error) {
+	if addrs, ok := w.cachedAddrs(host); ok {
+		return addrs, nil
+	}
+	wc.visiting[host] = true
+	defer delete(wc.visiting, host)
+
+	az, servers, err := w.descendToZone(ctx, host, wc)
 	if err != nil {
 		return nil, err
 	}
@@ -508,23 +658,59 @@ func (w *Walker) resolveHostAddr(ctx context.Context, host string, visiting visi
 		return nil, err
 	}
 	chain := w.reconstructChain(az)
-	w.mu.Lock()
-	w.addrs[host] = addrs
-	w.chains[host] = chain
-	w.mu.Unlock()
+	w.storeAddrs(host, addrs)
+	w.storeChain(host, chain)
 	return addrs, nil
 }
 
-// queryAny tries servers in order until one gives a usable response.
+// queryAny answers (name, qtype) through the query memo: the first
+// caller performs the real server round-robin, concurrent callers block
+// on that in-flight attempt, and later callers are served from memory.
+// Every logical query therefore crosses the transport exactly once per
+// walker, making total transport work independent of worker count.
 func (w *Walker) queryAny(ctx context.Context, servers []ServerAddr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	key := queryKey{name: name, qtype: qtype}
+	qs := &w.qmemo[fnv1a(name)&(numShards-1)]
+	qs.mu.Lock()
+	if e, ok := qs.m[key]; ok {
+		qs.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil && isCtxErr(e.err) && ctx.Err() == nil {
+				// The in-flight owner was cancelled, not us; its entry
+				// was removed before done closed, so retry fresh.
+				return w.queryAny(ctx, servers, name, qtype)
+			}
+			w.memoHits.Add(1)
+			return e.resp, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &queryEntry{done: make(chan struct{})}
+	qs.m[key] = e
+	qs.mu.Unlock()
+
+	e.resp, e.err = w.dispatch(ctx, servers, name, qtype)
+	if e.err != nil && isCtxErr(e.err) {
+		// Never memoize cancellation: a later walk with a live context
+		// must be able to retry.
+		qs.mu.Lock()
+		delete(qs.m, key)
+		qs.mu.Unlock()
+	}
+	close(e.done)
+	return e.resp, e.err
+}
+
+// dispatch tries servers in order until one gives a usable response.
+func (w *Walker) dispatch(ctx context.Context, servers []ServerAddr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	if len(servers) == 0 {
 		return nil, ErrNoServers
 	}
 	var lastErr error = ErrNoServers
 	for _, srv := range servers {
-		w.mu.Lock()
-		w.queries++
-		w.mu.Unlock()
+		w.queries.Add(1)
 		resp, err := w.r.tr.Query(ctx, srv.Addr, name, qtype, dnswire.ClassINET)
 		if err != nil {
 			lastErr = err
@@ -539,29 +725,32 @@ func (w *Walker) queryAny(ctx context.Context, servers []ServerAddr, name string
 	return nil, lastErr
 }
 
-// Snapshot extracts the accumulated dependency structure. nameChains maps
-// each surveyed name to its chain (collected from WalkName calls); failed
-// maps names whose walk failed.
+// Snapshot extracts the accumulated dependency structure from the
+// sharded caches. nameChains maps each surveyed name to its chain
+// (collected from WalkName calls); failed maps names whose walk failed.
 func (w *Walker) Snapshot(nameChains map[string][]string, failed map[string]error) *Snapshot {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
 	s := NewSnapshot()
-	for apex, zi := range w.zones {
-		cp := *zi
-		cp.NSHosts = append([]string(nil), zi.NSHosts...)
-		s.Zones[apex] = &cp
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.RLock()
+		for apex, zi := range sh.zones {
+			cp := *zi
+			cp.NSHosts = append([]string(nil), zi.NSHosts...)
+			s.Zones[apex] = &cp
+		}
+		for host, chain := range sh.chains {
+			s.HostChain[host] = append([]string(nil), chain...)
+		}
+		for host, err := range sh.hostErr {
+			s.Failed[host] = err
+		}
+		sh.mu.RUnlock()
 	}
 	for name, chain := range nameChains {
 		s.NameChain[name] = append([]string(nil), chain...)
 	}
-	for host, chain := range w.chains {
-		s.HostChain[host] = append([]string(nil), chain...)
-	}
 	for name, err := range failed {
 		s.Failed[name] = err
-	}
-	for host, err := range w.hostErr {
-		s.Failed[host] = err
 	}
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
@@ -201,6 +202,110 @@ func TestWalkConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Errorf("concurrent walk: %v", err)
+	}
+}
+
+// TestWalkStressOverlappingCorpus hammers one walker from many
+// goroutines over an overlapping corpus (every goroutine walks every
+// name, in a different rotation) and checks the single-flight/memo
+// guarantee: the concurrent walk issues exactly as many transport
+// queries as a fresh serial walker over the same world.
+func TestWalkStressOverlappingCorpus(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 7, Names: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference.
+	serial := newWalker(t, world.Registry)
+	for _, n := range world.Corpus {
+		if _, err := serial.WalkName(context.Background(), n); err != nil {
+			t.Fatalf("serial walk %s: %v", n, err)
+		}
+	}
+
+	concurrent := newWalker(t, world.Registry)
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(rot int) {
+			defer wg.Done()
+			for i := range world.Corpus {
+				name := world.Corpus[(i+rot)%len(world.Corpus)]
+				if _, err := concurrent.WalkName(context.Background(), name); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent walk: %v", err)
+	}
+
+	if sq, cq := serial.Queries(), concurrent.Queries(); sq != cq {
+		t.Errorf("transport queries: serial=%d concurrent=%d — single-flight dedup is leaking", sq, cq)
+	}
+	stats := concurrent.Stats()
+	if stats.MemoHits == 0 {
+		t.Error("no query-memo hits under a 32-goroutine overlapping walk")
+	}
+
+	// The discovered worlds must be identical.
+	ss, cs := serial.Snapshot(nil, nil), concurrent.Snapshot(nil, nil)
+	if !reflect.DeepEqual(ss.Hosts(), cs.Hosts()) {
+		t.Error("serial and concurrent walks discovered different host sets")
+	}
+	if len(ss.Zones) != len(cs.Zones) {
+		t.Errorf("zone counts differ: serial=%d concurrent=%d", len(ss.Zones), len(cs.Zones))
+	}
+}
+
+// TestWalkCancellationIsolation: one walk's cancelled context must not
+// poison a shared walker — no cancellation error may be cached as a
+// host failure, and later walks with live contexts must succeed.
+func TestWalkCancellationIsolation(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 9, Names: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow queries down so cancellation reliably lands mid-walk.
+	tr := topology.NewLatencyTransport(topology.NewDirectTransport(world.Registry), 500*time.Microsecond)
+	r, err := world.Registry.Resolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := resolver.NewWalker(r)
+
+	ctx1, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(rot int) {
+			defer wg.Done()
+			for i := range world.Corpus {
+				if _, err := w.WalkName(ctx1, world.Corpus[(i+rot)%len(world.Corpus)]); err != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	// Every name must still walk cleanly on the same walker.
+	for _, n := range world.Corpus {
+		if _, err := w.WalkName(context.Background(), n); err != nil {
+			t.Fatalf("walk %s after unrelated cancellation: %v", n, err)
+		}
+	}
+	for host, err := range w.Snapshot(nil, nil).Failed {
+		t.Errorf("cancellation leaked into cached failure: %s: %v", host, err)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/dnsserver"
@@ -30,12 +31,17 @@ type ServerInfo struct {
 	// Zones lists the origins this server is authoritative for.
 	Zones []string
 	// Lame, when true, makes the server unresponsive (failure injection).
+	// This is the build-time default; post-Finalize toggling goes through
+	// Registry.SetLame, which overrides this field race-free.
 	Lame bool
 }
 
 // Registry is the synthetic Internet: zones, servers, and addressing.
 // Build it single-threaded, then Finalize; afterwards it is safe for
-// concurrent reads and queries.
+// concurrent reads and queries. Finalize publishes an immutable view of
+// the lookup tables, so the crawl-time read path (address → server,
+// server → zone set) is lock-free: parallel workers never contend on the
+// registry mutex.
 type Registry struct {
 	mu      sync.RWMutex
 	zones   map[string]*dnszone.Zone
@@ -44,6 +50,23 @@ type Registry struct {
 	zoneSet map[string]*dnsserver.ZoneSet // per server host
 	nextIP  uint32
 	final   bool
+
+	// view is the immutable post-Finalize lookup structure; nil until
+	// Finalize succeeds.
+	view atomic.Pointer[registryView]
+	// lame overlays ServerInfo.Lame with post-Finalize failure injection
+	// (SetLame) without racing the lock-free query path.
+	lame sync.Map // host string -> bool
+}
+
+// registryView is the frozen read-side of a finalized registry. It is
+// never mutated after construction, so readers need no locks.
+type registryView struct {
+	zones   map[string]*dnszone.Zone
+	servers map[string]*ServerInfo
+	byAddr  map[netip.Addr]*ServerInfo
+	zoneSet map[string]*dnsserver.ZoneSet
+	roots   []resolver.ServerAddr
 }
 
 // NewRegistry creates an empty registry. Synthetic server addresses are
@@ -71,6 +94,9 @@ func (r *Registry) AddZone(z *dnszone.Zone) error {
 
 // Zone returns the zone with the given apex, or nil.
 func (r *Registry) Zone(apex string) *dnszone.Zone {
+	if v := r.view.Load(); v != nil {
+		return v.zones[dnsname.Canonical(apex)]
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.zones[dnsname.Canonical(apex)]
@@ -125,13 +151,21 @@ func (r *Registry) AddHostAddress(name string) error {
 
 // Server returns the server with the given host name, or nil.
 func (r *Registry) Server(host string) *ServerInfo {
+	if v := r.view.Load(); v != nil {
+		return v.servers[dnsname.Canonical(host)]
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.servers[dnsname.Canonical(host)]
 }
 
-// ServerByAddr returns the server bound to addr, or nil.
+// ServerByAddr returns the server bound to addr, or nil. After Finalize
+// this is a lock-free lookup — it sits on the hot path of every
+// in-memory transport query.
 func (r *Registry) ServerByAddr(addr netip.Addr) *ServerInfo {
+	if v := r.view.Load(); v != nil {
+		return v.byAddr[addr]
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.byAddr[addr]
@@ -177,8 +211,15 @@ func (r *Registry) Assign(host string, origins ...string) error {
 
 // RootServers returns the root zone's servers as resolver hints.
 func (r *Registry) RootServers() []resolver.ServerAddr {
+	if v := r.view.Load(); v != nil {
+		return append([]resolver.ServerAddr(nil), v.roots...)
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.rootServersLocked()
+}
+
+func (r *Registry) rootServersLocked() []resolver.ServerAddr {
 	root := r.zones[""]
 	if root == nil {
 		return nil
@@ -289,6 +330,31 @@ func (r *Registry) Finalize() error {
 		r.zoneSet[host] = zs
 	}
 	r.final = true
+
+	// Publish the immutable read view. The maps are copied so later
+	// builder-side mutations (none are expected post-Finalize, but the
+	// mutex path still exists) cannot race lock-free readers; the zone
+	// and server values themselves are shared.
+	v := &registryView{
+		zones:   make(map[string]*dnszone.Zone, len(r.zones)),
+		servers: make(map[string]*ServerInfo, len(r.servers)),
+		byAddr:  make(map[netip.Addr]*ServerInfo, len(r.byAddr)),
+		zoneSet: make(map[string]*dnsserver.ZoneSet, len(r.zoneSet)),
+	}
+	for k, z := range r.zones {
+		v.zones[k] = z
+	}
+	for k, si := range r.servers {
+		v.servers[k] = si
+	}
+	for k, si := range r.byAddr {
+		v.byAddr[k] = si
+	}
+	for k, zs := range r.zoneSet {
+		v.zoneSet[k] = zs
+	}
+	v.roots = r.rootServersLocked()
+	r.view.Store(v)
 	return nil
 }
 
@@ -315,8 +381,12 @@ func (r *Registry) DeepestZone(name string) *dnszone.Zone {
 	return r.deepestZoneLocked(dnsname.Canonical(name))
 }
 
-// ZoneSetOf returns the zone set served by host (after Finalize).
+// ZoneSetOf returns the zone set served by host (after Finalize). Like
+// ServerByAddr, the finalized lookup is lock-free.
 func (r *Registry) ZoneSetOf(host string) *dnsserver.ZoneSet {
+	if v := r.view.Load(); v != nil {
+		return v.zoneSet[dnsname.Canonical(host)]
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.zoneSet[dnsname.Canonical(host)]

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync/atomic"
+	"time"
 
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/dnsserver"
@@ -21,13 +22,22 @@ var (
 	ErrServerDown = errors.New("topology: server does not respond")
 )
 
+// TraceFunc observes one transport query. Hooks must be safe for
+// concurrent calls; the crawl's dedup tests use them to assert exactly
+// which queries crossed the transport.
+type TraceFunc func(server netip.Addr, name string, qtype dnswire.Type)
+
 // DirectTransport answers resolver queries in memory with the exact
 // response semantics of the network server (it shares dnsserver.Respond).
-// It implements resolver.Transport.
+// It implements resolver.Transport. The query path is contention-free:
+// registry lookups are lock-free after Finalize and the counters are
+// atomics.
 type DirectTransport struct {
 	reg *Registry
 	// queries counts transport calls, for ablation benchmarks.
 	queries atomic.Int64
+	// trace, when set, observes every query served.
+	trace atomic.Pointer[TraceFunc]
 }
 
 // NewDirectTransport wraps a finalized registry.
@@ -38,17 +48,30 @@ func NewDirectTransport(reg *Registry) *DirectTransport {
 // Queries reports the number of queries served.
 func (t *DirectTransport) Queries() int64 { return t.queries.Load() }
 
+// SetTrace installs (or, with nil, removes) a query-trace hook. Safe to
+// call while queries are in flight.
+func (t *DirectTransport) SetTrace(fn TraceFunc) {
+	if fn == nil {
+		t.trace.Store(nil)
+		return
+	}
+	t.trace.Store(&fn)
+}
+
 // Query implements resolver.Transport.
 func (t *DirectTransport) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	t.queries.Add(1)
+	if fn := t.trace.Load(); fn != nil {
+		(*fn)(server, name, qtype)
+	}
 	si := t.reg.ServerByAddr(server)
 	if si == nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoSuchServer, server)
 	}
-	if si.Lame {
+	if t.reg.isLame(si) {
 		return nil, fmt.Errorf("%w: %s", ErrServerDown, si.Host)
 	}
 	zs := t.reg.ZoneSetOf(si.Host)
@@ -110,6 +133,36 @@ func (t *WireTransport) Query(ctx context.Context, server netip.Addr, name strin
 	return dnswire.Unpack(out)
 }
 
+// LatencyTransport wraps a transport with a fixed simulated round-trip
+// time per query. Real surveys are network-bound — the paper's crawl of
+// 593k names took days of wall-clock, dominated by RTTs — so this is the
+// honest substrate for measuring how crawl throughput scales with the
+// worker pool: workers overlap round-trips exactly as a live crawl's
+// would, independent of how many cores the host happens to have.
+type LatencyTransport struct {
+	inner resolver.Transport
+	rtt   time.Duration
+}
+
+// NewLatencyTransport wraps inner, delaying every query by rtt.
+func NewLatencyTransport(inner resolver.Transport, rtt time.Duration) *LatencyTransport {
+	return &LatencyTransport{inner: inner, rtt: rtt}
+}
+
+// Query implements resolver.Transport with simulated network delay.
+func (t *LatencyTransport) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	if t.rtt > 0 {
+		timer := time.NewTimer(t.rtt)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	return t.inner.Query(ctx, server, name, qtype, class)
+}
+
 // ProbeFunc returns a version.bind prober keyed by host name, for the
 // crawler's fingerprinting pass.
 func (r *Registry) ProbeFunc(tr *DirectTransport) func(ctx context.Context, host string) (string, error) {
@@ -138,17 +191,31 @@ func (r *Registry) Resolver(tr resolver.Transport) (*resolver.Resolver, error) {
 	return resolver.New(tr, resolver.Config{Roots: roots})
 }
 
-// SetLame marks a server lame (unresponsive) for failure injection.
+// SetLame marks a server lame (unresponsive) for failure injection. The
+// flag lives in an atomic overlay rather than on the shared ServerInfo,
+// so flipping it while queries are in flight is race-free. Note that a
+// crawl's Walker memoizes every (name, qtype) result for its lifetime:
+// a mid-crawl flip only affects questions that walker has not yet
+// asked. Flip lameness between crawls (each crawl builds a fresh
+// walker) for deterministic failure injection.
 func (r *Registry) SetLame(host string, lame bool) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	si := r.servers[dnsname.Canonical(host)]
-	if si == nil {
+	host = dnsname.Canonical(host)
+	if r.Server(host) == nil {
 		return fmt.Errorf("topology: unknown server %q", host)
 	}
-	si.Lame = lame
+	r.lame.Store(host, lame)
 	return nil
+}
+
+// isLame reports whether si is currently lame: the SetLame overlay wins,
+// falling back to the build-time ServerInfo.Lame default.
+func (r *Registry) isLame(si *ServerInfo) bool {
+	if v, ok := r.lame.Load(si.Host); ok {
+		return v.(bool)
+	}
+	return si.Lame
 }
 
 var _ resolver.Transport = (*DirectTransport)(nil)
 var _ resolver.Transport = (*WireTransport)(nil)
+var _ resolver.Transport = (*LatencyTransport)(nil)
