@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dnstrust/internal/analysis"
+	"dnstrust/internal/core"
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/mincut"
 	"dnstrust/internal/resolver"
@@ -216,7 +217,7 @@ func benchTransport(b *testing.B, wire bool) {
 // per-name alternative measured by BenchmarkAblationClosureNaive.
 func BenchmarkAblationClosureSCC(b *testing.B) {
 	s := sharedBenchStudy(b)
-	snap := s.Survey.Snapshot
+	snap := s.Survey.Snapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := rebuildGraph(snap)
@@ -235,7 +236,7 @@ func BenchmarkAblationClosureSCC(b *testing.B) {
 // scratch (per-name BFS over zones) instead of sharing zone closures.
 func BenchmarkAblationClosureNaive(b *testing.B) {
 	s := sharedBenchStudy(b)
-	snap := s.Survey.Snapshot
+	snap := s.Survey.Snapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var total int
@@ -280,6 +281,32 @@ func rebuildGraph(snap *resolver.Snapshot) graphLike {
 
 type graphLike interface {
 	TCBSize(name string) int
+}
+
+// BenchmarkMillionNameBuild measures incremental graph construction at
+// survey scale: a synthetic corpus streams through the core.Builder
+// event API (zones, chains, completions in causal order) and Finish runs
+// the closure pass. The 100k and 1M sub-benchmarks bracket the scaling
+// claim: with no end-of-crawl string buffer, bytes/op must grow
+// linearly in the name count with a small per-name constant (the name
+// string and its chain-id map entry), not with per-name chain slices —
+// compare B/op÷names across the two scales.
+func BenchmarkMillionNameBuild(b *testing.B) {
+	for _, scale := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("names=%d", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			var finishNs float64
+			for i := 0; i < b.N; i++ {
+				g, finish := core.SyntheticBuild(scale)
+				finishNs += float64(finish.Nanoseconds())
+				if g.NumHosts() == 0 || g.NumNames() != scale {
+					b.Fatalf("built %d names, %d hosts", g.NumNames(), g.NumHosts())
+				}
+			}
+			b.ReportMetric(float64(scale)*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+			b.ReportMetric(finishNs/float64(b.N)/1e6, "finish-ms/op")
+		})
+	}
 }
 
 // BenchmarkAblationMinCutDinic vs ...ANDORBound compare the paper's

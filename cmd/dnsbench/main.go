@@ -8,7 +8,10 @@
 //
 // The crawl benchmarks run over a simulated per-query round-trip
 // (surveys are network-bound; worker scaling means overlapping RTTs),
-// plus a zero-RTT CPU-only crawl and a cache-contention microbench.
+// plus a zero-RTT CPU-only crawl, a cache-contention microbench, and the
+// incremental graph-build benchmarks (synthetic 100k/1M-name corpora
+// streamed through core.Builder, reporting build time and per-name
+// memory so the flat-memory claim is tracked from PR to PR).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"testing"
 	"time"
 
+	"dnstrust/internal/core"
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
@@ -48,7 +52,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output file")
+	out := flag.String("out", "BENCH_2.json", "output file")
 	names := flag.Int("names", 1200, "benchmark corpus size")
 	seed := flag.Int64("seed", 5, "world generation seed")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-query round-trip for crawl benches")
@@ -110,6 +114,22 @@ func main() {
 		run(fmt.Sprintf("SurveyCrawlWorkers/workers=%d", workers), crawlBench(workers, *rtt))
 	}
 	run("SurveyCrawlDirect", crawlBench(0, 0))
+	for _, scale := range []int{100_000, 1_000_000} {
+		scale := scale
+		run(fmt.Sprintf("IncrementalBuild/names=%d", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			var finishNs float64
+			for i := 0; i < b.N; i++ {
+				g, finish := core.SyntheticBuild(scale)
+				finishNs += float64(finish.Nanoseconds())
+				if g.NumHosts() == 0 || g.NumNames() != scale {
+					b.Fatalf("built %d names, %d hosts", g.NumNames(), g.NumHosts())
+				}
+			}
+			b.ReportMetric(float64(scale)*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+			b.ReportMetric(finishNs/float64(b.N)/1e6, "finish-ms/op")
+		})
+	}
 	run("WalkerContention", func(b *testing.B) {
 		r, err := world.Registry.Resolver(nil)
 		if err != nil {

@@ -26,13 +26,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "world generation seed")
 	workers := flag.Int("workers", 0, "crawl parallelism (0 = GOMAXPROCS)")
 	markdown := flag.Bool("markdown", false, "emit the comparison table as Markdown (for EXPERIMENTS.md)")
+	memoFile := flag.String("memo-file", "", "persist the query memo here and resume from it on the next run")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. \"Figure 7\")")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	stats := flag.Bool("stats", false, "print crawl-engine statistics (transport queries, dedup counters)")
 	flag.Parse()
 
 	ctx := context.Background()
-	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers}
+	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, MemoFile: *memoFile}
 	if !*quiet {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcrawled %d/%d names", done, total)
@@ -58,6 +59,12 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"engine: %d workers, %d transport queries, %d query-memo hits, %d shared walks, %d inline fallbacks\n",
 			st.Workers, st.Walker.Queries, st.Walker.MemoHits, st.Walker.SharedWalks, st.Walker.InlineWalks)
+		fmt.Fprintf(os.Stderr,
+			"phases: walk+assemble %.2fs (streamed), closure build %.3fs; %d memo entries resumed\n",
+			st.WalkTime.Seconds(), st.BuildTime.Seconds(), st.MemoLoaded)
+	}
+	if err := study.Survey.Stats.MemoSaveErr; err != nil {
+		fmt.Fprintf(os.Stderr, "dnssurvey: warning: query memo not saved: %v\n", err)
 	}
 
 	var rows []dnstrust.Comparison

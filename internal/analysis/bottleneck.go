@@ -30,37 +30,30 @@ type BottleneckStats struct {
 
 // Bottlenecks runs the min-cut analysis of §3.2 over the given names.
 // Names sharing a delegation chain share a digraph, so results are
-// memoized per chain. The work is spread over workers goroutines
-// (0 = GOMAXPROCS).
+// memoized per interned chain id — no string keys are built on this
+// path. The work is spread over workers goroutines (0 = GOMAXPROCS).
 func Bottlenecks(ctx context.Context, s *crawler.Survey, names []string, workers int) (*BottleneckStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	vuln := func(host string) bool { return s.Vulnerable(host) }
 
-	// Group names by delegation chain: identical chains give identical
+	// Group names by interned chain id: identical chains give identical
 	// digraphs and cuts.
-	chainKey := func(name string) (string, bool) {
-		zones := s.Graph.NameChainZones(name)
-		if zones == nil {
-			return "", false
-		}
-		return strings.Join(zones, "|"), true
-	}
 	type group struct {
 		rep   string // representative name
 		count int
 	}
-	groups := map[string]*group{}
+	groups := map[int32]*group{}
 	for _, n := range names {
-		key, ok := chainKey(n)
+		cid, ok := s.Graph.NameChainID(n)
 		if !ok {
 			continue
 		}
-		if g, ok := groups[key]; ok {
+		if g, ok := groups[cid]; ok {
 			g.count++
 		} else {
-			groups[key] = &group{rep: n, count: 1}
+			groups[cid] = &group{rep: n, count: 1}
 		}
 	}
 
@@ -146,58 +139,56 @@ func BottleneckOf(s *crawler.Survey, name string) (*mincut.Result, error) {
 // bound on the number of server compromises needed for a complete hijack
 // of each name (exact on tree-shaped dependencies; see mincut.SolveANDOR).
 // One global fixpoint prices every zone, making this the cheap
-// counterpart of the per-name digraph min-cut (ablation).
+// counterpart of the per-name digraph min-cut (ablation). The input is
+// assembled straight from the graph's interned id arrays — no string
+// round-trips.
 func ANDORHijackBound(s *crawler.Survey, names []string) []int64 {
 	g := s.Graph
-	hosts := g.Hosts()
-	zones := g.Zones()
+	nh, nz := g.NumHosts(), g.NumZones()
 
 	in := mincut.ANDORInput{
-		HostWeight: make([]int64, len(hosts)),
-		ZoneNS:     make([][]int32, len(zones)),
-		HostChain:  make([][]int32, len(hosts)),
-		Grounded:   make([]bool, len(hosts)),
+		HostWeight: make([]int64, nh),
+		ZoneNS:     make([][]int32, nz),
+		HostChain:  make([][]int32, nh),
+		Grounded:   make([]bool, nh),
 	}
-	for i := range hosts {
+	for i := range in.HostWeight {
 		in.HostWeight[i] = 1
 	}
-	zoneIndex := map[string]int32{}
-	for zi, apex := range zones {
-		zoneIndex[apex] = int32(zi)
-		in.ZoneNS[zi] = g.ZoneNS(apex)
+	for z := int32(0); z < int32(nz); z++ {
+		in.ZoneNS[z] = g.ZoneNSIDs(z)
 		// TLD servers are grounded by root glue.
-		if isTLD(apex) {
-			for _, h := range g.ZoneNS(apex) {
+		if isTLD(g.Zone(z)) {
+			for _, h := range g.ZoneNSIDs(z) {
 				in.Grounded[h] = true
 			}
 		}
 	}
-	for hid, host := range hosts {
-		chain := g.HostChainZones(host)
+	for hid := int32(0); hid < int32(nh); hid++ {
+		chain := g.HostChainIDs(hid)
 		// Glue waiver: an in-bailiwick server of its own zone is reached
 		// through parent referral glue; its own zone is not an address
-		// dependency.
+		// dependency. The shared chain slice is re-sliced, never mutated.
 		if len(chain) > 0 {
 			az := chain[len(chain)-1]
-			for _, ns := range g.ZoneNS(az) {
-				if int(ns) == hid {
+			for _, ns := range g.ZoneNSIDs(az) {
+				if ns == hid {
 					chain = chain[:len(chain)-1]
 					break
 				}
 			}
 		}
-		for _, apex := range chain {
-			in.HostChain[hid] = append(in.HostChain[hid], zoneIndex[apex])
-		}
+		in.HostChain[hid] = chain
 	}
 	res := mincut.SolveANDOR(in)
 
 	out := make([]int64, 0, len(names))
 	for _, n := range names {
-		var chain []int32
-		for _, apex := range g.NameChainZones(n) {
-			chain = append(chain, zoneIndex[apex])
+		cid, ok := g.NameChainID(n)
+		if !ok {
+			continue
 		}
+		chain := g.ChainZoneIDs(cid)
 		if len(chain) == 0 {
 			continue
 		}

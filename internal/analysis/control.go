@@ -26,18 +26,27 @@ type ControlStats struct {
 
 // Control computes names-controlled per server over the given names —
 // the raw data of Figure 8. A server "controls" a name when it appears
-// in the name's TCB.
+// in the name's TCB. Names are first bucketed by interned chain id, so
+// each chain's (shared) TCB slice is walked once, weighted by how many
+// of the given names ride it.
 func Control(s *crawler.Survey, names []string) *ControlStats {
-	counts := make([]int, s.Graph.NumHosts())
+	perChain := make([]int, s.Graph.NumChains())
 	total := 0
 	for _, n := range names {
-		ids, err := s.Graph.TCBIDs(n)
-		if err != nil {
+		cid, ok := s.Graph.NameChainID(n)
+		if !ok {
 			continue
 		}
 		total++
-		for _, id := range ids {
-			counts[id]++
+		perChain[cid]++
+	}
+	counts := make([]int, s.Graph.NumHosts())
+	for cid, weight := range perChain {
+		if weight == 0 {
+			continue
+		}
+		for _, id := range s.Graph.ChainTCBIDs(int32(cid)) {
+			counts[id] += weight
 		}
 	}
 	hosts := s.Graph.Hosts()

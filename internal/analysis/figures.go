@@ -83,23 +83,58 @@ func MacroAverage(avgs []TLDAverage) float64 {
 	return sum / float64(len(avgs))
 }
 
+// chainVulnCounts computes, per interned chain, the TCB size and the
+// number of vulnerable TCB members — each chain's (shared) TCB slice is
+// scanned exactly once, and every name on the chain reuses the entry.
+// Entries are computed lazily: sizes[c] < 0 marks an untouched chain.
+type chainVulnCounts struct {
+	s      *crawler.Survey
+	vulnID []bool
+	sizes  []int
+	vulns  []int
+}
+
+func newChainVulnCounts(s *crawler.Survey) *chainVulnCounts {
+	n := s.Graph.NumChains()
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = -1
+	}
+	return &chainVulnCounts{s: s, vulnID: vulnerableIDs(s), sizes: sizes, vulns: make([]int, n)}
+}
+
+// of returns (TCB size, vulnerable count) for a name, or ok=false for
+// names missing from the survey.
+func (c *chainVulnCounts) of(name string) (size, vuln int, ok bool) {
+	cid, ok := c.s.Graph.NameChainID(name)
+	if !ok {
+		return 0, 0, false
+	}
+	if c.sizes[cid] < 0 {
+		ids := c.s.Graph.ChainTCBIDs(cid)
+		v := 0
+		for _, id := range ids {
+			if c.vulnID[id] {
+				v++
+			}
+		}
+		c.sizes[cid] = len(ids)
+		c.vulns[cid] = v
+	}
+	return c.sizes[cid], c.vulns[cid], true
+}
+
 // VulnInTCB returns, per name, the number of TCB members with known
 // exploits (Figure 5's raw data).
 func VulnInTCB(s *crawler.Survey, names []string) []int {
-	vulnID := vulnerableIDs(s)
+	counts := newChainVulnCounts(s)
 	out := make([]int, 0, len(names))
 	for _, n := range names {
-		ids, err := s.Graph.TCBIDs(n)
-		if err != nil {
+		_, v, ok := counts.of(n)
+		if !ok {
 			continue
 		}
-		c := 0
-		for _, id := range ids {
-			if vulnID[id] {
-				c++
-			}
-		}
-		out = append(out, c)
+		out = append(out, v)
 	}
 	return out
 }
@@ -108,24 +143,18 @@ func VulnInTCB(s *crawler.Survey, names []string) []int {
 // known exploits (Figure 6's raw data). Names with empty TCBs are
 // reported 100% safe.
 func TCBSafety(s *crawler.Survey, names []string) []float64 {
-	vulnID := vulnerableIDs(s)
+	counts := newChainVulnCounts(s)
 	out := make([]float64, 0, len(names))
 	for _, n := range names {
-		ids, err := s.Graph.TCBIDs(n)
-		if err != nil {
+		size, vuln, ok := counts.of(n)
+		if !ok {
 			continue
 		}
-		if len(ids) == 0 {
+		if size == 0 {
 			out = append(out, 100)
 			continue
 		}
-		safe := 0
-		for _, id := range ids {
-			if !vulnID[id] {
-				safe++
-			}
-		}
-		out = append(out, 100*float64(safe)/float64(len(ids)))
+		out = append(out, 100*float64(size-vuln)/float64(size))
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"dnstrust/internal/crawler"
+	"dnstrust/internal/dnsname"
 )
 
 // Summary carries the paper's headline in-text numbers.
@@ -33,19 +34,48 @@ func Summarize(s *crawler.Survey, names []string) *Summary {
 	sizes := TCBSizes(s, names)
 	vulns := VulnInTCB(s, names)
 
+	// Direct-NS counts depend only on the interned chain; owned counts on
+	// (chain, registered domain). Memoizing on those keys makes this pass
+	// touch each distinct chain's TCB once instead of once per name.
+	g := s.Graph
+	directByChain := map[int32]int{}
+	type ownKey struct {
+		cid int32
+		rd  string
+	}
+	ownedByChainRD := map[ownKey]int{}
+
 	var ownedSum, directSum float64
 	counted := 0
 	for _, n := range names {
-		owned, _, err := s.Graph.OwnedServers(n)
-		if err != nil {
+		cid, ok := g.NameChainID(n)
+		if !ok {
 			continue
 		}
-		direct, err := s.Graph.DirectNS(n)
-		if err != nil {
+		chain := g.ChainZoneIDs(cid)
+		if len(chain) == 0 {
 			continue
 		}
-		ownedSum += float64(len(owned))
-		directSum += float64(len(direct))
+		direct, ok := directByChain[cid]
+		if !ok {
+			direct = len(g.ZoneNSIDs(chain[len(chain)-1]))
+			directByChain[cid] = direct
+		}
+		owned := 0
+		if rd, err := dnsname.RegisteredDomain(n); err == nil {
+			key := ownKey{cid: cid, rd: rd}
+			owned, ok = ownedByChainRD[key]
+			if !ok {
+				for _, id := range g.ChainTCBIDs(cid) {
+					if hrd, err2 := dnsname.RegisteredDomain(g.Host(id)); err2 == nil && hrd == rd {
+						owned++
+					}
+				}
+				ownedByChainRD[key] = owned
+			}
+		}
+		ownedSum += float64(owned)
+		directSum += float64(direct)
 		counted++
 	}
 	ownedMean, directMean := 0.0, 0.0

@@ -1,22 +1,45 @@
 package core
 
-import (
-	"sort"
-
-	"dnstrust/internal/resolver"
-)
-
-// Builder is the streaming snapshot assembler: the crawl engine feeds it
-// per-name walk results as they complete (no end-of-crawl barrier), and
-// Finish folds the accumulated name-level state into the walker's
-// zone/host snapshot and builds the dependency Graph in one pass.
+// Builder is the streaming graph assembler: the crawl engine feeds it
+// walker events (zone discovered, chain resolved) and per-name walk
+// results as they happen, and it absorbs them straight into the Graph's
+// intern tables — zones, hosts, and delegation chains become compact
+// int32 ids the moment they stream in, with no string-keyed end-of-crawl
+// buffer. Finish only runs the Tarjan/closure pass over the already
+// compact arrays, so graph construction memory stays flat in the corpus
+// size (one map entry per name, one interned chain per *distinct* chain).
+//
+// Event ordering contract: a zone must be observed before any chain that
+// traverses it, and a host's chain before the results that depend on it —
+// exactly the causal order the walker emits them in (it publishes each
+// event before the discovery becomes visible to other walk goroutines).
+// Chains observed for keys that never become NS hosts of any zone
+// (surveyed names also flow through the walker's chain cache) are held in
+// a small pending set bounded by the number of in-flight walks and
+// dropped on Complete/Fail.
 //
 // A Builder is single-owner: exactly one goroutine (the crawl's
-// assembler) calls Complete/Fail. Finish may be called once, after the
-// last result.
+// assembler) calls its methods. Finish may be called once, after the
+// last event.
 type Builder struct {
-	nameChain map[string][]string
-	failed    map[string]error
+	g *Graph
+
+	// chainIDs dedups interned chains: byte-packed zone-id key -> chain
+	// id. Identical delegation chains share one []int32 in g.chains.
+	chainIDs map[string]int32
+	// pending holds chains whose key is not (yet) an interned NS host.
+	pending map[string][]string
+	// failedChain keeps the interned chain id of failed names whose
+	// chain did resolve, so a later zone listing such a name as an NS
+	// host can still attach it (bounded by the failure count).
+	failedChain map[string]int32
+	// failed maps names whose walk failed; mutually exclusive with
+	// g.nameChain (last report wins).
+	failed map[string]error
+
+	// Scratch buffers reused across interning calls.
+	idBuf  []int32
+	keyBuf []byte
 }
 
 // NewBuilder creates an empty streaming assembler. sizeHint, when
@@ -26,47 +49,167 @@ func NewBuilder(sizeHint int) *Builder {
 		sizeHint = 0
 	}
 	return &Builder{
-		nameChain: make(map[string][]string, sizeHint),
-		failed:    make(map[string]error),
+		g: &Graph{
+			hostID:    make(map[string]int32),
+			zoneID:    make(map[string]int32),
+			nameChain: make(map[string]int32, sizeHint),
+		},
+		chainIDs:    make(map[string]int32),
+		pending:     make(map[string][]string),
+		failedChain: make(map[string]int32),
+		failed:      make(map[string]error),
 	}
 }
 
-// Complete records one successfully walked name and its zone chain.
-func (b *Builder) Complete(name string, chain []string) {
-	b.nameChain[name] = chain
+// ObserveZone absorbs one discovered zone cut: the apex is interned, its
+// NS hosts are interned, and any chain previously observed for a newly
+// interned host is attached. The root ("") is excluded, as throughout the
+// paper. First observation of an apex wins, matching the walker's
+// first-discovery-wins cache.
+func (b *Builder) ObserveZone(apex string, nsHosts []string) {
+	if apex == "" {
+		return
+	}
+	g := b.g
+	if _, known := g.zoneID[apex]; known {
+		return
+	}
+	g.internZone(apex)
+	ids := make([]int32, 0, len(nsHosts))
+	for _, h := range nsHosts {
+		hid, isNew := g.internHost(h)
+		if isNew {
+			// The host's chain may already be known: waiting in the
+			// pending set, or interned through the host doubling as a
+			// surveyed name (completed or failed after its chain walk).
+			if chain, ok := b.pending[h]; ok {
+				delete(b.pending, h)
+				g.hostChain[hid] = b.internChain(chain)
+			} else if cid, ok := g.nameChain[h]; ok {
+				g.hostChain[hid] = b.chainSlice(cid)
+			} else if cid, ok := b.failedChain[h]; ok {
+				g.hostChain[hid] = b.chainSlice(cid)
+			}
+		}
+		ids = append(ids, hid)
+	}
+	sortUnique(&ids)
+	g.zoneNS = append(g.zoneNS, ids)
 }
 
-// Fail records one name whose walk failed.
+// ObserveChain absorbs one resolved delegation chain for key (a
+// nameserver host, or a surveyed name passing through the walker's chain
+// cache). Chains of interned hosts are interned immediately; others wait
+// in the pending set until their host is interned by a zone observation,
+// or are dropped when the key completes as a surveyed name.
+func (b *Builder) ObserveChain(key string, chain []string) {
+	g := b.g
+	if hid, ok := g.hostID[key]; ok {
+		if g.hostChain[hid] == nil {
+			g.hostChain[hid] = b.internChain(chain)
+		}
+		return
+	}
+	if _, ok := b.pending[key]; !ok {
+		b.pending[key] = chain
+	}
+}
+
+// Complete records one successfully walked name and its zone chain. It
+// supersedes any earlier Fail for the name. The name's chain stays
+// reachable through the intern tables, so a later zone observation
+// listing the name as an NS host can still attach it.
+func (b *Builder) Complete(name string, chain []string) {
+	delete(b.failed, name)
+	delete(b.failedChain, name)
+	delete(b.pending, name)
+	b.g.nameChain[name] = b.internChainID(chain)
+}
+
+// Fail records one name whose walk failed. It supersedes any earlier
+// Complete for the name. If the name's own chain did resolve before the
+// failure (the walker stores it even when the subsequent host walk
+// fails), the interned chain id is kept so the name can still serve as
+// an NS host of a later-observed zone.
 func (b *Builder) Fail(name string, err error) {
+	if chain, ok := b.pending[name]; ok {
+		b.failedChain[name] = b.internChainID(chain)
+		delete(b.pending, name)
+	} else if cid, ok := b.g.nameChain[name]; ok {
+		b.failedChain[name] = cid
+	}
+	delete(b.g.nameChain, name)
 	b.failed[name] = err
 }
 
 // Done reports how many names (successes plus failures) have been
-// absorbed so far.
-func (b *Builder) Done() int { return len(b.nameChain) + len(b.failed) }
+// absorbed so far. A name reported both complete and failed counts once.
+func (b *Builder) Done() int { return len(b.g.nameChain) + len(b.failed) }
 
 // Names returns the successfully walked names, sorted.
-func (b *Builder) Names() []string {
-	out := make([]string, 0, len(b.nameChain))
-	for n := range b.nameChain {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+func (b *Builder) Names() []string { return b.g.Names() }
 
 // Failed returns the per-name failure map. The map is shared with the
 // builder; callers own it after Finish.
 func (b *Builder) Failed() map[string]error { return b.failed }
 
-// Finish folds the accumulated name results into snap (which carries the
-// walker's zone and host-chain state) and builds the dependency graph.
-func (b *Builder) Finish(snap *resolver.Snapshot) *Graph {
-	for name, chain := range b.nameChain {
-		snap.NameChain[name] = chain
+// internChainID interns chain into the graph's chain table, deduplicating
+// against every chain seen so far, and returns its chain id. Zones not
+// (yet) interned are skipped, mirroring the batch builder's behavior —
+// the walker's event order guarantees chain zones arrive first.
+func (b *Builder) internChainID(chain []string) int32 {
+	g := b.g
+	ids := b.idBuf[:0]
+	for _, apex := range chain {
+		if apex == "" {
+			continue
+		}
+		if zid, ok := g.zoneID[apex]; ok {
+			ids = append(ids, zid)
+		}
 	}
-	for name, err := range b.failed {
-		snap.Failed[name] = err
+	b.idBuf = ids
+
+	key := b.keyBuf[:0]
+	for _, id := range ids {
+		key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	}
-	return Build(snap)
+	b.keyBuf = key
+	if cid, ok := b.chainIDs[string(key)]; ok {
+		return cid
+	}
+	cid := int32(len(g.chains))
+	g.chains = append(g.chains, append([]int32(nil), ids...))
+	b.chainIDs[string(key)] = cid
+	return cid
+}
+
+// internChain interns chain and returns the shared zone-id slice.
+func (b *Builder) internChain(chain []string) []int32 {
+	return b.chainSlice(b.internChainID(chain))
+}
+
+// chainSlice returns the shared zone-id slice of an interned chain,
+// never nil: a resolved-but-empty chain must stay distinguishable from
+// "no chain known" in hostChain.
+func (b *Builder) chainSlice(cid int32) []int32 {
+	ids := b.g.chains[cid]
+	if ids == nil {
+		ids = []int32{}
+	}
+	return ids
+}
+
+// Finish runs the closure pass (Tarjan condensation + bottom-up server
+// unions + per-chain TCB unions) over the accumulated compact arrays and
+// returns the finished Graph. No snapshot re-walk happens here: all
+// interning was done as events streamed in.
+func (b *Builder) Finish() *Graph {
+	g := b.g
+	b.pending = nil
+	b.chainIDs = nil
+	b.failedChain = nil
+	g.computeClosures()
+	g.computeChainTCBs()
+	return g
 }

@@ -1,0 +1,249 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dnstrust/internal/core"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+)
+
+// TestBuilderDoneExclusive is the regression test for the old
+// double-counting bug: a name reported both Complete and Fail counted
+// twice in Done(). The maps must be mutually exclusive, last report wins.
+func TestBuilderDoneExclusive(t *testing.T) {
+	b := core.NewBuilder(0)
+	b.ObserveZone("com", []string{"a.ns.com"})
+	b.ObserveChain("a.ns.com", []string{"com"})
+
+	// Fail then Complete: the success wins.
+	b.Fail("www.x.com", errors.New("transient"))
+	b.Complete("www.x.com", []string{"com"})
+	if got := b.Done(); got != 1 {
+		t.Fatalf("Done after Fail+Complete = %d, want 1", got)
+	}
+	if len(b.Failed()) != 0 {
+		t.Errorf("Failed = %v, want empty after Complete superseded the failure", b.Failed())
+	}
+	if names := b.Names(); len(names) != 1 || names[0] != "www.x.com" {
+		t.Errorf("Names = %v", names)
+	}
+
+	// Complete then Fail: the failure wins.
+	b.Complete("www.y.com", []string{"com"})
+	b.Fail("www.y.com", errors.New("lame"))
+	if got := b.Done(); got != 2 {
+		t.Fatalf("Done after Complete+Fail = %d, want 2", got)
+	}
+	if _, ok := b.Failed()["www.y.com"]; !ok {
+		t.Error("www.y.com must be in Failed after the failure superseded the success")
+	}
+	for _, n := range b.Names() {
+		if n == "www.y.com" {
+			t.Error("www.y.com must not be in Names after Fail")
+		}
+	}
+}
+
+// TestBuilderChainDedup verifies that identical delegation chains intern
+// to one shared chain id and one []int32, and distinct chains do not.
+func TestBuilderChainDedup(t *testing.T) {
+	b := core.NewBuilder(0)
+	b.ObserveZone("com", []string{"a.ns.com"})
+	b.ObserveZone("x.com", []string{"ns.x.com"})
+	b.ObserveZone("y.com", []string{"ns.y.com"})
+	b.ObserveChain("a.ns.com", []string{"com"})
+	b.ObserveChain("ns.x.com", []string{"com", "x.com"})
+	b.ObserveChain("ns.y.com", []string{"com", "y.com"})
+
+	b.Complete("www.x.com", []string{"com", "x.com"})
+	b.Complete("mail.x.com", []string{"com", "x.com"})
+	b.Complete("www.y.com", []string{"com", "y.com"})
+	g := b.Finish()
+
+	c1, ok1 := g.NameChainID("www.x.com")
+	c2, ok2 := g.NameChainID("mail.x.com")
+	c3, ok3 := g.NameChainID("www.y.com")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("names missing from graph")
+	}
+	if c1 != c2 {
+		t.Errorf("identical chains interned to different ids: %d vs %d", c1, c2)
+	}
+	if c1 == c3 {
+		t.Error("distinct chains share a chain id")
+	}
+	// The chain table holds exactly the distinct chains seen (the two
+	// name chains plus the NS hosts' chains: "com", and the two domain
+	// chains are shared with the names').
+	if got := g.NumChains(); got != 3 {
+		t.Errorf("NumChains = %d, want 3 (com | com,x.com | com,y.com)", got)
+	}
+	// Names on the same chain share the TCB slice, not just its content.
+	t1, _ := g.TCBIDs("www.x.com")
+	t2, _ := g.TCBIDs("mail.x.com")
+	if len(t1) > 0 && len(t2) > 0 && &t1[0] != &t2[0] {
+		t.Error("names on one chain must share one TCB slice")
+	}
+}
+
+// TestBuilderPendingChainAttach covers the streaming race the pending
+// set exists for: a host's chain event arriving before any zone lists
+// the host as a nameserver must still attach once the zone shows up.
+func TestBuilderPendingChainAttach(t *testing.T) {
+	b := core.NewBuilder(0)
+	b.ObserveZone("com", []string{"a.ns.com"})
+	b.ObserveChain("a.ns.com", []string{"com"})
+	// Chain first, zone second.
+	b.ObserveChain("ns.late.com", []string{"com", "late.com"})
+	b.ObserveZone("late.com", []string{"ns.late.com"})
+	b.Complete("www.late.com", []string{"com", "late.com"})
+	g := b.Finish()
+
+	got := g.HostChainZones("ns.late.com")
+	want := []string{"com", "late.com"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("HostChainZones(ns.late.com) = %v, want %v", got, want)
+	}
+	// The chain must feed the dependency closure: www.late.com's TCB
+	// includes com's registry server through ns.late.com's chain.
+	tcb, err := g.TCB("www.late.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range tcb {
+		if h == "a.ns.com" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("TCB %v missing transitive dependency a.ns.com", tcb)
+	}
+}
+
+// TestBuilderNameAlsoNSHost covers the corner where a surveyed name is
+// itself later listed as an NS host of a zone: the name's chain must
+// still attach to the host, whether the name completed or failed, even
+// though its chain event fired (exactly once) before the zone was
+// observed.
+func TestBuilderNameAlsoNSHost(t *testing.T) {
+	for _, outcome := range []string{"complete", "fail"} {
+		t.Run(outcome, func(t *testing.T) {
+			b := core.NewBuilder(0)
+			b.ObserveZone("com", []string{"a.ns.com"})
+			b.ObserveChain("a.ns.com", []string{"com"})
+			b.ObserveZone("example.com", []string{"ns1.example.com"})
+			b.ObserveChain("ns1.example.com", []string{"com", "example.com"})
+
+			// The surveyed name's chain streams in, then its result —
+			// all before any zone lists it as a nameserver.
+			b.ObserveChain("dual.example.com", []string{"com", "example.com"})
+			if outcome == "complete" {
+				b.Complete("dual.example.com", []string{"com", "example.com"})
+			} else {
+				b.Fail("dual.example.com", errors.New("host walk failed"))
+			}
+
+			// Only now does a zone reveal the name as its NS host.
+			b.ObserveZone("org", []string{"dual.example.com"})
+			b.Complete("www.org-site.org", []string{"org"})
+			g := b.Finish()
+
+			want := []string{"com", "example.com"}
+			if got := g.HostChainZones("dual.example.com"); !reflect.DeepEqual(got, want) {
+				t.Fatalf("HostChainZones(dual.example.com) = %v, want %v", got, want)
+			}
+			// The attached chain must feed the dependency closure: org's
+			// closure (and thus www.org-site.org's TCB) reaches
+			// example.com's servers through dual.example.com's chain.
+			tcb, err := g.TCB("www.org-site.org")
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, h := range tcb {
+				if h == "ns1.example.com" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("TCB %v missing transitive dependency ns1.example.com", tcb)
+			}
+		})
+	}
+}
+
+// TestBuilderStreamingMatchesBatch drives a real walker with a
+// synchronous observer feeding a Builder — the exact event order a crawl
+// produces — and checks the streamed graph equals the batch Build of the
+// same walker's snapshot.
+func TestBuilderStreamingMatchesBatch(t *testing.T) {
+	reg := topology.Figure1World()
+	r, err := reg.Resolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := resolver.NewWalker(r)
+	b := core.NewBuilder(1)
+	w.SetObserver(builderObserver{b})
+
+	const name = "www.cs.cornell.edu"
+	chain, err := w.WalkName(context.Background(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Complete(name, chain)
+	streamed := b.Finish()
+	batch := core.Build(w.Snapshot(map[string][]string{name: chain}, nil))
+
+	if streamed.NumZones() != batch.NumZones() || streamed.NumHosts() != batch.NumHosts() {
+		t.Fatalf("shape differs: %d/%d zones, %d/%d hosts",
+			streamed.NumZones(), batch.NumZones(), streamed.NumHosts(), batch.NumHosts())
+	}
+	st, err := streamed.TCB(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := batch.TCB(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, bt) {
+		t.Errorf("TCBs differ:\nstreamed %v\nbatch    %v", st, bt)
+	}
+	for _, apex := range batch.Zones() {
+		sc := closureHosts(streamed, apex)
+		bc := closureHosts(batch, apex)
+		if !reflect.DeepEqual(sc, bc) {
+			t.Errorf("closure(%s) differs:\nstreamed %v\nbatch    %v", apex, sc, bc)
+		}
+	}
+}
+
+// builderObserver feeds walker events straight into a Builder. The test
+// walk is single-goroutine, so no channel hand-off is needed.
+type builderObserver struct{ b *core.Builder }
+
+func (o builderObserver) ZoneDiscovered(apex, _ string, nsHosts []string) {
+	o.b.ObserveZone(apex, nsHosts)
+}
+
+func (o builderObserver) ChainResolved(key string, chain []string) {
+	o.b.ObserveChain(key, chain)
+}
+
+// closureHosts returns a zone's closure as sorted host names.
+func closureHosts(g *core.Graph, apex string) []string {
+	ids := g.ZoneClosure(apex)
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, g.Host(id))
+	}
+	sort.Strings(out)
+	return out
+}

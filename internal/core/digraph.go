@@ -52,10 +52,11 @@ func (d *Digraph) HostNode(host string) int {
 // ReachableZoneIDs returns every zone id reachable from name's delegation
 // chain over the zone dependency graph (the zones of Figure 1's boxes).
 func (g *Graph) ReachableZoneIDs(name string) ([]int32, error) {
-	chain, ok := g.nameChain[dnsname.Canonical(name)]
+	cid, ok := g.nameChain[dnsname.Canonical(name)]
 	if !ok {
 		return nil, fmt.Errorf("core: name %q not in survey", name)
 	}
+	chain := g.chains[cid]
 	seen := map[int32]bool{}
 	var queue []int32
 	for _, z := range chain {
@@ -84,10 +85,11 @@ func (g *Graph) isTLDZone(z int32) bool {
 // Digraph builds the per-name delegation digraph for min-cut analysis.
 func (g *Graph) Digraph(name string) (*Digraph, error) {
 	name = dnsname.Canonical(name)
-	chain, ok := g.nameChain[name]
+	cid, ok := g.nameChain[name]
 	if !ok {
 		return nil, fmt.Errorf("core: name %q not in survey", name)
 	}
+	chain := g.chains[cid]
 	if len(chain) == 0 {
 		return nil, fmt.Errorf("core: name %q has an empty delegation chain", name)
 	}
@@ -202,7 +204,7 @@ func (g *Graph) DOT(name string) (string, error) {
 	}
 
 	// Name -> its chain zones' first servers (visual anchor to each box).
-	chain := g.nameChain[name]
+	chain := g.chains[g.nameChain[name]]
 	if len(chain) > 0 {
 		az := chain[len(chain)-1]
 		if len(g.zoneNS[az]) > 0 {

@@ -1,16 +1,18 @@
 // Package core implements the paper's primary contribution: delegation
-// graphs and transitive trust analysis. From a crawl snapshot it builds
-// the zone-level dependency graph, computes each name's trusted computing
-// base (TCB) — the transitive closure of every nameserver that could
-// participate in resolving the name — and materializes per-name
-// server-level delegation digraphs for bottleneck (min-cut) analysis and
-// Figure-1-style visualization.
+// graphs and transitive trust analysis. From a crawl's streamed walk
+// results it builds the zone-level dependency graph, computes each name's
+// trusted computing base (TCB) — the transitive closure of every
+// nameserver that could participate in resolving the name — and
+// materializes per-name server-level delegation digraphs for bottleneck
+// (min-cut) analysis and Figure-1-style visualization.
 //
 // Closures are computed once per *zone*, not per name: the zone dependency
 // digraph is condensed with Tarjan's SCC algorithm (cross-domain NS cycles
 // are real in DNS) and server sets are unioned bottom-up over the
-// condensation DAG. A survey of half a million names touches each zone
-// closure once.
+// condensation DAG. Delegation chains are interned too: every distinct
+// chain appears once as a compact zone-id list, names reference chains by
+// id, and the TCB of each chain is unioned exactly once — a survey of half
+// a million names touches each zone closure and each chain once.
 package core
 
 import (
@@ -22,8 +24,8 @@ import (
 )
 
 // Graph is the zone-level dependency structure extracted from a crawl.
-// Build one with Build; it is immutable (and safe for concurrent use)
-// afterwards.
+// Build one incrementally with a Builder (or from a snapshot with Build);
+// it is immutable (and safe for concurrent use) afterwards.
 type Graph struct {
 	// Interned nameserver hosts.
 	hosts  []string
@@ -38,29 +40,36 @@ type Graph struct {
 	// hostChain[h] lists the zone ids on host h's address chain
 	// (TLD-first). Hosts whose chain walk failed have nil chains: they
 	// are still TCB members but contribute no further dependencies.
+	// Entries alias the interned chain table: hosts sharing a delegation
+	// chain share one []int32.
 	hostChain [][]int32
 
-	// nameChain maps each surveyed name to its chain zone ids.
-	nameChain map[string][]int32
+	// chains is the interned chain table: every distinct delegation
+	// chain appears exactly once as a zone-id list (TLD-first).
+	chains [][]int32
+	// nameChain maps each surveyed name to its interned chain id.
+	nameChain map[string]int32
 
 	// closure[z] is the sorted set of host ids transitively reachable
 	// from zone z (z's NS hosts, their chains' NS hosts, and so on).
 	closure [][]int32
+	// chainTCB[c] is the sorted host-id union of the closures of every
+	// zone on chain c — the TCB shared by every name on that chain.
+	chainTCB [][]int32
 	// zoneAdj[z] lists the zones z depends on (the chains of its NS
 	// hosts), deduplicated.
 	zoneAdj [][]int32
 }
 
-// Build constructs the dependency graph from a crawl snapshot and
-// precomputes all zone closures.
+// Build constructs the dependency graph from a crawl snapshot. It is the
+// batch-mode compatibility path over the incremental Builder: the
+// snapshot's zones, host chains, and name chains are replayed as events
+// and finished in one pass.
 func Build(snap *resolver.Snapshot) *Graph {
-	g := &Graph{
-		hostID:    make(map[string]int32),
-		zoneID:    make(map[string]int32),
-		nameChain: make(map[string][]int32, len(snap.NameChain)),
-	}
+	b := NewBuilder(len(snap.NameChain))
 
-	// Intern zones (root excluded) and their NS hosts.
+	// Zones are replayed in sorted apex order so batch-built graphs have
+	// deterministic intern ids (streamed graphs intern in arrival order).
 	apexes := make([]string, 0, len(snap.Zones))
 	for apex := range snap.Zones {
 		if apex == "" {
@@ -70,36 +79,15 @@ func Build(snap *resolver.Snapshot) *Graph {
 	}
 	sort.Strings(apexes)
 	for _, apex := range apexes {
-		g.internZone(apex)
+		b.ObserveZone(apex, snap.Zones[apex].NSHosts)
 	}
-	g.zoneNS = make([][]int32, len(g.zones))
-	for _, apex := range apexes {
-		zi := snap.Zones[apex]
-		ids := make([]int32, 0, len(zi.NSHosts))
-		for _, h := range zi.NSHosts {
-			ids = append(ids, g.internHost(h))
-		}
-		sortUnique(&ids)
-		g.zoneNS[g.zoneID[apex]] = ids
-	}
-
-	// Host chains.
-	g.hostChain = make([][]int32, len(g.hosts))
 	for host, chain := range snap.HostChain {
-		hid, ok := g.hostID[host]
-		if !ok {
-			continue // resolved during crawl but not an NS host of any zone
-		}
-		g.hostChain[hid] = g.internChain(chain)
+		b.ObserveChain(host, chain)
 	}
-
-	// Name chains.
 	for name, chain := range snap.NameChain {
-		g.nameChain[name] = g.internChain(chain)
+		b.Complete(name, chain)
 	}
-
-	g.computeClosures()
-	return g
+	return b.Finish()
 }
 
 func (g *Graph) internZone(apex string) int32 {
@@ -112,27 +100,16 @@ func (g *Graph) internZone(apex string) int32 {
 	return id
 }
 
-func (g *Graph) internHost(host string) int32 {
+// internHost interns a host name and reports whether it was new.
+func (g *Graph) internHost(host string) (int32, bool) {
 	if id, ok := g.hostID[host]; ok {
-		return id
+		return id, false
 	}
 	id := int32(len(g.hosts))
 	g.hosts = append(g.hosts, host)
 	g.hostID[host] = id
-	return id
-}
-
-func (g *Graph) internChain(chain []string) []int32 {
-	ids := make([]int32, 0, len(chain))
-	for _, apex := range chain {
-		if apex == "" {
-			continue
-		}
-		if id, ok := g.zoneID[apex]; ok {
-			ids = append(ids, id)
-		}
-	}
-	return ids
+	g.hostChain = append(g.hostChain, nil)
+	return id, true
 }
 
 // NumZones reports the number of zones in the graph (root excluded).
@@ -140,6 +117,12 @@ func (g *Graph) NumZones() int { return len(g.zones) }
 
 // NumHosts reports the number of distinct nameserver hosts.
 func (g *Graph) NumHosts() int { return len(g.hosts) }
+
+// NumChains reports the number of distinct interned delegation chains.
+func (g *Graph) NumChains() int { return len(g.chains) }
+
+// NumNames reports the number of surveyed names in the graph.
+func (g *Graph) NumNames() int { return len(g.nameChain) }
 
 // Hosts returns all nameserver host names; the slice is shared, do not
 // modify.
@@ -157,6 +140,9 @@ func (g *Graph) HostID(host string) (int32, bool) {
 // Zones returns all zone apexes; the slice is shared, do not modify.
 func (g *Graph) Zones() []string { return g.zones }
 
+// Zone returns the zone apex for an interned id.
+func (g *Graph) Zone(id int32) string { return g.zones[id] }
+
 // ZoneNS returns the NS host ids of a zone apex.
 func (g *Graph) ZoneNS(apex string) []int32 {
 	id, ok := g.zoneID[dnsname.Canonical(apex)]
@@ -165,6 +151,14 @@ func (g *Graph) ZoneNS(apex string) []int32 {
 	}
 	return g.zoneNS[id]
 }
+
+// ZoneNSIDs returns the NS host ids of an interned zone id; the slice is
+// shared, do not modify.
+func (g *Graph) ZoneNSIDs(z int32) []int32 { return g.zoneNS[z] }
+
+// HostChainIDs returns the zone ids on an interned host's address chain;
+// the slice is shared, do not modify.
+func (g *Graph) HostChainIDs(h int32) []int32 { return g.hostChain[h] }
 
 // HostChainZones returns the zone apexes on host's address chain.
 func (g *Graph) HostChainZones(host string) []string {
@@ -189,12 +183,30 @@ func (g *Graph) Names() []string {
 	return out
 }
 
+// NameChainID returns the interned chain id of a surveyed name and
+// whether the name is in the survey. Names sharing a delegation chain
+// share a chain id, so per-chain analysis results (TCBs, min-cuts) can be
+// memoized by id instead of re-joining zone strings.
+func (g *Graph) NameChainID(name string) (int32, bool) {
+	id, ok := g.nameChain[dnsname.Canonical(name)]
+	return id, ok
+}
+
+// ChainZoneIDs returns the zone ids of an interned chain, TLD-first; the
+// slice is shared, do not modify.
+func (g *Graph) ChainZoneIDs(cid int32) []int32 { return g.chains[cid] }
+
+// ChainTCBIDs returns the sorted host ids of the TCB shared by every name
+// on the interned chain; the slice is shared, do not modify.
+func (g *Graph) ChainTCBIDs(cid int32) []int32 { return g.chainTCB[cid] }
+
 // NameChainZones returns the zone apexes on a surveyed name's chain.
 func (g *Graph) NameChainZones(name string) []string {
-	chain, ok := g.nameChain[dnsname.Canonical(name)]
+	cid, ok := g.nameChain[dnsname.Canonical(name)]
 	if !ok {
 		return nil
 	}
+	chain := g.chains[cid]
 	out := make([]string, 0, len(chain))
 	for _, zid := range chain {
 		out = append(out, g.zones[zid])
@@ -328,6 +340,21 @@ func (g *Graph) computeClosures() {
 	}
 }
 
+// computeChainTCBs unions zone closures into one TCB per interned chain.
+// Every name on the chain shares the resulting slice, so the per-name
+// Figure 2/5/6 passes become O(1) lookups.
+func (g *Graph) computeChainTCBs() {
+	g.chainTCB = make([][]int32, len(g.chains))
+	for ci, chain := range g.chains {
+		var tcb []int32
+		for _, z := range chain {
+			tcb = append(tcb, g.closure[z]...)
+		}
+		sortUnique(&tcb)
+		g.chainTCB[ci] = tcb
+	}
+}
+
 // ZoneClosure returns the sorted host ids transitively reachable from a
 // zone apex (its full server dependency set).
 func (g *Graph) ZoneClosure(apex string) []int32 {
@@ -340,18 +367,14 @@ func (g *Graph) ZoneClosure(apex string) []int32 {
 
 // TCBIDs returns the sorted host ids of name's trusted computing base:
 // the union of the closures of every zone on its delegation chain. Root
-// servers are excluded (chains never include the root).
+// servers are excluded (chains never include the root). The slice is
+// shared with every name on the same chain; do not modify.
 func (g *Graph) TCBIDs(name string) ([]int32, error) {
-	chain, ok := g.nameChain[dnsname.Canonical(name)]
+	cid, ok := g.nameChain[dnsname.Canonical(name)]
 	if !ok {
 		return nil, fmt.Errorf("core: name %q not in survey", name)
 	}
-	var tcb []int32
-	for _, z := range chain {
-		tcb = append(tcb, g.closure[z]...)
-	}
-	sortUnique(&tcb)
-	return tcb, nil
+	return g.chainTCB[cid], nil
 }
 
 // TCB returns the host names of name's trusted computing base, sorted.
@@ -382,10 +405,11 @@ func (g *Graph) TCBSize(name string) int {
 // "only 2.2 servers are administered by the nameowner"; everything else
 // in the TCB is transitive).
 func (g *Graph) DirectNS(name string) ([]string, error) {
-	chain, ok := g.nameChain[dnsname.Canonical(name)]
-	if !ok || len(chain) == 0 {
+	cid, ok := g.nameChain[dnsname.Canonical(name)]
+	if !ok || len(g.chains[cid]) == 0 {
 		return nil, fmt.Errorf("core: name %q not in survey", name)
 	}
+	chain := g.chains[cid]
 	az := chain[len(chain)-1]
 	out := make([]string, 0, len(g.zoneNS[az]))
 	for _, id := range g.zoneNS[az] {

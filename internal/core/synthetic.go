@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// SyntheticBuild streams a synthetic corpus of the given size through a
+// fresh Builder and finishes it, returning the graph and the wall time
+// Finish took. It is the single measurement body shared by the build
+// benchmarks in bench_test.go and cmd/dnsbench, so both report the same
+// quantity.
+func SyntheticBuild(names int) (*Graph, time.Duration) {
+	b := NewBuilder(names)
+	FeedSynthetic(b, names)
+	start := time.Now()
+	g := b.Finish()
+	return g, time.Since(start)
+}
+
+// FeedSynthetic streams a synthetic corpus of the given size into b,
+// exercising the incremental build path exactly the way a crawl does:
+// zone-discovered and chain-resolved events interleaved with per-name
+// completions, in causal order. It is the shared driver of the
+// million-name build benchmarks (bench_test.go, cmd/dnsbench), shaped
+// like the paper's survey: a fixed TLD layer, hostingDomains provider
+// domains with in-bailiwick nameservers, and names/name-chains riding
+// them — so distinct delegation chains number ~hostingDomains while
+// names number `names`, and memory growth per name isolates the
+// per-name cost of graph construction.
+func FeedSynthetic(b *Builder, names int) {
+	const tlds = 12
+	const namesPerDomain = 50
+	domains := names / namesPerDomain
+	if domains < 1 {
+		domains = 1
+	}
+
+	tld := func(i int) string { return fmt.Sprintf("tld%d", i) }
+	// TLD layer: each TLD served by two shared registry hosts whose
+	// chains terminate at the TLD layer itself.
+	for i := 0; i < tlds; i++ {
+		ns1 := fmt.Sprintf("a.reg%d.%s", i%4, tld(i))
+		ns2 := fmt.Sprintf("b.reg%d.%s", i%4, tld(i))
+		b.ObserveZone(tld(i), []string{ns1, ns2})
+		b.ObserveChain(ns1, []string{tld(i)})
+		b.ObserveChain(ns2, []string{tld(i)})
+	}
+	// Hosting domains with two in-bailiwick nameservers each, then the
+	// domain's share of surveyed names.
+	for d := 0; d < domains; d++ {
+		zt := tld(d % tlds)
+		dom := fmt.Sprintf("dom%d.%s", d, zt)
+		ns1 := "ns1." + dom
+		ns2 := "ns2." + dom
+		b.ObserveZone(dom, []string{ns1, ns2})
+		b.ObserveChain(ns1, []string{zt, dom})
+		b.ObserveChain(ns2, []string{zt, dom})
+		hi := (d + 1) * namesPerDomain
+		if d == domains-1 || hi > names {
+			hi = names // the last domain absorbs any remainder
+		}
+		for n := d * namesPerDomain; n < hi; n++ {
+			b.Complete(fmt.Sprintf("www%d.%s", n, dom), []string{zt, dom})
+		}
+	}
+}

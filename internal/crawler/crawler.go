@@ -8,9 +8,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"dnstrust/internal/core"
 	"dnstrust/internal/dnsname"
@@ -25,29 +27,48 @@ type Config struct {
 	// SkipVersionProbe disables banner collection (banners come back
 	// empty, i.e. optimistically safe).
 	SkipVersionProbe bool
+	// MemoFile, when non-empty, persists the walker's (name, qtype)
+	// query memo: an existing file is loaded before the crawl (resuming
+	// an interrupted run without re-asking answered questions) and the
+	// memo is saved back after the walk phase, even when the crawl is
+	// cancelled partway.
+	MemoFile string
 	// Progress, when non-nil, receives the number of names completed so
 	// far at coarse intervals.
 	Progress func(done, total int)
 }
 
 // CrawlStats summarizes the engine's work for one crawl: scale, the
-// parallelism used, and how much of the walk load was absorbed by the
-// walker's dedup layers instead of crossing the transport.
+// parallelism used, how much of the walk load was absorbed by the
+// walker's dedup layers instead of crossing the transport, and where the
+// wall time went between the streaming walk and the closure build.
 type CrawlStats struct {
 	// Workers is the parallelism the crawl ran with.
 	Workers int
 	// Walker carries the walker's query/memo/single-flight counters.
 	Walker resolver.Stats
+	// MemoLoaded is the number of query-memo entries resumed from
+	// Config.MemoFile (0 when persistence is off or the file was absent).
+	MemoLoaded int
+	// MemoSaveErr records a failure to persist the query memo after an
+	// otherwise successful crawl (the survey is still returned; only the
+	// resume state was lost).
+	MemoSaveErr error
+	// WalkTime is the wall time of the streaming phase: corpus walk plus
+	// incremental graph assembly, which overlap completely.
+	WalkTime time.Duration
+	// BuildTime is the wall time of Builder.Finish — the Tarjan
+	// condensation, closure, and per-chain TCB pass over the already
+	// compact arrays. This is the only post-crawl barrier left.
+	BuildTime time.Duration
 }
 
-// Survey is the complete dataset of one crawl: the dependency snapshot,
-// the banner of every discovered server, and the vulnerability analysis
+// Survey is the complete dataset of one crawl: the dependency graph, the
+// banner of every discovered server, and the vulnerability analysis
 // against the BIND matrix.
 type Survey struct {
-	// Graph is the dependency graph built from the crawl.
+	// Graph is the dependency graph built incrementally during the crawl.
 	Graph *core.Graph
-	// Snapshot is the raw walker output.
-	Snapshot *resolver.Snapshot
 	// Names lists the successfully surveyed names.
 	Names []string
 	// Failed maps names that could not be walked to their errors.
@@ -62,6 +83,30 @@ type Survey struct {
 	// Stats summarizes the crawl engine's work (zero for surveys built
 	// from a snapshot rather than crawled).
 	Stats CrawlStats
+
+	// walker backs the lazy Snapshot reconstruction for crawled surveys.
+	walker   *resolver.Walker
+	snapOnce sync.Once
+	snap     *resolver.Snapshot
+}
+
+// Snapshot returns the legacy string-keyed view of the survey's
+// dependency structure. Crawled surveys no longer materialize it during
+// the crawl — it is reconstructed on first use from the walker's caches
+// and the graph (an O(corpus) string conversion; analyses should prefer
+// the Graph's interned ids).
+func (s *Survey) Snapshot() *resolver.Snapshot {
+	s.snapOnce.Do(func() {
+		if s.snap != nil || s.walker == nil {
+			return
+		}
+		nameChains := make(map[string][]string, len(s.Names))
+		for _, n := range s.Names {
+			nameChains[n] = s.Graph.NameChainZones(n)
+		}
+		s.snap = s.walker.Snapshot(nameChains, s.Failed)
+	})
+	return s.snap
 }
 
 // Vulnerable reports whether a host has at least one known exploit.
@@ -97,12 +142,12 @@ func (s *Survey) VulnerableHosts() int {
 // Useful for hand-built scenario worlds.
 func FromSnapshot(snap *resolver.Snapshot) *Survey {
 	s := &Survey{
-		Graph:    core.Build(snap),
-		Snapshot: snap,
-		Failed:   snap.Failed,
-		Banner:   make(map[string]string),
-		Vulns:    make(map[string][]vulndb.Vuln),
-		DB:       vulndb.Default(),
+		Graph:  core.Build(snap),
+		snap:   snap,
+		Failed: snap.Failed,
+		Banner: make(map[string]string),
+		Vulns:  make(map[string][]vulndb.Vuln),
+		DB:     vulndb.Default(),
 	}
 	for name := range snap.NameChain {
 		s.Names = append(s.Names, name)
@@ -111,17 +156,53 @@ func FromSnapshot(snap *resolver.Snapshot) *Survey {
 	return s
 }
 
+// eventKind tags one entry of the crawl's unified event stream.
+type eventKind uint8
+
+const (
+	evZone eventKind = iota
+	evChain
+	evResult
+)
+
+// event is one unit of the crawl stream: a walker discovery (zone or
+// chain) or a finished per-name walk result. Everything flows through
+// one FIFO channel, so the assembler observes zones before the chains
+// that traverse them and chains before the results that depend on them.
+type event struct {
+	kind  eventKind
+	key   string
+	hosts []string
+	chain []string
+	err   error
+}
+
+// chanObserver forwards walker discovery events into the crawl stream.
+// Sends are unconditional: the assembler drains the channel until every
+// worker has exited, so a send can never block indefinitely.
+type chanObserver chan<- event
+
+func (c chanObserver) ZoneDiscovered(apex, _ string, nsHosts []string) {
+	c <- event{kind: evZone, key: apex, hosts: nsHosts}
+}
+
+func (c chanObserver) ChainResolved(key string, chain []string) {
+	c <- event{kind: evChain, key: key, chain: chain}
+}
+
 // Run crawls the corpus over the given resolver and version prober.
 // probe fetches the version.bind banner of a nameserver host; pass nil to
 // skip fingerprinting.
 //
-// The crawl is a streaming pipeline: a feeder pushes corpus names into a
-// bounded channel, the worker pool walks them over a shared (sharded,
-// single-flight) Walker, and completed results flow straight into the
-// snapshot assembler as each name finishes — there is no end-of-crawl
-// barrier between walking and assembly. Cancellation drains the
-// pipeline; worker-level failures are aggregated per worker and joined
-// into the returned error.
+// The crawl is a streaming pipeline with incremental graph assembly: a
+// feeder pushes corpus names into a bounded channel, the worker pool
+// walks them over a shared (sharded, single-flight) Walker, and every
+// discovery — zone cut, delegation chain, finished name — flows through
+// one event stream into the core.Builder, which interns it into compact
+// int32 ids on arrival. There is no end-of-crawl re-walk of the
+// dependency state and no string-keyed corpus buffer; Finish only runs
+// the closure pass. Cancellation drains the pipeline; worker-level
+// failures are aggregated per worker and joined into the returned error.
 func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(ctx context.Context, host string) (string, error), cfg Config) (*Survey, error) {
 	if len(corpus) == 0 {
 		return nil, fmt.Errorf("crawler: empty corpus")
@@ -132,15 +213,21 @@ func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(
 	}
 	w := resolver.NewWalker(r)
 
-	type walkOut struct {
-		name  string
-		chain []string
-		err   error
+	memoLoaded := 0
+	if cfg.MemoFile != "" {
+		n, err := loadMemoFile(w, cfg.MemoFile)
+		if err != nil {
+			return nil, err
+		}
+		memoLoaded = n
 	}
-	// Bounded channels keep memory flat at any corpus size: the feeder
-	// stays a few names ahead, and results are absorbed as they complete.
+
+	// One unified event stream: walker discoveries and walk results share
+	// a FIFO channel, preserving the causal order the builder relies on.
+	events := make(chan event, workers*4)
+	w.SetObserver(chanObserver(events))
+
 	in := make(chan string, workers*2)
-	out := make(chan walkOut, workers*2)
 	workerErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -155,12 +242,7 @@ func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(
 					workerErrs[id] = fmt.Errorf("crawler: worker %d aborted: %w", id, err)
 					return
 				}
-				select {
-				case out <- walkOut{name: name, chain: chain, err: err}:
-				case <-ctx.Done():
-					workerErrs[id] = fmt.Errorf("crawler: worker %d aborted: %w", id, ctx.Err())
-					return
-				}
+				events <- event{kind: evResult, key: name, chain: chain, err: err}
 			}
 		}(i)
 	}
@@ -176,42 +258,72 @@ func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(
 	}()
 	go func() {
 		wg.Wait()
-		close(out)
+		close(events)
 	}()
 
-	// Snapshot assembler: absorbs results as names complete.
+	// Incremental assembler: absorbs discoveries and results into the
+	// graph's intern tables as they stream in.
+	walkStart := time.Now()
 	asm := core.NewBuilder(len(corpus))
-	for res := range out {
-		if res.err != nil {
-			asm.Fail(res.name, res.err)
-		} else {
-			asm.Complete(res.name, res.chain)
-		}
-		if cfg.Progress != nil && asm.Done()%1000 == 0 {
-			cfg.Progress(asm.Done(), len(corpus))
+	for ev := range events {
+		switch ev.kind {
+		case evZone:
+			asm.ObserveZone(ev.key, ev.hosts)
+		case evChain:
+			asm.ObserveChain(ev.key, ev.chain)
+		case evResult:
+			if ev.err != nil {
+				asm.Fail(ev.key, ev.err)
+			} else {
+				asm.Complete(ev.key, ev.chain)
+			}
+			if cfg.Progress != nil && asm.Done()%1000 == 0 {
+				cfg.Progress(asm.Done(), len(corpus))
+			}
 		}
 	}
+	walkTime := time.Since(walkStart)
+
+	// Persist the query memo before reporting any error: resuming an
+	// interrupted crawl is exactly the point of the memo file. A save
+	// failure must not discard a completed survey (the memo is
+	// best-effort resume state) — it is joined onto abort errors and
+	// otherwise surfaced through Stats.MemoSaveErr. Either way the memo
+	// is released afterwards — the Survey keeps the walker alive for
+	// lazy Snapshot reconstruction, and the O(queries) memo of cached
+	// responses must not ride along.
+	var memoErr error
+	if cfg.MemoFile != "" {
+		memoErr = saveMemoFile(w, cfg.MemoFile)
+	}
+	w.ReleaseQueryMemo()
 	if err := ctx.Err(); err != nil {
-		return nil, errors.Join(append([]error{err}, workerErrs...)...)
+		return nil, errors.Join(append([]error{err, memoErr}, workerErrs...)...)
 	}
 	if err := errors.Join(workerErrs...); err != nil {
-		return nil, err
+		return nil, errors.Join(err, memoErr)
 	}
 
-	// Extract the walker's sharded discovery state and fold the streamed
-	// name results into it.
-	snap := w.Snapshot(nil, nil)
-	graph := asm.Finish(snap)
+	buildStart := time.Now()
+	graph := asm.Finish()
+	buildTime := time.Since(buildStart)
 
 	s := &Survey{
-		Graph:    graph,
-		Snapshot: snap,
-		Names:    asm.Names(),
-		Failed:   asm.Failed(),
-		Banner:   make(map[string]string),
-		Vulns:    make(map[string][]vulndb.Vuln),
-		DB:       vulndb.Default(),
-		Stats:    CrawlStats{Workers: workers, Walker: w.Stats()},
+		Graph:  graph,
+		Names:  asm.Names(),
+		Failed: asm.Failed(),
+		Banner: make(map[string]string),
+		Vulns:  make(map[string][]vulndb.Vuln),
+		DB:     vulndb.Default(),
+		Stats: CrawlStats{
+			Workers:     workers,
+			Walker:      w.Stats(),
+			MemoLoaded:  memoLoaded,
+			MemoSaveErr: memoErr,
+			WalkTime:    walkTime,
+			BuildTime:   buildTime,
+		},
+		walker: w,
 	}
 
 	// Fingerprint every discovered nameserver.
@@ -221,6 +333,49 @@ func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(
 		}
 	}
 	return s, nil
+}
+
+// loadMemoFile resumes the walker's query memo from path; a missing file
+// is a fresh start, not an error.
+func loadMemoFile(w *resolver.Walker, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("crawler: memo file: %w", err)
+	}
+	defer f.Close()
+	n, err := w.LoadMemo(f)
+	if err != nil {
+		return n, fmt.Errorf("crawler: memo file %s: %w", path, err)
+	}
+	return n, nil
+}
+
+// saveMemoFile persists the walker's query memo to path atomically
+// (write to a temp file, then rename), so an interrupt during save never
+// corrupts an earlier memo.
+func saveMemoFile(w *resolver.Walker, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("crawler: memo file: %w", err)
+	}
+	if _, err := w.SaveMemo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("crawler: memo file %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("crawler: memo file %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("crawler: memo file: %w", err)
+	}
+	return nil
 }
 
 func (s *Survey) probeAll(ctx context.Context, probe func(ctx context.Context, host string) (string, error), workers int) error {

@@ -1,0 +1,121 @@
+package crawler_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dnstrust/internal/core"
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/mincut"
+	"dnstrust/internal/topology"
+)
+
+// TestIncrementalBuildMatchesLegacy is the equivalence property test for
+// the streaming graph pipeline: on randomized generator worlds, the
+// graph assembled incrementally during a parallel crawl must be
+// semantically identical — same names, same host/zone sets, same zone
+// closures, same TCBs, same min-cuts — to the legacy batch Build over
+// the reconstructed snapshot. Intern ids may differ (arrival order vs
+// sorted order); everything observable through names must not.
+func TestIncrementalBuildMatchesLegacy(t *testing.T) {
+	for _, seed := range []int64{7, 21, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			world, err := topology.Generate(topology.GenParams{Seed: seed, Names: 500})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := topology.NewDirectTransport(world.Registry)
+			r, err := world.Registry.Resolver(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := crawler.Run(context.Background(), r, world.Corpus,
+				world.Registry.ProbeFunc(tr), crawler.Config{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed := s.Graph
+			legacy := core.Build(s.Snapshot())
+
+			// Same surveyed names.
+			if got, want := streamed.Names(), legacy.Names(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("name sets differ: %d vs %d names", len(got), len(want))
+			}
+			// Same host and zone sets (ids may differ; sets must not).
+			if got, want := sortedCopy(streamed.Hosts()), sortedCopy(legacy.Hosts()); !reflect.DeepEqual(got, want) {
+				t.Fatalf("host sets differ: %d vs %d hosts", len(got), len(want))
+			}
+			if got, want := sortedCopy(streamed.Zones()), sortedCopy(legacy.Zones()); !reflect.DeepEqual(got, want) {
+				t.Fatalf("zone sets differ: %d vs %d zones", len(got), len(want))
+			}
+
+			// Same closure per zone.
+			for _, apex := range legacy.Zones() {
+				if got, want := closureSet(streamed, apex), closureSet(legacy, apex); !reflect.DeepEqual(got, want) {
+					t.Fatalf("closure(%s) differs:\nstreamed %v\nlegacy   %v", apex, got, want)
+				}
+			}
+
+			// Same TCB per name (TCB() returns sorted host names).
+			for _, n := range legacy.Names() {
+				st, err1 := streamed.TCB(n)
+				lt, err2 := legacy.TCB(n)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("TCB(%s) error mismatch: %v vs %v", n, err1, err2)
+				}
+				if !reflect.DeepEqual(st, lt) {
+					t.Fatalf("TCB(%s) differs:\nstreamed %v\nlegacy   %v", n, st, lt)
+				}
+			}
+
+			// Same min-cuts on a sample of names (min-cut size and the
+			// minimized safe count are graph invariants).
+			vuln := func(h string) bool { return s.Vulnerable(h) }
+			names := legacy.Names()
+			step := len(names)/40 + 1
+			for i := 0; i < len(names); i += step {
+				n := names[i]
+				sd, err1 := streamed.Digraph(n)
+				ld, err2 := legacy.Digraph(n)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("Digraph(%s) error mismatch: %v vs %v", n, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				sres, err := mincut.Analyze(sd, vuln)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lres, err := mincut.Analyze(ld, vuln)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sres.Size != lres.Size || sres.SafeInCut != lres.SafeInCut {
+					t.Fatalf("min-cut(%s) differs: size %d/%d, safe %d/%d",
+						n, sres.Size, lres.Size, sres.SafeInCut, lres.SafeInCut)
+				}
+			}
+		})
+	}
+}
+
+func sortedCopy(s []string) []string {
+	cp := append([]string(nil), s...)
+	sort.Strings(cp)
+	return cp
+}
+
+func closureSet(g *core.Graph, apex string) []string {
+	ids := g.ZoneClosure(apex)
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, g.Host(id))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+package crawler_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/topology"
+)
+
+// TestMemoFileResume proves query-memo persistence end to end: a crawl
+// with Config.MemoFile saves its (name, qtype) memo, and a second crawl
+// of the same world — fresh walker, fresh transport — reloads it and
+// crosses the transport zero times while producing the identical survey.
+func TestMemoFileResume(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 17, Names: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoFile := filepath.Join(t.TempDir(), "crawl.memo")
+
+	runOnce := func() (*crawler.Survey, int64) {
+		tr := topology.NewDirectTransport(world.Registry)
+		r, err := world.Registry.Resolver(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := crawler.Run(context.Background(), r, world.Corpus, nil,
+			crawler.Config{Workers: 4, SkipVersionProbe: true, MemoFile: memoFile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, tr.Queries()
+	}
+
+	s1, q1 := runOnce()
+	if q1 == 0 {
+		t.Fatal("first crawl issued no transport queries")
+	}
+	if s1.Stats.MemoLoaded != 0 {
+		t.Fatalf("first crawl loaded %d memo entries from a fresh file", s1.Stats.MemoLoaded)
+	}
+	if _, err := os.Stat(memoFile); err != nil {
+		t.Fatalf("memo file not written: %v", err)
+	}
+
+	s2, q2 := runOnce()
+	if q2 != 0 {
+		t.Errorf("resumed crawl issued %d transport queries, want 0 (all answered from the memo)", q2)
+	}
+	if s2.Stats.MemoLoaded == 0 {
+		t.Error("resumed crawl reports no memo entries loaded")
+	}
+
+	// The resumed survey must be identical in shape and content.
+	if len(s1.Names) != len(s2.Names) || s1.Graph.NumHosts() != s2.Graph.NumHosts() ||
+		s1.Graph.NumZones() != s2.Graph.NumZones() {
+		t.Fatalf("resumed survey differs: %d/%d names, %d/%d hosts, %d/%d zones",
+			len(s1.Names), len(s2.Names), s1.Graph.NumHosts(), s2.Graph.NumHosts(),
+			s1.Graph.NumZones(), s2.Graph.NumZones())
+	}
+	for i, n := range s1.Names {
+		if s2.Names[i] != n {
+			t.Fatalf("names differ at %d: %q vs %q", i, n, s2.Names[i])
+		}
+		if a, b := s1.Graph.TCBSize(n), s2.Graph.TCBSize(n); a != b {
+			t.Fatalf("TCB(%s) differs after resume: %d vs %d", n, a, b)
+		}
+	}
+}
+
+// TestMemoFileSaveFailureKeepsSurvey checks that losing the resume
+// state (an unwritable memo path) does not discard a completed crawl:
+// the survey is returned and the failure is surfaced via Stats.
+func TestMemoFileSaveFailureKeepsSurvey(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 17, Names: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := world.Registry.Resolver(topology.NewDirectTransport(world.Registry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoFile := filepath.Join(t.TempDir(), "no", "such", "dir", "crawl.memo")
+	s, err := crawler.Run(context.Background(), r, world.Corpus, nil,
+		crawler.Config{SkipVersionProbe: true, MemoFile: memoFile})
+	if err != nil {
+		t.Fatalf("crawl must survive a memo-save failure, got %v", err)
+	}
+	if s.Stats.MemoSaveErr == nil {
+		t.Error("Stats.MemoSaveErr must record the lost resume state")
+	}
+	if len(s.Names) != len(world.Corpus) {
+		t.Errorf("surveyed %d of %d names", len(s.Names), len(world.Corpus))
+	}
+}
+
+// TestMemoFileRejectsGarbage checks that a corrupt memo file fails the
+// crawl loudly instead of silently resuming from nothing.
+func TestMemoFileRejectsGarbage(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 17, Names: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoFile := filepath.Join(t.TempDir(), "garbage.memo")
+	if err := os.WriteFile(memoFile, []byte("not a memo file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := world.Registry.Resolver(topology.NewDirectTransport(world.Registry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crawler.Run(context.Background(), r, world.Corpus, nil,
+		crawler.Config{SkipVersionProbe: true, MemoFile: memoFile}); err == nil {
+		t.Error("crawl with a corrupt memo file must error")
+	}
+}

@@ -1,0 +1,151 @@
+package resolver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"dnstrust/internal/dnswire"
+)
+
+// Query-memo persistence: the walker's (name, qtype) memo — the layer
+// that makes every logical query cross the transport exactly once — can
+// be serialized to disk and reloaded into a fresh walker, so an
+// interrupted large crawl resumes without re-asking questions it already
+// answered. Only completed, successful answers are persisted: failures
+// and in-flight entries must be retried by the resumed crawl.
+//
+// Format (little-endian): the magic header, then one record per entry:
+//
+//	uint16 nameLen | name bytes | uint16 qtype | uint32 msgLen | packed DNS message
+var memoMagic = []byte("DNSQMEMO1\n")
+
+// SaveMemo writes every completed, successful memo entry to dst and
+// returns how many records were written. Call it only when no walks are
+// in flight (after the crawl's workers have stopped). Records are sorted
+// by (name, qtype) so equal memos serialize identically.
+func (w *Walker) SaveMemo(dst io.Writer) (int, error) {
+	type rec struct {
+		key  queryKey
+		resp *dnswire.Message
+	}
+	var recs []rec
+	for i := range w.qmemo {
+		qs := &w.qmemo[i]
+		qs.mu.Lock()
+		for key, e := range qs.m {
+			select {
+			case <-e.done:
+			default:
+				continue // still in flight: not resumable state
+			}
+			if e.err != nil || e.resp == nil {
+				continue
+			}
+			recs = append(recs, rec{key: key, resp: e.resp})
+		}
+		qs.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].key.name != recs[j].key.name {
+			return recs[i].key.name < recs[j].key.name
+		}
+		return recs[i].key.qtype < recs[j].key.qtype
+	})
+
+	bw := bufio.NewWriter(dst)
+	if _, err := bw.Write(memoMagic); err != nil {
+		return 0, err
+	}
+	n := 0
+	var hdr [8]byte
+	for _, r := range recs {
+		msg, err := r.resp.Pack()
+		if err != nil {
+			// An unpackable answer (synthetic transports can carry
+			// them) is simply not persisted; the resumed crawl re-asks.
+			continue
+		}
+		if len(r.key.name) > 0xffff {
+			continue
+		}
+		binary.LittleEndian.PutUint16(hdr[0:2], uint16(len(r.key.name)))
+		if _, err := bw.Write(hdr[0:2]); err != nil {
+			return n, err
+		}
+		if _, err := bw.WriteString(r.key.name); err != nil {
+			return n, err
+		}
+		binary.LittleEndian.PutUint16(hdr[0:2], uint16(r.key.qtype))
+		binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(msg)))
+		if _, err := bw.Write(hdr[0:6]); err != nil {
+			return n, err
+		}
+		if _, err := bw.Write(msg); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// LoadMemo reads records written by SaveMemo from src and installs them
+// as completed memo entries, returning how many were loaded. Entries
+// already present (loaded or queried earlier) are kept, not overwritten.
+// Call it before the first walk.
+func (w *Walker) LoadMemo(src io.Reader) (int, error) {
+	br := bufio.NewReader(src)
+	magic := make([]byte, len(memoMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, fmt.Errorf("resolver: memo header: %w", err)
+	}
+	if string(magic) != string(memoMagic) {
+		return 0, fmt.Errorf("resolver: not a query-memo file")
+	}
+	loaded := 0
+	var hdr [6]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[0:2]); err != nil {
+			if err == io.EOF {
+				return loaded, nil
+			}
+			return loaded, fmt.Errorf("resolver: memo record: %w", err)
+		}
+		nameLen := binary.LittleEndian.Uint16(hdr[0:2])
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return loaded, fmt.Errorf("resolver: memo record: %w", err)
+		}
+		if _, err := io.ReadFull(br, hdr[0:6]); err != nil {
+			return loaded, fmt.Errorf("resolver: memo record: %w", err)
+		}
+		qtype := dnswire.Type(binary.LittleEndian.Uint16(hdr[0:2]))
+		msgLen := binary.LittleEndian.Uint32(hdr[2:6])
+		// Packed DNS messages top out at the 16-bit TCP length; anything
+		// larger is corruption — reject before trusting it as an
+		// allocation size.
+		if msgLen > 0xffff {
+			return loaded, fmt.Errorf("resolver: memo message for %q: implausible length %d", name, msgLen)
+		}
+		msg := make([]byte, msgLen)
+		if _, err := io.ReadFull(br, msg); err != nil {
+			return loaded, fmt.Errorf("resolver: memo record: %w", err)
+		}
+		resp, err := dnswire.Unpack(msg)
+		if err != nil {
+			return loaded, fmt.Errorf("resolver: memo message for %q: %w", name, err)
+		}
+		key := queryKey{name: string(name), qtype: qtype}
+		qs := &w.qmemo[fnv1a(key.name)&(numShards-1)]
+		done := make(chan struct{})
+		close(done)
+		qs.mu.Lock()
+		if _, ok := qs.m[key]; !ok {
+			qs.m[key] = &queryEntry{done: done, resp: resp}
+			loaded++
+		}
+		qs.mu.Unlock()
+	}
+}

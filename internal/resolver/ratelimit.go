@@ -1,0 +1,92 @@
+package resolver
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// rateLimiter paces transport queries with one token bucket per server
+// address: a crawl may hammer its own walk pipeline as hard as it likes,
+// but no single remote nameserver sees more than the configured sustained
+// rate. Buckets refill continuously at rate tokens/sec up to burst;
+// callers that find the bucket empty reserve the next future token and
+// sleep until it matures, so waiters are admitted strictly in arrival
+// order per server without a queue.
+//
+// The clock (now) and the blocking primitive (sleep) are injectable for
+// tests; nil selects the real time.Now and a timer-based sleep.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+
+	mu      sync.Mutex
+	buckets map[netip.Addr]*bucket
+}
+
+type bucket struct {
+	tokens float64 // may go negative: reserved future tokens
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int, now func() time.Time, sleep func(context.Context, time.Duration) error) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		sleep:   sleep,
+		buckets: make(map[netip.Addr]*bucket),
+	}
+}
+
+// wait blocks until addr's bucket grants a token or ctx is done. The
+// reservation is made under the lock; the sleep happens outside it, so
+// waiters on different servers never serialize on each other.
+func (l *rateLimiter) wait(ctx context.Context, addr netip.Addr) error {
+	l.mu.Lock()
+	t := l.now()
+	b := l.buckets[addr]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[addr] = b
+	}
+	b.tokens += t.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = t
+	b.tokens--
+	var d time.Duration
+	if b.tokens < 0 {
+		d = time.Duration(-b.tokens / l.rate * float64(time.Second))
+	}
+	l.mu.Unlock()
+	if d > 0 {
+		return l.sleep(ctx, d)
+	}
+	return nil
+}
+
+// sleepCtx is the production sleep: a timer racing ctx cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,124 @@
+package resolver
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the rate limiter deterministically: sleep advances
+// the clock instead of blocking, and every requested delay is recorded.
+type fakeClock struct {
+	t      time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func (c *fakeClock) sleep(_ context.Context, d time.Duration) error {
+	c.sleeps = append(c.sleeps, d)
+	c.t = c.t.Add(d)
+	return nil
+}
+
+func TestRateLimiterBurstThenPaced(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(10, 2, clk.now, clk.sleep) // 10 qps, burst 2
+	addr := netip.MustParseAddr("192.0.2.1")
+	ctx := context.Background()
+
+	// The burst passes with no sleep.
+	for i := 0; i < 2; i++ {
+		if err := l.wait(ctx, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(clk.sleeps) != 0 {
+		t.Fatalf("burst slept: %v", clk.sleeps)
+	}
+
+	// Subsequent queries are paced at exactly 1/rate = 100ms apart.
+	for i := 0; i < 3; i++ {
+		if err := l.wait(ctx, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(clk.sleeps) != 3 {
+		t.Fatalf("paced queries slept %d times, want 3", len(clk.sleeps))
+	}
+	for i, d := range clk.sleeps {
+		if d < 99*time.Millisecond || d > 101*time.Millisecond {
+			t.Errorf("sleep %d = %v, want ~100ms", i, d)
+		}
+	}
+}
+
+func TestRateLimiterRefillsWhileIdle(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(10, 1, clk.now, clk.sleep)
+	addr := netip.MustParseAddr("192.0.2.1")
+	ctx := context.Background()
+
+	if err := l.wait(ctx, addr); err != nil {
+		t.Fatal(err)
+	}
+	// Idle long enough to mature a fresh token: no sleep needed.
+	clk.t = clk.t.Add(time.Second)
+	if err := l.wait(ctx, addr); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 0 {
+		t.Fatalf("refilled bucket slept: %v", clk.sleeps)
+	}
+}
+
+func TestRateLimiterPerServerIndependence(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(10, 1, clk.now, clk.sleep)
+	ctx := context.Background()
+
+	// Draining server A's bucket must not delay server B.
+	a := netip.MustParseAddr("192.0.2.1")
+	b := netip.MustParseAddr("192.0.2.2")
+	if err := l.wait(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.wait(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 0 {
+		t.Fatalf("independent servers slept: %v", clk.sleeps)
+	}
+}
+
+func TestRateLimiterBurstFloor(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(100, 0, clk.now, clk.sleep) // burst 0 -> 1
+	addr := netip.MustParseAddr("192.0.2.1")
+	if err := l.wait(context.Background(), addr); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 0 {
+		t.Fatal("first query must always pass immediately")
+	}
+}
+
+func TestRateLimiterCancellation(t *testing.T) {
+	clk := newFakeClock()
+	cancelled := context.Canceled
+	sleep := func(ctx context.Context, d time.Duration) error { return cancelled }
+	l := newRateLimiter(1, 1, clk.now, sleep)
+	addr := netip.MustParseAddr("192.0.2.1")
+	ctx := context.Background()
+	if err := l.wait(ctx, addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.wait(ctx, addr); err != cancelled {
+		t.Fatalf("paced wait under cancellation = %v, want context.Canceled", err)
+	}
+}

@@ -43,6 +43,9 @@ var (
 	// ErrLameDelegation is returned when a chain dead-ends: the delegated
 	// servers cannot be addressed or refuse to answer.
 	ErrLameDelegation = errors.New("resolver: lame delegation")
+	// ErrRetryBudget is returned when a query exhausts Config.RetryBudget
+	// server attempts without a usable response.
+	ErrRetryBudget = errors.New("resolver: retry budget exhausted")
 )
 
 // Config tunes a Resolver.
@@ -55,6 +58,19 @@ type Config struct {
 	MaxChainLen int
 	// MaxCNAME bounds CNAME chases; default 8.
 	MaxCNAME int
+	// QueriesPerSec, when positive, paces the survey walker's transport
+	// queries through a per-server token bucket: no single nameserver
+	// sees more than this sustained rate from a crawl, no matter how
+	// many workers share it. 0 disables pacing (synthetic worlds).
+	QueriesPerSec float64
+	// RateBurst is the token-bucket depth (the number of back-to-back
+	// queries one server may absorb before pacing kicks in). Values
+	// below 1 default to 1. Only meaningful with QueriesPerSec.
+	RateBurst int
+	// RetryBudget, when positive, bounds how many servers the walker
+	// tries for one logical query before giving up with ErrRetryBudget.
+	// 0 tries every known server of the zone (the paper's behavior).
+	RetryBudget int
 }
 
 func (c *Config) applyDefaults() {

@@ -92,6 +92,30 @@ type Stats struct {
 	InlineWalks int64
 }
 
+// WalkObserver receives walker discovery events as they stream in, so a
+// consumer (the crawl's graph assembler) can absorb the dependency
+// structure incrementally instead of extracting a full Snapshot at the
+// end. Callbacks fire exactly once per zone/chain, from whichever walk
+// goroutine made the discovery, and crucially *before* the discovery
+// becomes visible to any other walk goroutine: an implementation that
+// forwards events into one FIFO channel therefore observes every zone
+// before any chain that traverses it, and every chain before any walk
+// result that depends on it.
+//
+// Callbacks run while a cache shard lock is held; they must not call back
+// into the Walker and should hand off quickly (a channel send to a
+// dedicated consumer is the intended shape). The slices passed are shared
+// with the walker's caches and must not be modified.
+type WalkObserver interface {
+	// ZoneDiscovered reports a newly discovered zone cut.
+	ZoneDiscovered(apex, parent string, nsHosts []string)
+	// ChainResolved reports the first-resolved zone chain of a key: a
+	// nameserver host, or a surveyed name (both flow through the chain
+	// cache; consumers that care tell them apart by which keys later
+	// appear as NS hosts).
+	ChainResolved(key string, chain []string)
+}
+
 // Walker performs exhaustive dependency walks with global memoization:
 // each zone cut is discovered once, each nameserver host's address chain
 // is walked once, no matter how many surveyed names share them. It
@@ -110,6 +134,8 @@ type Walker struct {
 	shards  [numShards]cacheShard
 	qmemo   [numShards]queryShard
 	flights *flightGroup
+	obs     WalkObserver
+	limiter *rateLimiter
 
 	// nextOwner allocates walk identities for deadlock detection.
 	nextOwner atomic.Int64
@@ -124,6 +150,9 @@ type Walker struct {
 // pre-seeded as the root zone.
 func NewWalker(r *Resolver) *Walker {
 	w := &Walker{r: r, flights: newFlightGroup()}
+	if r.cfg.QueriesPerSec > 0 {
+		w.limiter = newRateLimiter(r.cfg.QueriesPerSec, r.cfg.RateBurst, nil, nil)
+	}
 	for i := range w.shards {
 		w.shards[i].init()
 	}
@@ -141,8 +170,28 @@ func NewWalker(r *Resolver) *Walker {
 	return w
 }
 
+// SetObserver installs the discovery event sink. It must be called
+// before the first walk and at most once; events for the pre-seeded root
+// zone are not replayed (the root is excluded from the dependency graph
+// throughout the paper).
+func (w *Walker) SetObserver(obs WalkObserver) { w.obs = obs }
+
 // Queries reports how many transport queries the walker has issued.
 func (w *Walker) Queries() int { return int(w.queries.Load()) }
+
+// ReleaseQueryMemo drops the (name, qtype) query memo, freeing the
+// cached response messages — O(total queries) of memory a finished crawl
+// no longer needs. Call it only once all walks are done (and after
+// SaveMemo, if persisting): later walks would re-query the transport.
+// The discovery caches (zones, chains, addresses) are unaffected.
+func (w *Walker) ReleaseQueryMemo() {
+	for i := range w.qmemo {
+		qs := &w.qmemo[i]
+		qs.mu.Lock()
+		qs.m = make(map[queryKey]*queryEntry)
+		qs.mu.Unlock()
+	}
+}
 
 // Stats reports the walker's cumulative work counters.
 func (w *Walker) Stats() Stats {
@@ -173,6 +222,12 @@ func (w *Walker) storeChain(name string, chain []string) {
 	s.mu.Lock()
 	if _, ok := s.chains[name]; !ok {
 		s.chains[name] = chain
+		// Emitted under the shard lock so the event is enqueued before
+		// any other goroutine can read the chain from the cache — the
+		// ordering guarantee WalkObserver documents.
+		if w.obs != nil {
+			w.obs.ChainResolved(name, chain)
+		}
 	}
 	s.mu.Unlock()
 }
@@ -191,6 +246,11 @@ func (w *Walker) recordZone(parent, child string, hosts []string) {
 	s.mu.Lock()
 	if _, known := s.zones[child]; !known {
 		s.zones[child] = &ZoneInfo{Apex: child, Parent: parent, NSHosts: hosts}
+		// Emitted under the shard lock: the zone event is enqueued
+		// before any goroutine can observe the zone and walk its hosts.
+		if w.obs != nil {
+			w.obs.ZoneDiscovered(child, parent, hosts)
+		}
 	}
 	s.mu.Unlock()
 }
@@ -703,13 +763,26 @@ func (w *Walker) queryAny(ctx context.Context, servers []ServerAddr, name string
 	return e.resp, e.err
 }
 
-// dispatch tries servers in order until one gives a usable response.
+// dispatch tries servers in order until one gives a usable response,
+// pacing each attempt through the per-server token bucket (when
+// configured) and stopping once the retry budget is spent.
 func (w *Walker) dispatch(ctx context.Context, servers []ServerAddr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	if len(servers) == 0 {
 		return nil, ErrNoServers
 	}
 	var lastErr error = ErrNoServers
-	for _, srv := range servers {
+	for attempt, srv := range servers {
+		if w.r.cfg.RetryBudget > 0 && attempt >= w.r.cfg.RetryBudget {
+			// Double-%w keeps lastErr in the chain: a wrapped context
+			// cancellation must stay visible to isCtxErr so it is never
+			// memoized as a permanent failure.
+			return nil, fmt.Errorf("%w after %d attempts: %w", ErrRetryBudget, attempt, lastErr)
+		}
+		if w.limiter != nil {
+			if err := w.limiter.wait(ctx, srv.Addr); err != nil {
+				return nil, err
+			}
+		}
 		w.queries.Add(1)
 		resp, err := w.r.tr.Query(ctx, srv.Addr, name, qtype, dnswire.ClassINET)
 		if err != nil {

@@ -42,6 +42,10 @@ type Options struct {
 	// WireFramed routes every query through the full DNS wire codec
 	// (pack + unpack both ways) instead of in-memory message passing.
 	WireFramed bool
+	// MemoFile, when non-empty, persists the crawl's query memo to disk
+	// and reloads it on the next run, resuming an interrupted survey
+	// without re-asking answered questions.
+	MemoFile string
 	// Progress receives crawl progress callbacks when non-nil.
 	Progress func(done, total int)
 }
@@ -82,6 +86,7 @@ func SurveyWorld(ctx context.Context, world *topology.World, opts Options) (*Stu
 	}
 	survey, err := crawler.Run(ctx, r, world.Corpus, world.Registry.ProbeFunc(direct), crawler.Config{
 		Workers:  opts.Workers,
+		MemoFile: opts.MemoFile,
 		Progress: opts.Progress,
 	})
 	if err != nil {
