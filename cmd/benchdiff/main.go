@@ -1,0 +1,140 @@
+// Command benchdiff compares two BENCH_N.json reports (cmd/dnsbench
+// output) and fails loudly when the incremental-build hot path regressed:
+// the gate metric is build nanoseconds per name on the IncrementalBuild
+// benchmarks, the one CPU-bound quantity stable enough to gate CI on.
+// All other shared benchmarks are reported for information only.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_2.json -new /tmp/bench-ci.json [-max-regress 0.25]
+//
+// Exit status: 0 when every gated benchmark is within the allowed
+// regression, 1 otherwise, 2 on usage/IO errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result mirrors cmd/dnsbench's per-benchmark schema.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report mirrors cmd/dnsbench's file schema.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Names      int      `json:"names"`
+	Seed       int64    `json:"seed"`
+	RTT        string   `json:"rtt"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+// gated reports whether a benchmark participates in the regression gate.
+func gated(name string) bool {
+	return strings.HasPrefix(name, "IncrementalBuild/")
+}
+
+// buildScale extracts the name count from an IncrementalBuild benchmark
+// name ("IncrementalBuild/names=100000").
+func buildScale(name string) (float64, bool) {
+	var n float64
+	if _, err := fmt.Sscanf(name, "IncrementalBuild/names=%f", &n); err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous BENCH_N.json (the committed baseline)")
+	newPath := flag.String("new", "", "fresh BENCH json to check")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional regression in build ns/name")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldB, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newB, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newB))
+	for name := range newB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	gatedSeen := 0
+	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		b := newB[name]
+		o, ok := oldB[b.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		delta := (b.NsPerOp - o.NsPerOp) / o.NsPerOp
+		mark := ""
+		if gated(b.Name) {
+			gatedSeen++
+			scale, ok := buildScale(b.Name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchdiff: cannot parse scale from %q\n", b.Name)
+				os.Exit(2)
+			}
+			oldPerName := o.NsPerOp / scale
+			newPerName := b.NsPerOp / scale
+			mark = " [gate]"
+			if newPerName > oldPerName*(1+*maxRegress) {
+				mark = " [FAIL]"
+				failed++
+				fmt.Fprintf(os.Stderr,
+					"benchdiff: %s regressed: %.1f -> %.1f build ns/name (+%.0f%%, limit +%.0f%%)\n",
+					b.Name, oldPerName, newPerName, 100*delta, 100**maxRegress)
+			}
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", b.Name, o.NsPerOp, b.NsPerOp, 100*delta, mark)
+	}
+	if gatedSeen == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no IncrementalBuild benchmarks shared between the reports — nothing gated")
+		os.Exit(1)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("gate passed: %d IncrementalBuild benchmark(s) within +%.0f%% build ns/name\n", gatedSeen, 100**maxRegress)
+}

@@ -8,10 +8,13 @@
 //
 // The crawl benchmarks run over a simulated per-query round-trip
 // (surveys are network-bound; worker scaling means overlapping RTTs),
-// plus a zero-RTT CPU-only crawl, a cache-contention microbench, and the
+// plus a zero-RTT CPU-only crawl, a cache-contention microbench, the
 // incremental graph-build benchmarks (synthetic 100k/1M-name corpora
 // streamed through core.Builder, reporting build time and per-name
-// memory so the flat-memory claim is tracked from PR to PR).
+// memory so the flat-memory claim is tracked from PR to PR), and the
+// Monitor-era benchmarks: incremental epoch adds vs one batch build,
+// view read throughput during a crawl, and the chain-memo cold/warm
+// second-pass ratio on a real survey (-memo-names).
 package main
 
 import (
@@ -25,6 +28,8 @@ import (
 	"testing"
 	"time"
 
+	"dnstrust"
+	"dnstrust/internal/analysis"
 	"dnstrust/internal/core"
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/resolver"
@@ -52,10 +57,11 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output file")
+	out := flag.String("out", "BENCH_3.json", "output file")
 	names := flag.Int("names", 1200, "benchmark corpus size")
 	seed := flag.Int64("seed", 5, "world generation seed")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-query round-trip for crawl benches")
+	memoNames := flag.Int("memo-names", 20_000, "survey size for the chain-memo second-pass benchmark (0 skips it; BENCH_3.json was recorded at 100000)")
 	flag.Parse()
 
 	world, err := topology.Generate(topology.GenParams{Seed: *seed, Names: *names})
@@ -130,6 +136,110 @@ func main() {
 			b.ReportMetric(finishNs/float64(b.N)/1e6, "finish-ms/op")
 		})
 	}
+	// Monitor-era benchmarks: incremental epoch adds vs one batch build,
+	// read throughput against immutable views during a crawl, and the
+	// chain-memo warm/cold ratio the ≥10x second-pass claim rests on.
+	run("MonitorIncrementalAdd/batch=1x1M", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, _ := core.SyntheticBuild(1_000_000)
+			if g.NumNames() != 1_000_000 {
+				b.Fatalf("built %d names", g.NumNames())
+			}
+		}
+		b.ReportMetric(1_000_000*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+	})
+	run("MonitorIncrementalAdd/adds=10x100k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bu := core.NewBuilder(1_000_000)
+			var g *core.Graph
+			for lo := 0; lo < 1_000_000; lo += 100_000 {
+				core.FeedSyntheticRange(bu, lo, lo+100_000, 1_000_000)
+				g = bu.FinishEpoch()
+			}
+			if g.NumNames() != 1_000_000 {
+				b.Fatalf("built %d names", g.NumNames())
+			}
+		}
+		b.ReportMetric(1_000_000*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+	})
+
+	run("ViewQueryThroughput", func(b *testing.B) {
+		ctx := context.Background()
+		m, err := dnstrust.OpenWorld(ctx, world, dnstrust.Options{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		half := len(world.Corpus) / 2
+		if _, err := m.Add(ctx, world.Corpus[:half]...); err != nil {
+			b.Fatal(err)
+		}
+		vnames := m.At().Names()
+		addDone := make(chan error, 1)
+		go func() { _, err := m.Add(ctx, world.Corpus[half:]...); addDone <- err }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var readErr atomic.Pointer[error]
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				v := m.At()
+				name := vnames[i%len(vnames)]
+				i++
+				if _, err := v.TCB(name); err != nil {
+					readErr.CompareAndSwap(nil, &err)
+					return
+				}
+				if _, err := v.Bottleneck(name); err != nil {
+					readErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		if errp := readErr.Load(); errp != nil {
+			b.Fatal(*errp)
+		}
+		if err := <-addDone; err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	if *memoNames > 0 {
+		memoStudy, err := dnstrust.NewStudy(context.Background(), dnstrust.Options{Seed: 3, Names: *memoNames})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		memoPass := func(b *testing.B, memo *analysis.ChainMemo) {
+			sv := memoStudy.Survey
+			if _, err := analysis.BottlenecksMemo(context.Background(), sv, sv.Names, 0, memo); err != nil {
+				b.Fatal(err)
+			}
+			if sum := analysis.SummarizeMemo(sv, sv.Names, memo); sum.Names != len(sv.Names) {
+				b.Fatalf("summary covered %d of %d names", sum.Names, len(sv.Names))
+			}
+		}
+		run("ChainMemoSecondPass/first", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				memoPass(b, analysis.NewChainMemo())
+			}
+		})
+		warmMemo := analysis.NewChainMemo()
+		if _, err := analysis.BottlenecksMemo(context.Background(), memoStudy.Survey, memoStudy.Survey.Names, 0, warmMemo); err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		analysis.SummarizeMemo(memoStudy.Survey, memoStudy.Survey.Names, warmMemo)
+		run("ChainMemoSecondPass/second", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				memoPass(b, warmMemo)
+			}
+		})
+	}
+
 	run("WalkerContention", func(b *testing.B) {
 		r, err := world.Registry.Resolver(nil)
 		if err != nil {

@@ -1,0 +1,240 @@
+// Command dnsmonitord serves a monitored survey over HTTP/JSON — the
+// paper's transitive-trust analyses as a continuously extendable
+// service instead of a one-shot batch.
+//
+// Usage:
+//
+//	dnsmonitord [-addr :8053] [-names 20000] [-seed 1] [-workers 0] [-memo-file crawl.memo]
+//
+// On startup the daemon generates the synthetic world, crawls the
+// initial corpus, and then serves:
+//
+//	GET  /summary            headline statistics of the latest generation
+//	GET  /tcb?name=N         trusted computing base of a surveyed name
+//	GET  /bottleneck?name=N  §3.2 min-cut analysis of a name
+//	GET  /audit?name=N       §5 trust-audit findings for a name
+//	GET  /stats              crawl-engine counters and generation
+//	POST /add                whitespace-separated names in the body are
+//	                         added incrementally; responds with the delta
+//
+// Reads are served from immutable views and never block: while an /add
+// crawl is in flight, queries answer from the previous generation.
+// Repeated reads are near-free — min-cut and TCB results are memoized
+// per delegation chain across generations.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"dnstrust"
+)
+
+func main() {
+	addr := flag.String("addr", ":8053", "HTTP listen address")
+	names := flag.Int("names", 20000, "initial survey corpus size (paper: 593160)")
+	seed := flag.Int64("seed", 1, "world generation seed")
+	workers := flag.Int("workers", 0, "crawl parallelism (0 = GOMAXPROCS)")
+	memoFile := flag.String("memo-file", "", "persist the query memo here and resume from it")
+	flag.Parse()
+
+	ctx := context.Background()
+	log.Printf("generating world (seed %d, %d names) and crawling initial corpus...", *seed, *names)
+	start := time.Now()
+	m, err := dnstrust.Open(ctx, dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, MemoFile: *memoFile})
+	if err != nil {
+		log.Fatalf("dnsmonitord: %v", err)
+	}
+	defer m.Close()
+	v, err := m.Add(ctx, m.World().Corpus...)
+	if err != nil {
+		log.Fatalf("dnsmonitord: initial crawl: %v", err)
+	}
+	log.Printf("generation %d ready: %d names, %d nameservers (%.1fs); serving on %s",
+		v.Generation(), len(v.Names()), v.Survey().Graph.NumHosts(), time.Since(start).Seconds(), *addr)
+
+	srv := &server{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /summary", srv.summary)
+	mux.HandleFunc("GET /tcb", srv.tcb)
+	mux.HandleFunc("GET /bottleneck", srv.bottleneck)
+	mux.HandleFunc("GET /audit", srv.audit)
+	mux.HandleFunc("GET /stats", srv.stats)
+	mux.HandleFunc("POST /add", srv.add)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// server exposes one shared Monitor. Handlers read from At()'s immutable
+// view; /add serializes through the Monitor itself.
+type server struct {
+	m *dnstrust.Monitor
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// nameParam extracts ?name= or fails the request.
+func nameParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?name= parameter"))
+		return "", false
+	}
+	return name, true
+}
+
+func (s *server) summary(w http.ResponseWriter, r *http.Request) {
+	v := s.m.At()
+	sum := v.Summary()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":         v.Generation(),
+		"names":              sum.Names,
+		"servers":            sum.Servers,
+		"vulnerable_servers": sum.VulnerableServers,
+		"affected_names":     sum.AffectedNames,
+		"tcb_mean":           sum.TCB.Mean(),
+		"tcb_median":         sum.TCB.Median(),
+		"tcb_max":            sum.TCB.Max(),
+		"direct_mean":        sum.DirectMean,
+		"owned_mean":         sum.OwnedMean,
+	})
+}
+
+func (s *server) tcb(w http.ResponseWriter, r *http.Request) {
+	name, ok := nameParam(w, r)
+	if !ok {
+		return
+	}
+	v := s.m.At()
+	tcb, err := v.TCB(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": v.Generation(),
+		"name":       name,
+		"tcb_size":   len(tcb),
+		"tcb":        tcb,
+	})
+}
+
+func (s *server) bottleneck(w http.ResponseWriter, r *http.Request) {
+	name, ok := nameParam(w, r)
+	if !ok {
+		return
+	}
+	v := s.m.At()
+	res, err := v.Bottleneck(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":  v.Generation(),
+		"name":        name,
+		"cut":         res.Cut,
+		"cut_size":    res.Size,
+		"safe_in_cut": res.SafeInCut,
+		"vuln_in_cut": res.VulnInCut,
+	})
+}
+
+func (s *server) audit(w http.ResponseWriter, r *http.Request) {
+	name, ok := nameParam(w, r)
+	if !ok {
+		return
+	}
+	v := s.m.At()
+	findings, err := v.Audit(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	out := make([]map[string]string, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, map[string]string{
+			"severity": f.Severity.String(),
+			"kind":     f.Kind.String(),
+			"finding":  f.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": v.Generation(),
+		"name":       name,
+		"findings":   out,
+	})
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	v := s.m.At()
+	st := v.Survey().Stats
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":        v.Generation(),
+		"names":             len(v.Names()),
+		"servers":           v.Survey().Graph.NumHosts(),
+		"zones":             v.Survey().Graph.NumZones(),
+		"chains":            v.Survey().Graph.NumChains(),
+		"transport_queries": s.m.Queries(),
+		"memo_hits":         st.Walker.MemoHits,
+		"shared_walks":      st.Walker.SharedWalks,
+		"walk_seconds":      st.WalkTime.Seconds(),
+		"build_seconds":     st.BuildTime.Seconds(),
+	})
+}
+
+func (s *server) add(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	names := strings.Fields(string(body))
+	if len(names) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("empty body: send whitespace-separated names"))
+		return
+	}
+	prev := s.m.At()
+	prevQueries := s.m.Queries()
+	start := time.Now()
+	v, err := s.m.Add(r.Context(), names...)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("add failed (previous generation still serving): %w", err))
+		return
+	}
+	perName := make(map[string]any, len(names))
+	for _, n := range names {
+		if sz := v.Survey().Graph.TCBSize(n); sz >= 0 {
+			perName[n] = sz
+		} else if ferr, ok := v.Survey().Failed[n]; ok {
+			perName[n] = "failed: " + ferr.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":        v.Generation(),
+		"added":             len(names),
+		"names_total":       len(v.Names()),
+		"new_names":         len(v.Names()) - len(prev.Names()),
+		"new_servers":       v.Survey().Graph.NumHosts() - prev.Survey().Graph.NumHosts(),
+		"transport_queries": s.m.Queries() - prevQueries,
+		"seconds":           time.Since(start).Seconds(),
+		"tcb_sizes":         perName,
+	})
+}

@@ -5,16 +5,26 @@
 // Usage:
 //
 //	dnssurvey [-names 20000] [-seed 1] [-workers 0] [-markdown] [-only "Figure 2"]
+//	dnssurvey -follow [-names 20000] ...
 //
 // The paper's full scale is -names 593160 (budget several minutes and a
 // few GiB of memory).
+//
+// With -follow the survey session stays open after the initial crawl:
+// every line read from stdin is a whitespace-separated batch of names to
+// add incrementally, and the delta each batch caused — new servers
+// discovered, transport queries spent, headline-statistic drift — is
+// printed after each commit. Adding names whose dependency structure is
+// already walked costs zero transport queries.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dnstrust"
@@ -28,6 +38,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit the comparison table as Markdown (for EXPERIMENTS.md)")
 	memoFile := flag.String("memo-file", "", "persist the query memo here and resume from it on the next run")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. \"Figure 7\")")
+	follow := flag.Bool("follow", false, "keep the session open: read name batches from stdin, add them incrementally, print deltas")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	stats := flag.Bool("stats", false, "print crawl-engine statistics (transport queries, dedup counters)")
 	flag.Parse()
@@ -44,26 +55,37 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "generating world (seed %d, %d names) and crawling...\n", *seed, *names)
 	}
-	study, err := dnstrust.NewStudy(ctx, opts)
+	m, err := dnstrust.Open(ctx, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dnssurvey: %v\n", err)
 		os.Exit(1)
 	}
+	v, err := m.Add(ctx, m.World().Corpus...)
+	if err != nil {
+		m.Close()
+		fmt.Fprintf(os.Stderr, "dnssurvey: %v\n", err)
+		os.Exit(1)
+	}
+	sv := v.Survey()
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "\rcrawl complete: %d names, %d nameservers, %d failures (%.1fs)\n",
-			len(study.Survey.Names), study.Survey.Graph.NumHosts(), len(study.Survey.Failed),
-			time.Since(start).Seconds())
+			len(sv.Names), sv.Graph.NumHosts(), len(sv.Failed), time.Since(start).Seconds())
 	}
 	if *stats {
-		st := study.Survey.Stats
-		fmt.Fprintf(os.Stderr,
-			"engine: %d workers, %d transport queries, %d query-memo hits, %d shared walks, %d inline fallbacks\n",
-			st.Workers, st.Walker.Queries, st.Walker.MemoHits, st.Walker.SharedWalks, st.Walker.InlineWalks)
-		fmt.Fprintf(os.Stderr,
-			"phases: walk+assemble %.2fs (streamed), closure build %.3fs; %d memo entries resumed\n",
-			st.WalkTime.Seconds(), st.BuildTime.Seconds(), st.MemoLoaded)
+		printStats(sv)
 	}
-	if err := study.Survey.Stats.MemoSaveErr; err != nil {
+
+	if *follow {
+		followLoop(ctx, m, *quiet, *stats)
+		if err := m.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dnssurvey: warning: query memo not saved: %v\n", err)
+		}
+		return
+	}
+
+	// One-shot mode: freeze the session (persisting the query memo) and
+	// regenerate the paper.
+	if err := m.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "dnssurvey: warning: query memo not saved: %v\n", err)
 	}
 
@@ -74,7 +96,7 @@ func main() {
 			if e.ID == *only {
 				found = true
 				fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
-				rows, err = e.Run(ctx, study, os.Stdout)
+				rows, err = e.Run(ctx, v, os.Stdout)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "dnssurvey: %s: %v\n", e.ID, err)
 					os.Exit(1)
@@ -90,7 +112,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		rows, err = dnstrust.RunAll(ctx, study, os.Stdout)
+		rows, err = dnstrust.RunAll(ctx, v, os.Stdout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dnssurvey: %v\n", err)
 			os.Exit(1)
@@ -114,5 +136,66 @@ func main() {
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "all %d shape claims hold (total %.1fs)\n", len(rows), time.Since(start).Seconds())
+	}
+}
+
+// followLoop reads name batches from stdin and extends the survey
+// incrementally, printing the delta each batch caused.
+func followLoop(ctx context.Context, m *dnstrust.Monitor, quiet, stats bool) {
+	if !quiet {
+		fmt.Fprintln(os.Stderr, "follow mode: reading name batches from stdin (one whitespace-separated batch per line, EOF ends the session)")
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		batch := strings.Fields(sc.Text())
+		if len(batch) == 0 {
+			continue
+		}
+		prev := m.At()
+		prevSum := prev.Summary()
+		prevQueries := m.Queries()
+		start := time.Now()
+		v, err := m.Add(ctx, batch...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnssurvey: add failed: %v\n", err)
+			continue
+		}
+		sum := v.Summary()
+		sv := v.Survey()
+		fmt.Printf("gen %d: +%d names (%d total), +%d servers, %d queries, %.2fs\n",
+			v.Generation(),
+			sum.Names-prevSum.Names, sum.Names,
+			sum.Servers-prevSum.Servers,
+			m.Queries()-prevQueries,
+			time.Since(start).Seconds())
+		fmt.Printf("        mean TCB %.1f -> %.1f; affected names %d -> %d\n",
+			prevSum.TCB.Mean(), sum.TCB.Mean(), prevSum.AffectedNames, sum.AffectedNames)
+		for _, n := range batch {
+			if sz := sv.Graph.TCBSize(n); sz >= 0 {
+				fmt.Printf("        %s: TCB %d\n", n, sz)
+			} else if err, ok := sv.Failed[n]; ok {
+				fmt.Printf("        %s: failed: %v\n", n, err)
+			}
+		}
+		if stats {
+			printStats(sv)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "dnssurvey: stdin: %v\n", err)
+	}
+}
+
+func printStats(sv *dnstrust.Survey) {
+	st := sv.Stats
+	fmt.Fprintf(os.Stderr,
+		"engine: gen %d, %d workers, %d transport queries, %d query-memo hits, %d shared walks, %d inline fallbacks\n",
+		st.Generation, st.Workers, st.Walker.Queries, st.Walker.MemoHits, st.Walker.SharedWalks, st.Walker.InlineWalks)
+	fmt.Fprintf(os.Stderr,
+		"phases: walk+assemble %.2fs (streamed), closure build %.3fs; %d memo entries resumed\n",
+		st.WalkTime.Seconds(), st.BuildTime.Seconds(), st.MemoLoaded)
+	if err := st.MemoSaveErr; err != nil {
+		fmt.Fprintf(os.Stderr, "dnssurvey: warning: query memo not saved: %v\n", err)
 	}
 }

@@ -25,8 +25,10 @@ type Experiment struct {
 	// Title describes what the experiment measures.
 	Title string
 	// Run prints the regenerated series to w and returns the
-	// paper-vs-measured comparison rows.
-	Run func(ctx context.Context, s *Study, w io.Writer) ([]Comparison, error)
+	// paper-vs-measured comparison rows. It reads from an immutable
+	// View, so experiments may run while a Monitor's next Add is in
+	// flight.
+	Run func(ctx context.Context, v *View, w io.Writer) ([]Comparison, error)
 }
 
 // Experiments returns every reproduction experiment, in paper order.
@@ -48,13 +50,19 @@ func Experiments() []Experiment {
 	}
 }
 
-// RunAll executes every experiment against the study, printing each
+// RunAll executes every experiment against the view, printing each
 // regenerated table/series to w, and returns all comparison rows.
-func RunAll(ctx context.Context, s *Study, w io.Writer) ([]Comparison, error) {
+// Cancellation is honored between experiments: the rows of every
+// experiment completed so far are returned alongside an error wrapping
+// ctx's cause (context.Canceled or context.DeadlineExceeded).
+func RunAll(ctx context.Context, v *View, w io.Writer) ([]Comparison, error) {
 	var all []Comparison
 	for _, e := range Experiments() {
+		if err := ctx.Err(); err != nil {
+			return all, fmt.Errorf("dnstrust: run aborted before %s: %w", e.ID, err)
+		}
 		fmt.Fprintf(w, "\n===== %s: %s =====\n", e.ID, e.Title)
-		rows, err := e.Run(ctx, s, w)
+		rows, err := e.Run(ctx, v, w)
 		if err != nil {
 			return all, fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -71,8 +79,8 @@ func RunAll(ctx context.Context, s *Study, w io.Writer) ([]Comparison, error) {
 func within(x, lo, hi float64) bool { return x >= lo && x <= hi }
 
 // runFigure1 reproduces the qualitative delegation graph of Figure 1 on
-// the hand-built Cornell world (independent of the study's corpus).
-func runFigure1(ctx context.Context, _ *Study, w io.Writer) ([]Comparison, error) {
+// the hand-built Cornell world (independent of the surveyed corpus).
+func runFigure1(ctx context.Context, _ *View, w io.Writer) ([]Comparison, error) {
 	reg := topology.Figure1World()
 	r, err := reg.Resolver(nil)
 	if err != nil {
@@ -132,9 +140,9 @@ func surveyFromWalk(w *resolver.Walker, name string, chain []string) *crawler.Su
 	return crawler.FromSnapshot(snap)
 }
 
-func runFigure2(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	all := analysis.NewCDF(analysis.TCBSizes(s.Survey, s.Survey.Names))
-	pop := analysis.NewCDF(analysis.TCBSizes(s.Survey, s.World.Popular))
+func runFigure2(_ context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	all := analysis.NewCDF(analysis.TCBSizes(v.Survey(), v.Names()))
+	pop := analysis.NewCDF(analysis.TCBSizes(v.Survey(), v.Popular()))
 
 	tb := report.NewTable("Figure 2: CDF of TCB size", "size", "all names %", "top 500 %")
 	for _, x := range []int{10, 20, 26, 46, 69, 100, 150, 200, 300, 400, 500} {
@@ -164,8 +172,8 @@ func runFigure2(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) 
 	}, nil
 }
 
-func runFigure3(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	avgs := analysis.FilterKind(analysis.TLDAverages(s.Survey, s.Survey.Names), dnsname.KindGeneric)
+func runFigure3(_ context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	avgs := analysis.FilterKind(analysis.TLDAverages(v.Survey(), v.Names()), dnsname.KindGeneric)
 	tb := report.NewTable("Figure 3: average TCB size per gTLD (descending)", "tld", "names", "mean TCB")
 	rank := map[string]int{}
 	for i, a := range avgs {
@@ -193,8 +201,8 @@ func runFigure3(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) 
 	}, nil
 }
 
-func runFigure4(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	ccAvgs := analysis.FilterKind(analysis.TLDAverages(s.Survey, s.Survey.Names), dnsname.KindCountry)
+func runFigure4(_ context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	ccAvgs := analysis.FilterKind(analysis.TLDAverages(v.Survey(), v.Names()), dnsname.KindCountry)
 	show := ccAvgs
 	if len(show) > 15 {
 		show = show[:15]
@@ -207,7 +215,7 @@ func runFigure4(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) 
 		return nil, err
 	}
 	ccMacro := analysis.MacroAverage(ccAvgs)
-	gMacro := analysis.MacroAverage(analysis.FilterKind(analysis.TLDAverages(s.Survey, s.Survey.Names), dnsname.KindGeneric))
+	gMacro := analysis.MacroAverage(analysis.FilterKind(analysis.TLDAverages(v.Survey(), v.Names()), dnsname.KindGeneric))
 	fmt.Fprintf(w, "ccTLD macro average: %.1f (gTLD: %.1f)\n", ccMacro, gMacro)
 
 	rank := map[string]int{}
@@ -233,9 +241,9 @@ func runFigure4(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) 
 	}, nil
 }
 
-func runFigure5(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	all := analysis.NewCDF(analysis.VulnInTCB(s.Survey, s.Survey.Names))
-	pop := analysis.NewCDF(analysis.VulnInTCB(s.Survey, s.World.Popular))
+func runFigure5(_ context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	all := analysis.NewCDF(analysis.VulnInTCBMemo(v.Survey(), v.Names(), v.memo))
+	pop := analysis.NewCDF(analysis.VulnInTCBMemo(v.Survey(), v.Popular(), v.memo))
 
 	tb := report.NewTable("Figure 5: CDF of vulnerable nameservers in TCB", "count", "all names %", "top 500 %")
 	for _, x := range []int{0, 1, 2, 4, 8, 16, 32, 64, 100} {
@@ -260,8 +268,8 @@ func runFigure5(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) 
 	}, nil
 }
 
-func runFigure6(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	safety := analysis.TCBSafety(s.Survey, s.Survey.Names)
+func runFigure6(_ context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	safety := analysis.TCBSafetyMemo(v.Survey(), v.Names(), v.memo)
 	pts := analysis.SafetyDistribution(safety, 12)
 	tb := report.NewTable("Figure 6: % non-vulnerable nodes in TCB (names sorted ascending)", "name rank %", "safety %")
 	for _, p := range pts {
@@ -285,8 +293,8 @@ func runFigure6(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) 
 	}, nil
 }
 
-func runFigure7(ctx context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	stats, err := analysis.Bottlenecks(ctx, s.Survey, s.Survey.Names, 0)
+func runFigure7(ctx context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	stats, err := v.Bottlenecks(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -318,8 +326,8 @@ func runFigure7(ctx context.Context, s *Study, w io.Writer) ([]Comparison, error
 	}, nil
 }
 
-func runFigure8(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	ctrl := analysis.Control(s.Survey, s.Survey.Names)
+func runFigure8(_ context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	ctrl := analysis.Control(v.Survey(), v.Names())
 	tb := report.NewTable("Figure 8: names controlled by nameservers (rank, log-spaced)", "rank", "names (all)", "vulnerable?")
 	for _, p := range analysis.RankCurve(ctrl.Ranked, 16) {
 		tb.AddRow(p.Rank, p.Names, ctrl.Ranked[p.Rank-1].Vulnerable)
@@ -354,8 +362,8 @@ func runFigure8(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) 
 	}, nil
 }
 
-func runFigure9(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	ctrl := analysis.Control(s.Survey, s.Survey.Names)
+func runFigure9(_ context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	ctrl := analysis.Control(v.Survey(), v.Names())
 	edu := ctrl.FilterHostTLD("edu")
 	org := ctrl.FilterHostTLD("org")
 	tb := report.NewTable("Figure 9: names controlled by .edu and .org nameservers (rank)", "rank", "edu names", "org names")
@@ -416,8 +424,8 @@ func midNames(es []analysis.ControlEntry) int {
 	return n
 }
 
-func runTableA(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	sum := s.Summary()
+func runTableA(_ context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	sum := v.Summary()
 	tb := report.NewTable("T-A: TCB summary (§1, §3.1)", "quantity", "value")
 	tb.AddRow("names surveyed", sum.Names)
 	tb.AddRow("nameservers discovered", sum.Servers)
@@ -442,8 +450,8 @@ func runTableA(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
 	}, nil
 }
 
-func runTableB(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
-	sum := s.Summary()
+func runTableB(_ context.Context, v *View, w io.Writer) ([]Comparison, error) {
+	sum := v.Summary()
 	fracServers := 100 * float64(sum.VulnerableServers) / float64(sum.Servers)
 	fracNames := 100 * float64(sum.AffectedNames) / float64(sum.Names)
 	tb := report.NewTable("T-B: exploit poisoning (§3.2)", "quantity", "value")
@@ -466,7 +474,7 @@ func runTableB(_ context.Context, s *Study, w io.Writer) ([]Comparison, error) {
 	}, nil
 }
 
-func runTableC(ctx context.Context, _ *Study, w io.Writer) ([]Comparison, error) {
+func runTableC(ctx context.Context, _ *View, w io.Writer) ([]Comparison, error) {
 	reg := topology.FBIWorld()
 	r, err := reg.Resolver(nil)
 	if err != nil {
@@ -536,7 +544,7 @@ func orHidden(banner string) string {
 	return banner
 }
 
-func runTableD(ctx context.Context, _ *Study, w io.Writer) ([]Comparison, error) {
+func runTableD(ctx context.Context, _ *View, w io.Writer) ([]Comparison, error) {
 	reg := topology.UkraineWorld()
 	r, err := reg.Resolver(nil)
 	if err != nil {

@@ -30,17 +30,30 @@ type BottleneckStats struct {
 
 // Bottlenecks runs the min-cut analysis of §3.2 over the given names.
 // Names sharing a delegation chain share a digraph, so results are
-// memoized per interned chain id — no string keys are built on this
+// deduplicated per interned chain id — no string keys are built on this
 // path. The work is spread over workers goroutines (0 = GOMAXPROCS).
 func Bottlenecks(ctx context.Context, s *crawler.Survey, names []string, workers int) (*BottleneckStats, error) {
+	return BottlenecksMemo(ctx, s, names, workers, nil)
+}
+
+// BottlenecksMemo is Bottlenecks backed by a persistent chain memo:
+// chains whose min-cut is already cached (from an earlier pass, or an
+// earlier generation that did not touch them) are aggregated without
+// running max-flow, and freshly computed chains are stored for the next
+// pass. With a warm memo the whole analysis degenerates to one map
+// lookup per distinct chain. memo may be nil (pure dedup within the
+// call, the previous behavior).
+func BottlenecksMemo(ctx context.Context, s *crawler.Survey, names []string, workers int, memo *ChainMemo) (*BottleneckStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	vuln := func(host string) bool { return s.Vulnerable(host) }
+	gen := s.Stats.Generation
 
 	// Group names by interned chain id: identical chains give identical
 	// digraphs and cuts.
 	type group struct {
+		cid   int32
 		rep   string // representative name
 		count int
 	}
@@ -53,39 +66,67 @@ func Bottlenecks(ctx context.Context, s *crawler.Survey, names []string, workers
 		if g, ok := groups[cid]; ok {
 			g.count++
 		} else {
-			groups[cid] = &group{rep: n, count: 1}
+			groups[cid] = &group{cid: cid, rep: n, count: 1}
 		}
 	}
 
-	type job struct{ g *group }
+	stats := &BottleneckStats{}
+	tally := func(res *mincut.Result, count int) {
+		for k := 0; k < count; k++ {
+			stats.Names++
+			stats.SafeCounts = append(stats.SafeCounts, res.SafeInCut)
+			stats.CutSizes = append(stats.CutSizes, res.Size)
+			if res.SafeInCut == 0 {
+				stats.FullyVulnerable++
+			}
+			if res.SafeInCut == 1 {
+				stats.OneSafe++
+			}
+		}
+	}
+
+	// Serve memo hits directly; only misses go to the worker pool.
+	var misses []*group
+	for _, g := range groups {
+		if res, ok := memo.cut(g.cid, gen); ok {
+			tally(res, g.count)
+		} else {
+			misses = append(misses, g)
+		}
+	}
+	if len(misses) == 0 {
+		return stats, ctx.Err()
+	}
+
 	type outcome struct {
+		cid   int32
 		res   *mincut.Result
 		count int
 		err   error
 	}
-	in := make(chan job)
+	in := make(chan *group)
 	out := make(chan outcome)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range in {
-				d, err := s.Graph.Digraph(j.g.rep)
+			for g := range in {
+				d, err := s.Graph.Digraph(g.rep)
 				if err != nil {
-					out <- outcome{err: err, count: j.g.count}
+					out <- outcome{err: err, count: g.count}
 					continue
 				}
 				res, err := mincut.Analyze(d, vuln)
-				out <- outcome{res: res, err: err, count: j.g.count}
+				out <- outcome{cid: g.cid, res: res, err: err, count: g.count}
 			}
 		}()
 	}
 	go func() {
 		defer close(in)
-		for _, g := range groups {
+		for _, g := range misses {
 			select {
-			case in <- job{g: g}:
+			case in <- g:
 			case <-ctx.Done():
 				return
 			}
@@ -96,7 +137,6 @@ func Bottlenecks(ctx context.Context, s *crawler.Survey, names []string, workers
 		close(out)
 	}()
 
-	stats := &BottleneckStats{}
 	var firstErr error
 	for oc := range out {
 		if oc.err != nil {
@@ -105,17 +145,8 @@ func Bottlenecks(ctx context.Context, s *crawler.Survey, names []string, workers
 			}
 			continue
 		}
-		for k := 0; k < oc.count; k++ {
-			stats.Names++
-			stats.SafeCounts = append(stats.SafeCounts, oc.res.SafeInCut)
-			stats.CutSizes = append(stats.CutSizes, oc.res.Size)
-			if oc.res.SafeInCut == 0 {
-				stats.FullyVulnerable++
-			}
-			if oc.res.SafeInCut == 1 {
-				stats.OneSafe++
-			}
-		}
+		memo.storeCut(oc.cid, gen, oc.res)
+		tally(oc.res, oc.count)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -87,20 +87,32 @@ func MacroAverage(avgs []TLDAverage) float64 {
 // number of vulnerable TCB members — each chain's (shared) TCB slice is
 // scanned exactly once, and every name on the chain reuses the entry.
 // Entries are computed lazily: sizes[c] < 0 marks an untouched chain.
+// With a persistent memo attached, entries survive across calls and
+// generations: the per-call pass starts from the memo's counts and
+// writes fresh ones back.
 type chainVulnCounts struct {
 	s      *crawler.Survey
+	memo   *ChainMemo
+	gen    int64
 	vulnID []bool
 	sizes  []int
 	vulns  []int
 }
 
-func newChainVulnCounts(s *crawler.Survey) *chainVulnCounts {
+func newChainVulnCounts(s *crawler.Survey, memo *ChainMemo) *chainVulnCounts {
 	n := s.Graph.NumChains()
 	sizes := make([]int, n)
 	for i := range sizes {
 		sizes[i] = -1
 	}
-	return &chainVulnCounts{s: s, vulnID: vulnerableIDs(s), sizes: sizes, vulns: make([]int, n)}
+	return &chainVulnCounts{
+		s:      s,
+		memo:   memo,
+		gen:    s.Stats.Generation,
+		vulnID: vulnerableIDs(s),
+		sizes:  sizes,
+		vulns:  make([]int, n),
+	}
 }
 
 // of returns (TCB size, vulnerable count) for a name, or ok=false for
@@ -111,6 +123,10 @@ func (c *chainVulnCounts) of(name string) (size, vuln int, ok bool) {
 		return 0, 0, false
 	}
 	if c.sizes[cid] < 0 {
+		if size, vuln, ok := c.memo.count(cid, c.gen); ok {
+			c.sizes[cid], c.vulns[cid] = size, vuln
+			return size, vuln, true
+		}
 		ids := c.s.Graph.ChainTCBIDs(cid)
 		v := 0
 		for _, id := range ids {
@@ -120,6 +136,7 @@ func (c *chainVulnCounts) of(name string) (size, vuln int, ok bool) {
 		}
 		c.sizes[cid] = len(ids)
 		c.vulns[cid] = v
+		c.memo.storeCount(cid, c.gen, len(ids), v)
 	}
 	return c.sizes[cid], c.vulns[cid], true
 }
@@ -127,7 +144,13 @@ func (c *chainVulnCounts) of(name string) (size, vuln int, ok bool) {
 // VulnInTCB returns, per name, the number of TCB members with known
 // exploits (Figure 5's raw data).
 func VulnInTCB(s *crawler.Survey, names []string) []int {
-	counts := newChainVulnCounts(s)
+	return VulnInTCBMemo(s, names, nil)
+}
+
+// VulnInTCBMemo is VulnInTCB through a persistent chain memo (nil is
+// allowed: dedup within the call only).
+func VulnInTCBMemo(s *crawler.Survey, names []string, memo *ChainMemo) []int {
+	counts := newChainVulnCounts(s, memo)
 	out := make([]int, 0, len(names))
 	for _, n := range names {
 		_, v, ok := counts.of(n)
@@ -143,7 +166,12 @@ func VulnInTCB(s *crawler.Survey, names []string) []int {
 // known exploits (Figure 6's raw data). Names with empty TCBs are
 // reported 100% safe.
 func TCBSafety(s *crawler.Survey, names []string) []float64 {
-	counts := newChainVulnCounts(s)
+	return TCBSafetyMemo(s, names, nil)
+}
+
+// TCBSafetyMemo is TCBSafety through a persistent chain memo.
+func TCBSafetyMemo(s *crawler.Survey, names []string, memo *ChainMemo) []float64 {
+	counts := newChainVulnCounts(s, memo)
 	out := make([]float64, 0, len(names))
 	for _, n := range names {
 		size, vuln, ok := counts.of(n)

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dnstrust/internal/core"
+	"dnstrust/internal/crawler"
+)
+
+// memoWorld builds a two-chain survey: chain A (com, x.com) and chain B
+// (com, y.com), each carrying one name, stamped with the given
+// generation.
+func memoWorld(t *testing.T, gen int64) *crawler.Survey {
+	t.Helper()
+	b := core.NewBuilder(0)
+	b.ObserveZone("com", []string{"a.ns.com"})
+	b.ObserveChain("a.ns.com", []string{"com"})
+	b.ObserveZone("x.com", []string{"ns.x.com"})
+	b.ObserveChain("ns.x.com", []string{"com", "x.com"})
+	b.ObserveZone("y.com", []string{"ns.y.com", "ns.offsite.org"})
+	b.ObserveChain("ns.y.com", []string{"com", "y.com"})
+	b.Complete("www.x.com", []string{"com", "x.com"})
+	b.Complete("www.y.com", []string{"com", "y.com"})
+	s := crawler.FromGraph(b.Finish())
+	s.Stats.Generation = gen
+	return s
+}
+
+// TestChainMemoServesWarmPass checks the core promise: a second
+// analysis pass over the same generation is served from the memo and
+// returns identical results.
+func TestChainMemoServesWarmPass(t *testing.T) {
+	s := memoWorld(t, 1)
+	memo := NewChainMemo()
+	ctx := context.Background()
+
+	cold, err := BottlenecksMemo(ctx, s, s.Names, 2, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cidX, _ := s.Graph.NameChainID("www.x.com")
+	if _, ok := memo.cut(cidX, 1); !ok {
+		t.Fatal("cold pass did not populate the memo")
+	}
+	warm, err := BottlenecksMemo(ctx, s, s.Names, 2, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Names != cold.Names || warm.FullyVulnerable != cold.FullyVulnerable {
+		t.Errorf("warm pass differs: %+v vs %+v", warm, cold)
+	}
+
+	sumCold := SummarizeMemo(s, s.Names, memo)
+	sumWarm := SummarizeMemo(s, s.Names, memo)
+	if !reflect.DeepEqual(sumCold.VulnPerTCB, sumWarm.VulnPerTCB) || sumCold.Names != sumWarm.Names {
+		t.Error("memoized summary differs between passes")
+	}
+
+	r1, err := BottleneckOfMemo(s, "www.x.com", memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := BottleneckOfMemo(s, "www.x.com", memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Error("memo must hand out caller-owned clones, not the cached result")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("memoized bottleneck differs: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestChainMemoAdvanceInvalidatesTouchedChains checks per-chain
+// invalidation: a late-attached host invalidates exactly the chains
+// whose TCB contains it — for every generation — while untouched chains
+// keep serving all generations.
+func TestChainMemoAdvanceInvalidatesTouchedChains(t *testing.T) {
+	s1 := memoWorld(t, 1)
+	memo := NewChainMemo()
+	if _, err := BottlenecksMemo(context.Background(), s1, s1.Names, 1, memo); err != nil {
+		t.Fatal(err)
+	}
+	cidX, _ := s1.Graph.NameChainID("www.x.com")
+	cidY, _ := s1.Graph.NameChainID("www.y.com")
+
+	// Generation 2 late-attaches the chain of ns.x.com — a member of
+	// chain X's TCB but not of chain Y's.
+	hid, ok := s1.Graph.HostID("ns.x.com")
+	if !ok {
+		t.Fatal("ns.x.com not interned")
+	}
+	s2 := memoWorld(t, 2)
+	s2.Stats.LateAttachedHosts = []int32{hid}
+	memo.Advance(s1, s2)
+
+	if _, ok := memo.cut(cidX, 2); ok {
+		t.Error("touched chain still served at the new generation")
+	}
+	if _, ok := memo.cut(cidX, 1); ok {
+		t.Error("touched chain still served at the old generation (entry generation is unknowable now)")
+	}
+	if _, ok := memo.cut(cidY, 2); !ok {
+		t.Error("untouched chain dropped by Advance")
+	}
+	if _, ok := memo.cut(cidY, 1); !ok {
+		t.Error("untouched chain no longer serves the old generation")
+	}
+
+	// Recomputing the touched chain against generation 2 re-populates
+	// it for generation 2 — but a generation-1 view must still miss,
+	// because the chain changed between the two.
+	if _, err := BottleneckOfMemo(s2, "www.x.com", memo); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := memo.cut(cidX, 2); !ok {
+		t.Error("recomputed chain not served at its own generation")
+	}
+	if _, ok := memo.cut(cidX, 1); ok {
+		t.Error("generation-1 view served a result computed after the chain changed")
+	}
+
+	// An Advance with no late attachments is a no-op.
+	s3 := memoWorld(t, 3)
+	memo.Advance(s2, s3)
+	if _, ok := memo.cut(cidX, 3); !ok {
+		t.Error("untouched advance dropped entries")
+	}
+	if _, ok := memo.cut(cidY, 3); !ok {
+		t.Error("untouched advance dropped entries")
+	}
+}

@@ -31,8 +31,17 @@ type Summary struct {
 
 // Summarize computes the headline statistics over the given names.
 func Summarize(s *crawler.Survey, names []string) *Summary {
+	return SummarizeMemo(s, names, nil)
+}
+
+// SummarizeMemo is Summarize through a persistent chain memo: the
+// per-chain vulnerability scan is served from (and feeds) the memo, so
+// repeated summaries of a monitored survey touch each distinct chain's
+// TCB once across all generations that leave it untouched. memo may be
+// nil.
+func SummarizeMemo(s *crawler.Survey, names []string, memo *ChainMemo) *Summary {
 	sizes := TCBSizes(s, names)
-	vulns := VulnInTCB(s, names)
+	vulns := VulnInTCBMemo(s, names, memo)
 
 	// Direct-NS counts depend only on the interned chain; owned counts on
 	// (chain, registered domain). Memoizing on those keys makes this pass

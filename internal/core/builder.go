@@ -1,5 +1,7 @@
 package core
 
+import "maps"
+
 // Builder is the streaming graph assembler: the crawl engine feeds it
 // walker events (zone discovered, chain resolved) and per-name walk
 // results as they happen, and it absorbs them straight into the Graph's
@@ -37,6 +39,17 @@ type Builder struct {
 	// g.nameChain (last report wins).
 	failed map[string]error
 
+	// epochHosts is the host-table length at the last FinishEpoch: hosts
+	// below this index already appeared in a finalized Graph.
+	epochHosts int
+	// lateAttached collects pre-epoch host ids whose address chain was
+	// attached after the host had been published in a finalized Graph —
+	// the only way an already-finalized zone's dependency structure (and
+	// therefore any chain's TCB or min-cut digraph) can change between
+	// epochs. Consumers drain it with TakeLateAttached to invalidate
+	// per-chain analysis memos precisely.
+	lateAttached map[int32]struct{}
+
 	// Scratch buffers reused across interning calls.
 	idBuf  []int32
 	keyBuf []byte
@@ -54,10 +67,11 @@ func NewBuilder(sizeHint int) *Builder {
 			zoneID:    make(map[string]int32),
 			nameChain: make(map[string]int32, sizeHint),
 		},
-		chainIDs:    make(map[string]int32),
-		pending:     make(map[string][]string),
-		failedChain: make(map[string]int32),
-		failed:      make(map[string]error),
+		chainIDs:     make(map[string]int32),
+		pending:      make(map[string][]string),
+		failedChain:  make(map[string]int32),
+		failed:       make(map[string]error),
+		lateAttached: make(map[int32]struct{}),
 	}
 }
 
@@ -107,6 +121,9 @@ func (b *Builder) ObserveChain(key string, chain []string) {
 	if hid, ok := g.hostID[key]; ok {
 		if g.hostChain[hid] == nil {
 			g.hostChain[hid] = b.internChain(chain)
+			if int(hid) < b.epochHosts {
+				b.lateAttached[hid] = struct{}{}
+			}
 		}
 		return
 	}
@@ -203,7 +220,10 @@ func (b *Builder) chainSlice(cid int32) []int32 {
 // Finish runs the closure pass (Tarjan condensation + bottom-up server
 // unions + per-chain TCB unions) over the accumulated compact arrays and
 // returns the finished Graph. No snapshot re-walk happens here: all
-// interning was done as events streamed in.
+// interning was done as events streamed in. Finish is terminal: the
+// builder's intern state is released and no further events may be fed.
+// Long-lived consumers that keep absorbing events between reads use
+// FinishEpoch instead.
 func (b *Builder) Finish() *Graph {
 	g := b.g
 	b.pending = nil
@@ -212,4 +232,59 @@ func (b *Builder) Finish() *Graph {
 	g.computeClosures()
 	g.computeChainTCBs()
 	return g
+}
+
+// FinishEpoch runs the closure pass over the state accumulated so far and
+// returns an immutable snapshot Graph, leaving the builder open: events
+// may keep streaming in and FinishEpoch may be called again for the next
+// epoch. The snapshot is safe for concurrent readers while the builder
+// advances because nothing it references is ever mutated afterwards:
+//
+//   - hosts/zones/chains/zoneNS are append-only — the snapshot's slice
+//     headers pin the epoch's length, and later appends never rewrite
+//     occupied elements (inner slices are interned and immutable);
+//   - hostChain entries can be assigned later (a pending chain attaching
+//     to an existing host), so the id-indexed headers are copied;
+//   - the intern maps (hostID, zoneID, nameChain) keep growing, so they
+//     are cloned.
+//
+// The clone cost is O(names + hosts + zones) slice headers and map
+// entries per epoch; the closure pass itself is the same one Finish runs.
+func (b *Builder) FinishEpoch() *Graph {
+	g := b.g
+	eg := &Graph{
+		hosts:     g.hosts[:len(g.hosts):len(g.hosts)],
+		hostID:    maps.Clone(g.hostID),
+		zones:     g.zones[:len(g.zones):len(g.zones)],
+		zoneID:    maps.Clone(g.zoneID),
+		zoneNS:    g.zoneNS[:len(g.zoneNS):len(g.zoneNS)],
+		hostChain: append([][]int32(nil), g.hostChain...),
+		chains:    g.chains[:len(g.chains):len(g.chains)],
+		nameChain: maps.Clone(g.nameChain),
+	}
+	eg.computeClosures()
+	eg.computeChainTCBs()
+	b.epochHosts = len(g.hosts)
+	return eg
+}
+
+// TakeLateAttached returns and clears the set of host ids — all below the
+// previous epoch's host count — whose address chain was attached since
+// the previous FinishEpoch. These are the only hosts through which an
+// already-finalized epoch's dependency structure can differ from the next
+// epoch's: a delegation chain whose TCB avoids all of them has an
+// identical TCB and min-cut digraph in both epochs, so per-chain analysis
+// memos need only invalidate chains whose TCB intersects this set. Call
+// it between FinishEpoch and the next batch of events.
+func (b *Builder) TakeLateAttached() []int32 {
+	if len(b.lateAttached) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(b.lateAttached))
+	for hid := range b.lateAttached {
+		out = append(out, hid)
+	}
+	clear(b.lateAttached)
+	sortUnique(&out)
+	return out
 }

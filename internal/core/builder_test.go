@@ -237,6 +237,92 @@ func (o builderObserver) ChainResolved(key string, chain []string) {
 	o.b.ObserveChain(key, chain)
 }
 
+// TestFinishEpochSnapshotIsolation is the contract the Monitor's View
+// rests on: a Graph returned by FinishEpoch must be immutable — later
+// events absorbed by the same builder, and later epochs, must not change
+// anything the earlier snapshot reports.
+func TestFinishEpochSnapshotIsolation(t *testing.T) {
+	b := core.NewBuilder(0)
+	b.ObserveZone("com", []string{"a.ns.com"})
+	b.ObserveChain("a.ns.com", []string{"com"})
+	b.ObserveZone("x.com", []string{"ns.x.com"})
+	b.ObserveChain("ns.x.com", []string{"com", "x.com"})
+	b.Complete("www.x.com", []string{"com", "x.com"})
+
+	g1 := b.FinishEpoch()
+	tcb1, err := g1.TCB("www.x.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := append([]string(nil), tcb1...)
+	if g1.NumNames() != 1 || g1.NumZones() != 2 {
+		t.Fatalf("epoch 1: %d names, %d zones", g1.NumNames(), g1.NumZones())
+	}
+
+	// Epoch 2 adds a zone whose dependencies reach back through x.com and
+	// attaches a chain to a pre-epoch host (a.ns.com has one already; use
+	// a fresh pending host to exercise the late-attach path).
+	b.ObserveZone("late.com", []string{"srv.x.com"})
+	b.ObserveChain("srv.x.com", []string{"com", "x.com"})
+	b.Complete("www.late.com", []string{"com", "late.com"})
+	g2 := b.FinishEpoch()
+
+	// The first snapshot is untouched: same name set, same TCB.
+	if g1.NumNames() != 1 {
+		t.Errorf("epoch-1 graph gained names: %d", g1.NumNames())
+	}
+	if _, err := g1.TCB("www.late.com"); err == nil {
+		t.Error("epoch-1 graph resolves a name added in epoch 2")
+	}
+	got1, err := g1.TCB("www.x.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1, want1) {
+		t.Errorf("epoch-1 TCB changed after later events: %v -> %v", want1, got1)
+	}
+	if g2.NumNames() != 2 {
+		t.Errorf("epoch-2 graph has %d names, want 2", g2.NumNames())
+	}
+	if _, err := g2.TCB("www.late.com"); err != nil {
+		t.Errorf("epoch-2 graph missing new name: %v", err)
+	}
+}
+
+// TestTakeLateAttached verifies that only chain attachments to hosts
+// already published in a finalized epoch are reported — brand-new hosts,
+// and attachments before the first epoch, are not "late".
+func TestTakeLateAttached(t *testing.T) {
+	b := core.NewBuilder(0)
+	b.ObserveZone("com", []string{"a.ns.com"})
+	b.ObserveChain("a.ns.com", []string{"com"})
+	// A zone listing a host whose chain is not yet known: the host is
+	// interned chain-less.
+	b.ObserveZone("x.com", []string{"ns.elsewhere.net"})
+	b.Complete("www.x.com", []string{"com", "x.com"})
+	g1 := b.FinishEpoch()
+	if late := b.TakeLateAttached(); late != nil {
+		t.Fatalf("pre-epoch attachments reported late: %v", late)
+	}
+
+	// Epoch 2: the missing chain arrives for the pre-epoch host.
+	b.ObserveZone("net", []string{"a.gtld.net"})
+	b.ObserveChain("a.gtld.net", []string{"net"})
+	b.ObserveChain("ns.elsewhere.net", []string{"net", "elsewhere.net"})
+	_ = b.FinishEpoch()
+	late := b.TakeLateAttached()
+	if len(late) != 1 {
+		t.Fatalf("late = %v, want exactly the pre-epoch host", late)
+	}
+	id, ok := g1.HostID("ns.elsewhere.net")
+	if !ok || late[0] != id {
+		t.Errorf("late = %v, want [%d] (ns.elsewhere.net)", late, id)
+	}
+	if b.TakeLateAttached() != nil {
+		t.Error("TakeLateAttached must clear the set")
+	}
+}
+
 // closureHosts returns a zone's closure as sorted host names.
 func closureHosts(g *core.Graph, apex string) []string {
 	ids := g.ZoneClosure(apex)

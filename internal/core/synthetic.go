@@ -29,9 +29,19 @@ func SyntheticBuild(names int) (*Graph, time.Duration) {
 // names number `names`, and memory growth per name isolates the
 // per-name cost of graph construction.
 func FeedSynthetic(b *Builder, names int) {
+	FeedSyntheticRange(b, 0, names, names)
+}
+
+// FeedSyntheticRange streams the [lo, hi) slice of a total-name synthetic
+// corpus into b, so a corpus can be fed across several epochs the way a
+// Monitor's incremental Adds would deliver it. Feeding every slice of
+// [0, total) in order produces exactly the events FeedSynthetic(b, total)
+// would: zone and chain observations repeated across slice boundaries are
+// deduplicated by the builder's first-observation-wins contract.
+func FeedSyntheticRange(b *Builder, lo, hi, total int) {
 	const tlds = 12
 	const namesPerDomain = 50
-	domains := names / namesPerDomain
+	domains := total / namesPerDomain
 	if domains < 1 {
 		domains = 1
 	}
@@ -47,8 +57,12 @@ func FeedSynthetic(b *Builder, names int) {
 		b.ObserveChain(ns2, []string{tld(i)})
 	}
 	// Hosting domains with two in-bailiwick nameservers each, then the
-	// domain's share of surveyed names.
-	for d := 0; d < domains; d++ {
+	// domain's share of surveyed names. Only domains whose name range
+	// overlaps [lo, hi) are touched.
+	for d := lo / namesPerDomain; d < domains; d++ {
+		if d*namesPerDomain >= hi {
+			break
+		}
 		zt := tld(d % tlds)
 		dom := fmt.Sprintf("dom%d.%s", d, zt)
 		ns1 := "ns1." + dom
@@ -56,11 +70,14 @@ func FeedSynthetic(b *Builder, names int) {
 		b.ObserveZone(dom, []string{ns1, ns2})
 		b.ObserveChain(ns1, []string{zt, dom})
 		b.ObserveChain(ns2, []string{zt, dom})
-		hi := (d + 1) * namesPerDomain
-		if d == domains-1 || hi > names {
-			hi = names // the last domain absorbs any remainder
+		dhi := (d + 1) * namesPerDomain
+		if d == domains-1 || dhi > total {
+			dhi = total // the last domain absorbs any remainder
 		}
-		for n := d * namesPerDomain; n < hi; n++ {
+		if dhi > hi {
+			dhi = hi
+		}
+		for n := max(d*namesPerDomain, lo); n < dhi; n++ {
 			b.Complete(fmt.Sprintf("www%d.%s", n, dom), []string{zt, dom})
 		}
 	}

@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -57,10 +56,20 @@ type CrawlStats struct {
 	// WalkTime is the wall time of the streaming phase: corpus walk plus
 	// incremental graph assembly, which overlap completely.
 	WalkTime time.Duration
-	// BuildTime is the wall time of Builder.Finish — the Tarjan
+	// BuildTime is the wall time of the epoch finalize — the Tarjan
 	// condensation, closure, and per-chain TCB pass over the already
 	// compact arrays. This is the only post-crawl barrier left.
 	BuildTime time.Duration
+	// Generation stamps the Engine generation this survey was committed
+	// at: 1 for a one-shot Run (its engine's only batch), increasing per
+	// Add on a resident Engine, 0 for snapshot-built surveys.
+	Generation int64
+	// LateAttachedHosts lists host ids whose address chain attached
+	// after the host had already appeared in an earlier generation — the
+	// precise set through which earlier generations' analysis results
+	// can be invalidated (see core.Builder.TakeLateAttached). Nil for
+	// almost every batch.
+	LateAttachedHosts []int32
 }
 
 // Survey is the complete dataset of one crawl: the dependency graph, the
@@ -177,161 +186,34 @@ type event struct {
 	err   error
 }
 
-// chanObserver forwards walker discovery events into the crawl stream.
-// Sends are unconditional: the assembler drains the channel until every
-// worker has exited, so a send can never block indefinitely.
-type chanObserver chan<- event
-
-func (c chanObserver) ZoneDiscovered(apex, _ string, nsHosts []string) {
-	c <- event{kind: evZone, key: apex, hosts: nsHosts}
-}
-
-func (c chanObserver) ChainResolved(key string, chain []string) {
-	c <- event{kind: evChain, key: key, chain: chain}
-}
-
 // Run crawls the corpus over the given resolver and version prober.
 // probe fetches the version.bind banner of a nameserver host; pass nil to
 // skip fingerprinting.
 //
-// The crawl is a streaming pipeline with incremental graph assembly: a
-// feeder pushes corpus names into a bounded channel, the worker pool
-// walks them over a shared (sharded, single-flight) Walker, and every
-// discovery — zone cut, delegation chain, finished name — flows through
-// one event stream into the core.Builder, which interns it into compact
-// int32 ids on arrival. There is no end-of-crawl re-walk of the
-// dependency state and no string-keyed corpus buffer; Finish only runs
-// the closure pass. Cancellation drains the pipeline; worker-level
-// failures are aggregated per worker and joined into the returned error.
+// Run is the one-shot convenience over the resident Engine: it opens an
+// engine, Adds the whole corpus as one batch, and closes the engine
+// (saving the query memo when configured — even when the crawl aborts,
+// so an interrupted survey resumes without re-asking answered
+// questions). The streaming pipeline, worker-pool semantics, and
+// incremental graph assembly are the Engine's; see Engine.Add.
 func Run(ctx context.Context, r *resolver.Resolver, corpus []string, probe func(ctx context.Context, host string) (string, error), cfg Config) (*Survey, error) {
 	if len(corpus) == 0 {
 		return nil, fmt.Errorf("crawler: empty corpus")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	e, err := NewEngine(r, probe, cfg)
+	if err != nil {
+		return nil, err
 	}
-	w := resolver.NewWalker(r)
-
-	memoLoaded := 0
-	if cfg.MemoFile != "" {
-		n, err := loadMemoFile(w, cfg.MemoFile)
-		if err != nil {
-			return nil, err
-		}
-		memoLoaded = n
-	}
-
-	// One unified event stream: walker discoveries and walk results share
-	// a FIFO channel, preserving the causal order the builder relies on.
-	events := make(chan event, workers*4)
-	w.SetObserver(chanObserver(events))
-
-	in := make(chan string, workers*2)
-	workerErrs := make([]error, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			for name := range in {
-				chain, err := w.WalkName(ctx, name)
-				if err != nil && ctx.Err() != nil {
-					// The crawl is being torn down: record the abort for
-					// this worker and stop draining.
-					workerErrs[id] = fmt.Errorf("crawler: worker %d aborted: %w", id, err)
-					return
-				}
-				events <- event{kind: evResult, key: name, chain: chain, err: err}
-			}
-		}(i)
-	}
-	go func() {
-		defer close(in)
-		for _, name := range corpus {
-			select {
-			case in <- name:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(events)
-	}()
-
-	// Incremental assembler: absorbs discoveries and results into the
-	// graph's intern tables as they stream in.
-	walkStart := time.Now()
-	asm := core.NewBuilder(len(corpus))
-	for ev := range events {
-		switch ev.kind {
-		case evZone:
-			asm.ObserveZone(ev.key, ev.hosts)
-		case evChain:
-			asm.ObserveChain(ev.key, ev.chain)
-		case evResult:
-			if ev.err != nil {
-				asm.Fail(ev.key, ev.err)
-			} else {
-				asm.Complete(ev.key, ev.chain)
-			}
-			if cfg.Progress != nil && asm.Done()%1000 == 0 {
-				cfg.Progress(asm.Done(), len(corpus))
-			}
-		}
-	}
-	walkTime := time.Since(walkStart)
-
-	// Persist the query memo before reporting any error: resuming an
+	s, addErr := e.Add(ctx, corpus...)
+	// Close persists the memo before any error is reported: resuming an
 	// interrupted crawl is exactly the point of the memo file. A save
-	// failure must not discard a completed survey (the memo is
-	// best-effort resume state) — it is joined onto abort errors and
-	// otherwise surfaced through Stats.MemoSaveErr. Either way the memo
-	// is released afterwards — the Survey keeps the walker alive for
-	// lazy Snapshot reconstruction, and the O(queries) memo of cached
-	// responses must not ride along.
-	var memoErr error
-	if cfg.MemoFile != "" {
-		memoErr = saveMemoFile(w, cfg.MemoFile)
+	// failure must not discard a completed survey — it is joined onto
+	// abort errors and otherwise surfaced through Stats.MemoSaveErr.
+	memoErr := e.Close()
+	if addErr != nil {
+		return nil, errors.Join(addErr, memoErr)
 	}
-	w.ReleaseQueryMemo()
-	if err := ctx.Err(); err != nil {
-		return nil, errors.Join(append([]error{err, memoErr}, workerErrs...)...)
-	}
-	if err := errors.Join(workerErrs...); err != nil {
-		return nil, errors.Join(err, memoErr)
-	}
-
-	buildStart := time.Now()
-	graph := asm.Finish()
-	buildTime := time.Since(buildStart)
-
-	s := &Survey{
-		Graph:  graph,
-		Names:  asm.Names(),
-		Failed: asm.Failed(),
-		Banner: make(map[string]string),
-		Vulns:  make(map[string][]vulndb.Vuln),
-		DB:     vulndb.Default(),
-		Stats: CrawlStats{
-			Workers:     workers,
-			Walker:      w.Stats(),
-			MemoLoaded:  memoLoaded,
-			MemoSaveErr: memoErr,
-			WalkTime:    walkTime,
-			BuildTime:   buildTime,
-		},
-		walker: w,
-	}
-
-	// Fingerprint every discovered nameserver.
-	if probe != nil && !cfg.SkipVersionProbe {
-		if err := s.probeAll(ctx, probe, workers); err != nil {
-			return nil, err
-		}
-	}
+	s.Stats.MemoSaveErr = memoErr
 	return s, nil
 }
 
@@ -378,47 +260,17 @@ func saveMemoFile(w *resolver.Walker, path string) error {
 	return nil
 }
 
-func (s *Survey) probeAll(ctx context.Context, probe func(ctx context.Context, host string) (string, error), workers int) error {
-	hosts := s.Graph.Hosts()
-	type probeOut struct {
-		host   string
-		banner string
+// FromGraph packages a finished dependency graph as a Survey with no
+// fingerprinting performed: every host reads as banner-hidden, i.e.
+// optimistically safe. It is the cheap path from a synthetic
+// core.Builder corpus to the analysis layer (benchmarks, memo tests).
+func FromGraph(g *core.Graph) *Survey {
+	return &Survey{
+		Graph:  g,
+		Names:  g.Names(),
+		Failed: map[string]error{},
+		Banner: make(map[string]string),
+		Vulns:  make(map[string][]vulndb.Vuln),
+		DB:     vulndb.Default(),
 	}
-	in := make(chan string, workers*2)
-	out := make(chan probeOut, workers*2)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for host := range in {
-				banner, err := probe(ctx, host)
-				if err != nil {
-					banner = "" // unreachable: optimistically safe
-				}
-				out <- probeOut{host: host, banner: banner}
-			}
-		}()
-	}
-	go func() {
-		defer close(in)
-		for _, h := range hosts {
-			select {
-			case in <- h:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(out)
-	}()
-	for po := range out {
-		s.Banner[po.host] = po.banner
-		if vulns := s.DB.VulnsForBanner(po.banner); len(vulns) > 0 {
-			s.Vulns[po.host] = vulns
-		}
-	}
-	return ctx.Err()
 }

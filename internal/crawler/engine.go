@@ -1,0 +1,363 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"maps"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnstrust/internal/core"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/vulndb"
+)
+
+// Engine is the resident survey service: one walker, one streaming graph
+// builder, and a sequence of incremental crawls feeding them. Where Run
+// crawls a fixed corpus once and tears everything down, an Engine stays
+// open — Add extends the survey with more names, reusing every zone cut,
+// delegation chain, and memoized query discovered by earlier batches, so
+// adding names whose dependency structure is already walked crosses the
+// transport zero times.
+//
+// Each successful Add commits a new generation: an immutable Survey
+// built from an epoch snapshot of the graph (core.Builder.FinishEpoch)
+// plus copies of the failure/banner/vulnerability tables. View returns
+// the latest committed generation and never blocks; readers may keep
+// analyzing an older generation while the next Add streams in — nothing
+// a committed Survey references is ever mutated again.
+//
+// Add and Close serialize on an internal lock; View is lock-free. An
+// Engine is therefore "single-writer, many-readers": one crawl advances
+// at a time while any number of goroutines query committed generations.
+type Engine struct {
+	w     *resolver.Walker
+	probe func(ctx context.Context, host string) (string, error)
+	cfg   Config
+
+	// mu serializes Add and Close and guards the mutable crawl state
+	// below. The committed view is published through an atomic pointer
+	// so readers never touch the lock.
+	mu         sync.Mutex
+	b          *core.Builder
+	banner     map[string]string
+	vulns      map[string][]vulndb.Vuln
+	db         *vulndb.DB
+	probed     int // prefix of the graph's host table already fingerprinted
+	memoLoaded int
+	closed     bool
+	// pendingLate carries late-attached host ids drained from the
+	// builder by an Add that then failed before committing (e.g. probe
+	// cancellation): they must surface in the NEXT committed
+	// generation's stats or the analysis memo would never invalidate
+	// the chains they touched.
+	pendingLate []int32
+
+	// events is the active Add's stream; walker observer callbacks
+	// forward into it. It is installed before the batch's workers start
+	// and fully drained before Add returns, so the observer never sends
+	// on a closed or stale channel.
+	events chan event
+
+	gen  atomic.Int64
+	view atomic.Pointer[Survey]
+}
+
+// NewEngine opens a resident survey engine over r. probe fetches
+// version.bind banners for newly discovered hosts (nil skips
+// fingerprinting). When cfg.MemoFile names an existing file, the query
+// memo is resumed from it; Close saves it back. The engine starts at
+// generation 0 with an empty committed view.
+func NewEngine(r *resolver.Resolver, probe func(ctx context.Context, host string) (string, error), cfg Config) (*Engine, error) {
+	w := resolver.NewWalker(r)
+	e := &Engine{
+		w:      w,
+		probe:  probe,
+		cfg:    cfg,
+		b:      core.NewBuilder(0),
+		banner: make(map[string]string),
+		vulns:  make(map[string][]vulndb.Vuln),
+		db:     vulndb.Default(),
+	}
+	if cfg.MemoFile != "" {
+		n, err := loadMemoFile(w, cfg.MemoFile)
+		if err != nil {
+			return nil, err
+		}
+		e.memoLoaded = n
+	}
+	w.SetObserver(e)
+	e.view.Store(&Survey{
+		Graph:  e.b.FinishEpoch(),
+		Failed: map[string]error{},
+		Banner: map[string]string{},
+		Vulns:  map[string][]vulndb.Vuln{},
+		DB:     e.db,
+		Stats:  CrawlStats{MemoLoaded: e.memoLoaded},
+		walker: w,
+	})
+	return e, nil
+}
+
+// ZoneDiscovered forwards a walker discovery into the active batch's
+// event stream (resolver.WalkObserver).
+func (e *Engine) ZoneDiscovered(apex, _ string, nsHosts []string) {
+	e.events <- event{kind: evZone, key: apex, hosts: nsHosts}
+}
+
+// ChainResolved forwards a walker discovery into the active batch's
+// event stream (resolver.WalkObserver).
+func (e *Engine) ChainResolved(key string, chain []string) {
+	e.events <- event{kind: evChain, key: key, chain: chain}
+}
+
+// Generation reports the latest committed generation (0 before the
+// first successful Add).
+func (e *Engine) Generation() int64 { return e.gen.Load() }
+
+// Queries reports the cumulative transport queries the engine's walker
+// has issued across all Adds — the counter behind the "adding memoized
+// names is transport-free" guarantee.
+func (e *Engine) Queries() int { return e.w.Queries() }
+
+// View returns the latest committed Survey. It never blocks: during an
+// in-flight Add it returns the previous generation, whose contents are
+// immutable. Generations are stamped in Stats.Generation.
+func (e *Engine) View() *Survey { return e.view.Load() }
+
+// Add crawls names into the resident survey and commits a new
+// generation. Names whose dependency structure was fully discovered by
+// earlier batches are absorbed without any transport traffic (the
+// walker's discovery caches answer everything); genuinely new zones are
+// walked and streamed into the shared graph builder exactly like a
+// first crawl. Re-adding an already-surveyed name is a no-op beyond the
+// cache lookups.
+//
+// On error (cancellation, worker failure, probe failure) no generation
+// is committed and the previous view stays valid; the walker keeps
+// everything it learned, so a retry resumes where the batch stopped.
+func (e *Engine) Add(ctx context.Context, names ...string) (*Survey, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, errors.New("crawler: engine closed")
+	}
+	if len(names) == 0 {
+		return e.view.Load(), nil
+	}
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// One unified event stream per batch: walker discoveries and walk
+	// results share a FIFO channel, preserving the causal order the
+	// builder relies on. The walker only fires callbacks from this
+	// batch's workers, so installing the channel here is race-free.
+	events := make(chan event, workers*4)
+	e.events = events
+
+	in := make(chan string, workers*2)
+	workerErrs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for name := range in {
+				chain, err := e.w.WalkName(ctx, name)
+				if err != nil && ctx.Err() != nil {
+					// The crawl is being torn down: record the abort for
+					// this worker and stop draining.
+					workerErrs[id] = fmt.Errorf("crawler: worker %d aborted: %w", id, err)
+					return
+				}
+				events <- event{kind: evResult, key: name, chain: chain, err: err}
+			}
+		}(i)
+	}
+	go func() {
+		defer close(in)
+		for _, name := range names {
+			select {
+			case in <- name:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(events)
+	}()
+
+	// Incremental assembler: absorbs discoveries and results into the
+	// shared graph's intern tables as they stream in.
+	walkStart := time.Now()
+	total := e.b.Done() + len(names)
+	for ev := range events {
+		switch ev.kind {
+		case evZone:
+			e.b.ObserveZone(ev.key, ev.hosts)
+		case evChain:
+			e.b.ObserveChain(ev.key, ev.chain)
+		case evResult:
+			if ev.err != nil {
+				e.b.Fail(ev.key, ev.err)
+			} else {
+				e.b.Complete(ev.key, ev.chain)
+			}
+			if e.cfg.Progress != nil && e.b.Done()%1000 == 0 {
+				e.cfg.Progress(e.b.Done(), total)
+			}
+		}
+	}
+	walkTime := time.Since(walkStart)
+
+	if err := ctx.Err(); err != nil {
+		return nil, errors.Join(append([]error{err}, workerErrs...)...)
+	}
+	if err := errors.Join(workerErrs...); err != nil {
+		return nil, err
+	}
+
+	// Commit: finalize the epoch, fingerprint hosts discovered by this
+	// batch, and publish the new generation. Late-attached ids drained
+	// here are folded into pendingLate first, so an abort below (probe
+	// cancellation) cannot lose them — the next committed generation
+	// reports them and the analysis memo invalidates correctly.
+	buildStart := time.Now()
+	g := e.b.FinishEpoch()
+	e.pendingLate = mergeSorted(e.pendingLate, e.b.TakeLateAttached())
+	buildTime := time.Since(buildStart)
+
+	hosts := g.Hosts()
+	if e.probe != nil && !e.cfg.SkipVersionProbe && e.probed < len(hosts) {
+		if err := probeHosts(ctx, e.probe, hosts[e.probed:], workers, e.banner, e.vulns, e.db); err != nil {
+			return nil, err
+		}
+	}
+	e.probed = len(hosts)
+	late := e.pendingLate
+	e.pendingLate = nil
+
+	s := &Survey{
+		Graph:  g,
+		Names:  g.Names(),
+		Failed: maps.Clone(e.b.Failed()),
+		Banner: maps.Clone(e.banner),
+		Vulns:  maps.Clone(e.vulns),
+		DB:     e.db,
+		Stats: CrawlStats{
+			Workers:           workers,
+			Walker:            e.w.Stats(),
+			MemoLoaded:        e.memoLoaded,
+			WalkTime:          walkTime,
+			BuildTime:         buildTime,
+			Generation:        e.gen.Add(1),
+			LateAttachedHosts: late,
+		},
+		walker: e.w,
+	}
+	e.view.Store(s)
+	return s, nil
+}
+
+// Close saves the query memo (when Config.MemoFile is set), releases the
+// memoized responses, and rejects further Adds. Committed views remain
+// fully readable — Close only ends the engine's write side. It returns
+// the memo-save failure, if any.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var memoErr error
+	if e.cfg.MemoFile != "" {
+		memoErr = saveMemoFile(e.w, e.cfg.MemoFile)
+	}
+	e.w.ReleaseQueryMemo()
+	return memoErr
+}
+
+// mergeSorted merges two sorted id slices, deduplicating.
+func mergeSorted(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v int32
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			v = a[i]
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			v = b[j]
+			j++
+		default: // equal
+			v = a[i]
+			i++
+			j++
+		}
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// probeHosts fingerprints hosts over a worker pool, recording banners
+// and scoring them against the vulnerability matrix into the given maps.
+func probeHosts(ctx context.Context, probe func(ctx context.Context, host string) (string, error), hosts []string, workers int, banner map[string]string, vulns map[string][]vulndb.Vuln, db *vulndb.DB) error {
+	type probeOut struct {
+		host   string
+		banner string
+	}
+	in := make(chan string, workers*2)
+	out := make(chan probeOut, workers*2)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for host := range in {
+				b, err := probe(ctx, host)
+				if err != nil {
+					b = "" // unreachable: optimistically safe
+				}
+				out <- probeOut{host: host, banner: b}
+			}
+		}()
+	}
+	go func() {
+		defer close(in)
+		for _, h := range hosts {
+			select {
+			case in <- h:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	for po := range out {
+		banner[po.host] = po.banner
+		if vs := db.VulnsForBanner(po.banner); len(vs) > 0 {
+			vulns[po.host] = vs
+		}
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,241 @@
+package crawler_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dnstrust/internal/analysis"
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/topology"
+)
+
+func openEngine(t *testing.T, world *topology.World, cfg crawler.Config) (*crawler.Engine, *topology.DirectTransport) {
+	t.Helper()
+	tr := topology.NewDirectTransport(world.Registry)
+	r, err := world.Registry.Resolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := crawler.NewEngine(r, world.Registry.ProbeFunc(tr), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, tr
+}
+
+// TestEngineIncrementalMatchesBatch is the Engine's equivalence gate: a
+// corpus fed across three Adds must commit exactly the survey a one-shot
+// Run of the whole corpus produces — same names, same graph shape, same
+// TCBs, same vulnerability scoring.
+func TestEngineIncrementalMatchesBatch(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 21, Names: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, _ := openEngine(t, world, crawler.Config{Workers: 4})
+	defer e.Close()
+	ctx := context.Background()
+	third := len(world.Corpus) / 3
+	var inc *crawler.Survey
+	for _, batch := range [][]string{
+		world.Corpus[:third], world.Corpus[third : 2*third], world.Corpus[2*third:],
+	} {
+		if inc, err = e.Add(ctx, batch...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inc.Stats.Generation; got != 3 {
+		t.Errorf("generation after 3 adds = %d", got)
+	}
+
+	tr := topology.NewDirectTransport(world.Registry)
+	r, err := world.Registry.Resolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := crawler.Run(ctx, r, world.Corpus, world.Registry.ProbeFunc(tr), crawler.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(inc.Names, batch.Names) {
+		t.Fatalf("incremental names differ from batch: %d vs %d", len(inc.Names), len(batch.Names))
+	}
+	if inc.Graph.NumHosts() != batch.Graph.NumHosts() || inc.Graph.NumZones() != batch.Graph.NumZones() {
+		t.Fatalf("graph shape differs: %d/%d hosts, %d/%d zones",
+			inc.Graph.NumHosts(), batch.Graph.NumHosts(), inc.Graph.NumZones(), batch.Graph.NumZones())
+	}
+	for _, n := range batch.Names {
+		it, err := inc.Graph.TCB(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := batch.Graph.TCB(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(it, bt) {
+			t.Fatalf("TCB(%s) differs between incremental and batch", n)
+		}
+	}
+	if inc.VulnerableHosts() != batch.VulnerableHosts() {
+		t.Errorf("vulnerable hosts: incremental %d, batch %d", inc.VulnerableHosts(), batch.VulnerableHosts())
+	}
+}
+
+// TestEngineAddMemoizedIsTransportFree asserts the incremental-reuse
+// guarantee at the transport boundary: re-adding names whose dependency
+// structure is already walked issues zero queries.
+func TestEngineAddMemoizedIsTransportFree(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 23, Names: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, tr := openEngine(t, world, crawler.Config{Workers: 4})
+	defer e.Close()
+	ctx := context.Background()
+	if _, err := e.Add(ctx, world.Corpus...); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Queries()
+	if before == 0 {
+		t.Fatal("first add issued no transport queries")
+	}
+	s, err := e.Add(ctx, world.Corpus...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Queries(); got != before {
+		t.Errorf("re-add issued %d transport queries, want 0", got-before)
+	}
+	if int(s.Stats.Generation) != 2 {
+		t.Errorf("generation = %d, want 2", s.Stats.Generation)
+	}
+	if len(s.Names) != len(world.Corpus) {
+		t.Errorf("re-add changed the name count: %d", len(s.Names))
+	}
+}
+
+// TestEngineViewIsolationUnderAdd is the -race contract behind the
+// public View API: a committed Survey must stay byte-identical — and be
+// freely readable, including lazy Snapshot reconstruction and analysis
+// passes — while the next Add streams into the shared walker and
+// builder.
+func TestEngineViewIsolationUnderAdd(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 29, Names: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := openEngine(t, world, crawler.Config{Workers: 4})
+	defer e.Close()
+	ctx := context.Background()
+	half := len(world.Corpus) / 2
+	v1, err := e.Add(ctx, world.Corpus[:half]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record v1's observable state before the concurrent Add.
+	wantNames := append([]string(nil), v1.Names...)
+	wantTCB := map[string]int{}
+	for _, n := range wantNames {
+		wantTCB[n] = v1.Graph.TCBSize(n)
+	}
+	wantSummary := analysis.Summarize(v1, v1.Names)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readErrs := make(chan string, 16)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Analysis reads over the committed view race the crawl.
+				sum := analysis.Summarize(v1, v1.Names)
+				if sum.Names != wantSummary.Names || sum.Servers != wantSummary.Servers {
+					readErrs <- "summary changed under a concurrent Add"
+					return
+				}
+				for _, n := range wantNames[:20] {
+					if v1.Graph.TCBSize(n) != wantTCB[n] {
+						readErrs <- "TCB changed under a concurrent Add"
+						return
+					}
+				}
+				// The lazy legacy snapshot must also be safe to build
+				// while the walker's caches advance.
+				if snap := v1.Snapshot(); len(snap.NameChain) != len(wantNames) {
+					readErrs <- "snapshot names changed under a concurrent Add"
+					return
+				}
+				if e.View().Stats.Generation < 1 {
+					readErrs <- "committed view regressed"
+					return
+				}
+			}
+		}()
+	}
+
+	v2, err := e.Add(ctx, world.Corpus[half:]...)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-readErrs:
+		t.Fatal(msg)
+	default:
+	}
+
+	// v1 is still exactly what it was; v2 superseded it.
+	if !reflect.DeepEqual(v1.Names, wantNames) {
+		t.Error("v1 names changed after the second Add")
+	}
+	for _, n := range wantNames {
+		if v1.Graph.TCBSize(n) != wantTCB[n] {
+			t.Fatalf("v1 TCB(%s) changed after the second Add", n)
+		}
+	}
+	if len(v2.Names) != len(world.Corpus) {
+		t.Errorf("v2 has %d names, want %d", len(v2.Names), len(world.Corpus))
+	}
+	if e.View() != v2 {
+		t.Error("View() is not the latest committed generation")
+	}
+}
+
+// TestEngineClosedRejectsAdd verifies the write side ends at Close while
+// committed views stay readable.
+func TestEngineClosedRejectsAdd(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 23, Names: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := openEngine(t, world, crawler.Config{})
+	s, err := e.Add(context.Background(), world.Corpus...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Add(context.Background(), "www.late.example"); err == nil {
+		t.Error("Add after Close must fail")
+	}
+	if got := e.View(); got != s {
+		t.Error("committed view lost after Close")
+	}
+	if s.Graph.TCBSize(s.Names[0]) <= 0 {
+		t.Error("closed engine's view must stay readable")
+	}
+}

@@ -1,0 +1,21 @@
+package crawler
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeSorted(t *testing.T) {
+	cases := []struct{ a, b, want []int32 }{
+		{nil, nil, nil},
+		{[]int32{1, 3}, nil, []int32{1, 3}},
+		{nil, []int32{2}, []int32{2}},
+		{[]int32{1, 3, 5}, []int32{2, 3, 6}, []int32{1, 2, 3, 5, 6}},
+		{[]int32{1, 1, 2}, []int32{1, 2}, []int32{1, 2}},
+	}
+	for _, c := range cases {
+		if got := mergeSorted(c.a, c.b); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("mergeSorted(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -77,6 +77,15 @@ type Result struct {
 	VulnInCut int
 }
 
+// Clone returns a deep copy of the result with a caller-owned Cut
+// slice. Memoization layers (analysis.ChainMemo) hand out clones so the
+// cached copy can never be mutated through a returned result.
+func (r *Result) Clone() *Result {
+	cp := *r
+	cp.Cut = append([]string(nil), r.Cut...)
+	return &cp
+}
+
 // safeWeight is the weighted-cut coefficient for safe servers. With
 // vulnerable servers costing 1, any cut with fewer safe servers always
 // wins, and the vulnerable count breaks ties. It bounds the supported

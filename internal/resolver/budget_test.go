@@ -35,7 +35,7 @@ func TestRetryBudgetPreservesErrorChain(t *testing.T) {
 		{Host: "s1", Addr: netip.MustParseAddr("192.0.2.1")},
 		{Host: "s2", Addr: netip.MustParseAddr("192.0.2.2")},
 	}
-	_, err = w.dispatch(context.Background(), servers, "example.test", dnswire.TypeA)
+	_, err = w.dispatch(context.Background(), "test", servers, "example.test", dnswire.TypeA)
 	if !errors.Is(err, ErrRetryBudget) {
 		t.Fatalf("dispatch error = %v, want ErrRetryBudget in chain", err)
 	}
@@ -59,7 +59,7 @@ func TestRetryBudgetCapsAttempts(t *testing.T) {
 	for i := range servers {
 		servers[i] = ServerAddr{Host: fmt.Sprintf("s%d", i), Addr: netip.MustParseAddr(fmt.Sprintf("192.0.2.%d", i+1))}
 	}
-	if _, err := w.dispatch(context.Background(), servers, "example.test", dnswire.TypeA); !errors.Is(err, ErrRetryBudget) {
+	if _, err := w.dispatch(context.Background(), "test", servers, "example.test", dnswire.TypeA); !errors.Is(err, ErrRetryBudget) {
 		t.Fatalf("dispatch error = %v, want ErrRetryBudget", err)
 	}
 	if got := w.Queries(); got != 2 {

@@ -15,10 +15,17 @@ import (
 // sleep until it matures, so waiters are admitted strictly in arrival
 // order per server without a queue.
 //
+// The sustained rate may vary per call (per-zone overrides: the walker
+// passes the rate of the zone the query is addressed to). A bucket's
+// token balance carries across rate changes; accrual and reservation
+// both use the current call's rate, so a server that serves both a
+// high-rate TLD zone and a low-rate leaf zone is paced by whichever
+// etiquette applies to each query.
+//
 // The clock (now) and the blocking primitive (sleep) are injectable for
 // tests; nil selects the real time.Now and a timer-based sleep.
 type rateLimiter struct {
-	rate  float64 // tokens per second
+	rate  float64 // default tokens per second (calls passing rate 0)
 	burst float64
 	now   func() time.Time
 	sleep func(ctx context.Context, d time.Duration) error
@@ -51,10 +58,18 @@ func newRateLimiter(rate float64, burst int, now func() time.Time, sleep func(co
 	}
 }
 
-// wait blocks until addr's bucket grants a token or ctx is done. The
-// reservation is made under the lock; the sleep happens outside it, so
-// waiters on different servers never serialize on each other.
-func (l *rateLimiter) wait(ctx context.Context, addr netip.Addr) error {
+// wait blocks until addr's bucket grants a token or ctx is done. rate is
+// the sustained rate for this call (a per-zone override); 0 selects the
+// limiter's default. The reservation is made under the lock; the sleep
+// happens outside it, so waiters on different servers never serialize on
+// each other.
+func (l *rateLimiter) wait(ctx context.Context, addr netip.Addr, rate float64) error {
+	if rate == 0 {
+		rate = l.rate
+	}
+	if rate <= 0 {
+		return nil
+	}
 	l.mu.Lock()
 	t := l.now()
 	b := l.buckets[addr]
@@ -62,7 +77,7 @@ func (l *rateLimiter) wait(ctx context.Context, addr netip.Addr) error {
 		b = &bucket{tokens: l.burst, last: t}
 		l.buckets[addr] = b
 	}
-	b.tokens += t.Sub(b.last).Seconds() * l.rate
+	b.tokens += t.Sub(b.last).Seconds() * rate
 	if b.tokens > l.burst {
 		b.tokens = l.burst
 	}
@@ -70,7 +85,7 @@ func (l *rateLimiter) wait(ctx context.Context, addr netip.Addr) error {
 	b.tokens--
 	var d time.Duration
 	if b.tokens < 0 {
-		d = time.Duration(-b.tokens / l.rate * float64(time.Second))
+		d = time.Duration(-b.tokens / rate * float64(time.Second))
 	}
 	l.mu.Unlock()
 	if d > 0 {

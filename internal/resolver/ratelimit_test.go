@@ -1,7 +1,10 @@
 package resolver
 
 import (
+	"errors"
+
 	"context"
+	"dnstrust/internal/dnswire"
 	"net/netip"
 	"testing"
 	"time"
@@ -34,7 +37,7 @@ func TestRateLimiterBurstThenPaced(t *testing.T) {
 
 	// The burst passes with no sleep.
 	for i := 0; i < 2; i++ {
-		if err := l.wait(ctx, addr); err != nil {
+		if err := l.wait(ctx, addr, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -44,7 +47,7 @@ func TestRateLimiterBurstThenPaced(t *testing.T) {
 
 	// Subsequent queries are paced at exactly 1/rate = 100ms apart.
 	for i := 0; i < 3; i++ {
-		if err := l.wait(ctx, addr); err != nil {
+		if err := l.wait(ctx, addr, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -64,12 +67,12 @@ func TestRateLimiterRefillsWhileIdle(t *testing.T) {
 	addr := netip.MustParseAddr("192.0.2.1")
 	ctx := context.Background()
 
-	if err := l.wait(ctx, addr); err != nil {
+	if err := l.wait(ctx, addr, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Idle long enough to mature a fresh token: no sleep needed.
 	clk.t = clk.t.Add(time.Second)
-	if err := l.wait(ctx, addr); err != nil {
+	if err := l.wait(ctx, addr, 0); err != nil {
 		t.Fatal(err)
 	}
 	if len(clk.sleeps) != 0 {
@@ -85,10 +88,10 @@ func TestRateLimiterPerServerIndependence(t *testing.T) {
 	// Draining server A's bucket must not delay server B.
 	a := netip.MustParseAddr("192.0.2.1")
 	b := netip.MustParseAddr("192.0.2.2")
-	if err := l.wait(ctx, a); err != nil {
+	if err := l.wait(ctx, a, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.wait(ctx, b); err != nil {
+	if err := l.wait(ctx, b, 0); err != nil {
 		t.Fatal(err)
 	}
 	if len(clk.sleeps) != 0 {
@@ -100,11 +103,90 @@ func TestRateLimiterBurstFloor(t *testing.T) {
 	clk := newFakeClock()
 	l := newRateLimiter(100, 0, clk.now, clk.sleep) // burst 0 -> 1
 	addr := netip.MustParseAddr("192.0.2.1")
-	if err := l.wait(context.Background(), addr); err != nil {
+	if err := l.wait(context.Background(), addr, 0); err != nil {
 		t.Fatal(err)
 	}
 	if len(clk.sleeps) != 0 {
 		t.Fatal("first query must always pass immediately")
+	}
+}
+
+// TestRateLimiterPerCallRate verifies the per-zone override mechanism at
+// the bucket level: the same server paced under two different rates is
+// granted tokens at whichever rate the current call carries.
+func TestRateLimiterPerCallRate(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(1, 1, clk.now, clk.sleep) // default 1 qps
+	addr := netip.MustParseAddr("192.0.2.1")
+	ctx := context.Background()
+
+	// Drain the burst, then pace at a 100 qps override: 10ms, not 1s.
+	if err := l.wait(ctx, addr, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.wait(ctx, addr, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 1 || clk.sleeps[0] > 11*time.Millisecond {
+		t.Fatalf("override-paced sleep = %v, want ~10ms", clk.sleeps)
+	}
+
+	// A later call at the default rate on the same bucket paces at 1s.
+	clk.sleeps = nil
+	if err := l.wait(ctx, addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 1 || clk.sleeps[0] < 900*time.Millisecond {
+		t.Fatalf("default-paced sleep = %v, want ~1s", clk.sleeps)
+	}
+}
+
+// TestDispatchZoneRateOverride checks the walker wiring end to end: a
+// dispatch addressed to a zone with a high override paces at that rate,
+// while the default zone paces at the conservative default — on the very
+// same limiter and fake clock.
+func TestDispatchZoneRateOverride(t *testing.T) {
+	r, err := New(errTransport{err: errors.New("refused")}, Config{
+		Roots:             []ServerAddr{{Host: "a.root.test", Addr: netip.MustParseAddr("198.41.0.4")}},
+		QueriesPerSec:     1,
+		ZoneQueriesPerSec: map[string]float64{"com": 500, "quiet.example": -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(r)
+	clk := newFakeClock()
+	w.limiter = newRateLimiter(r.cfg.QueriesPerSec, r.cfg.RateBurst, clk.now, clk.sleep)
+	ctx := context.Background()
+	// Each case queries one box twice (two ServerAddr entries sharing an
+	// address drain one bucket); a fresh address per case keeps the
+	// buckets independent.
+	serversAt := func(ip string) []ServerAddr {
+		return []ServerAddr{
+			{Host: "s1", Addr: netip.MustParseAddr(ip)},
+			{Host: "s2", Addr: netip.MustParseAddr(ip)},
+		}
+	}
+
+	// Zone "com" carries the 500 qps override: the second attempt waits
+	// ~2ms instead of ~1s.
+	w.dispatch(ctx, "com", serversAt("192.0.2.1"), "x.com", dnswire.TypeA)
+	if len(clk.sleeps) != 1 || clk.sleeps[0] > 3*time.Millisecond {
+		t.Fatalf("com-paced sleeps = %v, want one ~2ms wait", clk.sleeps)
+	}
+
+	// An unlisted zone falls back to the 1 qps default.
+	clk.sleeps = nil
+	w.dispatch(ctx, "example.net", serversAt("192.0.2.2"), "x.example.net", dnswire.TypeA)
+	if len(clk.sleeps) != 1 || clk.sleeps[0] < 500*time.Millisecond {
+		t.Fatalf("default-paced sleeps = %v, want one ~1s wait", clk.sleeps)
+	}
+
+	// A zone with a non-positive override is unpaced entirely.
+	clk.sleeps = nil
+	w.dispatch(ctx, "quiet.example", serversAt("192.0.2.3"), "x.quiet.example", dnswire.TypeA)
+	if len(clk.sleeps) != 0 {
+		t.Fatalf("disabled-zone dispatch slept: %v", clk.sleeps)
 	}
 }
 
@@ -115,10 +197,10 @@ func TestRateLimiterCancellation(t *testing.T) {
 	l := newRateLimiter(1, 1, clk.now, sleep)
 	addr := netip.MustParseAddr("192.0.2.1")
 	ctx := context.Background()
-	if err := l.wait(ctx, addr); err != nil {
+	if err := l.wait(ctx, addr, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.wait(ctx, addr); err != cancelled {
+	if err := l.wait(ctx, addr, 0); err != cancelled {
 		t.Fatalf("paced wait under cancellation = %v, want context.Canceled", err)
 	}
 }

@@ -63,9 +63,20 @@ type Config struct {
 	// sees more than this sustained rate from a crawl, no matter how
 	// many workers share it. 0 disables pacing (synthetic worlds).
 	QueriesPerSec float64
+	// ZoneQueriesPerSec overrides QueriesPerSec per queried zone apex:
+	// while a query is addressed to servers acting for that zone, its
+	// token bucket paces at the override instead of the default. TLD and
+	// registry servers are provisioned for orders of magnitude more
+	// traffic than leaf-zone boxes, so a live crawl typically sets a
+	// high override for "com", "net", ... and leaves the conservative
+	// default for everything else. Keys are canonical zone apexes ("" is
+	// the root); matching is exact. A zone absent from the map uses
+	// QueriesPerSec; an override <= 0 disables pacing for that zone.
+	ZoneQueriesPerSec map[string]float64
 	// RateBurst is the token-bucket depth (the number of back-to-back
 	// queries one server may absorb before pacing kicks in). Values
-	// below 1 default to 1. Only meaningful with QueriesPerSec.
+	// below 1 default to 1. Only meaningful with QueriesPerSec or
+	// ZoneQueriesPerSec.
 	RateBurst int
 	// RetryBudget, when positive, bounds how many servers the walker
 	// tries for one logical query before giving up with ErrRetryBudget.

@@ -150,7 +150,7 @@ type Walker struct {
 // pre-seeded as the root zone.
 func NewWalker(r *Resolver) *Walker {
 	w := &Walker{r: r, flights: newFlightGroup()}
-	if r.cfg.QueriesPerSec > 0 {
+	if r.cfg.QueriesPerSec > 0 || anyPositiveRate(r.cfg.ZoneQueriesPerSec) {
 		w.limiter = newRateLimiter(r.cfg.QueriesPerSec, r.cfg.RateBurst, nil, nil)
 	}
 	for i := range w.shards {
@@ -168,6 +168,27 @@ func NewWalker(r *Resolver) *Walker {
 	rootShard.zones[""] = &ZoneInfo{Apex: "", Parent: "", NSHosts: rootHosts}
 	rootShard.servers[""] = append([]ServerAddr(nil), r.cfg.Roots...)
 	return w
+}
+
+// anyPositiveRate reports whether a zone-rate override map enables
+// pacing somewhere even when the default rate is off.
+func anyPositiveRate(rates map[string]float64) bool {
+	for _, r := range rates {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// rateFor returns the sustained query rate for servers acting for the
+// given zone apex: the per-zone override when configured, the default
+// otherwise. <= 0 means unpaced.
+func (w *Walker) rateFor(zone string) float64 {
+	if r, ok := w.r.cfg.ZoneQueriesPerSec[zone]; ok {
+		return r
+	}
+	return w.r.cfg.QueriesPerSec
 }
 
 // SetObserver installs the discovery event sink. It must be called
@@ -484,7 +505,7 @@ func (w *Walker) descendToZone(ctx context.Context, name string, wc *walkCtx) (s
 		if !dnsname.IsSubdomain(anc, apex) {
 			continue // a referral jumped past this candidate
 		}
-		resp, err := w.queryAny(ctx, servers, anc, dnswire.TypeNS)
+		resp, err := w.queryAny(ctx, apex, servers, anc, dnswire.TypeNS)
 		if err != nil {
 			return apex, nil, fmt.Errorf("zone %q: %w", apex, err)
 		}
@@ -619,7 +640,7 @@ func (w *Walker) enterZoneAnswer(ctx context.Context, parent, child string, host
 			continue
 		}
 		if dnsname.IsSubdomain(host, child) {
-			addrs, err := w.queryAddr(ctx, parentServers, host)
+			addrs, err := w.queryAddr(ctx, parent, parentServers, host)
 			if err != nil {
 				lastErr = err
 				continue
@@ -647,9 +668,10 @@ func (w *Walker) enterZoneAnswer(ctx context.Context, parent, child string, host
 	return out, nil
 }
 
-// queryAddr fetches A records for host from the given servers.
-func (w *Walker) queryAddr(ctx context.Context, servers []ServerAddr, host string) ([]netip.Addr, error) {
-	resp, err := w.queryAny(ctx, servers, host, dnswire.TypeA)
+// queryAddr fetches A records for host from the given servers, which act
+// for the given zone apex (its rate etiquette applies).
+func (w *Walker) queryAddr(ctx context.Context, zone string, servers []ServerAddr, host string) ([]netip.Addr, error) {
+	resp, err := w.queryAny(ctx, zone, servers, host, dnswire.TypeA)
 	if err != nil {
 		return nil, err
 	}
@@ -713,7 +735,7 @@ func (w *Walker) computeHostAddr(ctx context.Context, host string, wc *walkCtx) 
 	if err != nil {
 		return nil, err
 	}
-	addrs, err := w.queryAddr(ctx, servers, host)
+	addrs, err := w.queryAddr(ctx, az, servers, host)
 	if err != nil {
 		return nil, err
 	}
@@ -727,8 +749,9 @@ func (w *Walker) computeHostAddr(ctx context.Context, host string, wc *walkCtx) 
 // caller performs the real server round-robin, concurrent callers block
 // on that in-flight attempt, and later callers are served from memory.
 // Every logical query therefore crosses the transport exactly once per
-// walker, making total transport work independent of worker count.
-func (w *Walker) queryAny(ctx context.Context, servers []ServerAddr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+// walker, making total transport work independent of worker count. zone
+// is the apex the servers act for; its rate etiquette paces the attempt.
+func (w *Walker) queryAny(ctx context.Context, zone string, servers []ServerAddr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	key := queryKey{name: name, qtype: qtype}
 	qs := &w.qmemo[fnv1a(name)&(numShards-1)]
 	qs.mu.Lock()
@@ -739,7 +762,7 @@ func (w *Walker) queryAny(ctx context.Context, servers []ServerAddr, name string
 			if e.err != nil && isCtxErr(e.err) && ctx.Err() == nil {
 				// The in-flight owner was cancelled, not us; its entry
 				// was removed before done closed, so retry fresh.
-				return w.queryAny(ctx, servers, name, qtype)
+				return w.queryAny(ctx, zone, servers, name, qtype)
 			}
 			w.memoHits.Add(1)
 			return e.resp, e.err
@@ -751,7 +774,7 @@ func (w *Walker) queryAny(ctx context.Context, servers []ServerAddr, name string
 	qs.m[key] = e
 	qs.mu.Unlock()
 
-	e.resp, e.err = w.dispatch(ctx, servers, name, qtype)
+	e.resp, e.err = w.dispatch(ctx, zone, servers, name, qtype)
 	if e.err != nil && isCtxErr(e.err) {
 		// Never memoize cancellation: a later walk with a live context
 		// must be able to retry.
@@ -764,12 +787,14 @@ func (w *Walker) queryAny(ctx context.Context, servers []ServerAddr, name string
 }
 
 // dispatch tries servers in order until one gives a usable response,
-// pacing each attempt through the per-server token bucket (when
-// configured) and stopping once the retry budget is spent.
-func (w *Walker) dispatch(ctx context.Context, servers []ServerAddr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+// pacing each attempt through the per-server token bucket at the queried
+// zone's rate (when configured) and stopping once the retry budget is
+// spent.
+func (w *Walker) dispatch(ctx context.Context, zone string, servers []ServerAddr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	if len(servers) == 0 {
 		return nil, ErrNoServers
 	}
+	rate := w.rateFor(zone)
 	var lastErr error = ErrNoServers
 	for attempt, srv := range servers {
 		if w.r.cfg.RetryBudget > 0 && attempt >= w.r.cfg.RetryBudget {
@@ -778,8 +803,8 @@ func (w *Walker) dispatch(ctx context.Context, servers []ServerAddr, name string
 			// memoized as a permanent failure.
 			return nil, fmt.Errorf("%w after %d attempts: %w", ErrRetryBudget, attempt, lastErr)
 		}
-		if w.limiter != nil {
-			if err := w.limiter.wait(ctx, srv.Addr); err != nil {
+		if w.limiter != nil && rate > 0 {
+			if err := w.limiter.wait(ctx, srv.Addr, rate); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,241 @@
+package dnstrust
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"dnstrust/internal/analysis"
+	"dnstrust/internal/audit"
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/hijack"
+	"dnstrust/internal/mincut"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+)
+
+// Survey re-exports the crawl dataset type (graph, banners,
+// vulnerabilities, engine stats) so callers outside the module can name
+// what View.Survey and Study.Survey return.
+type Survey = crawler.Survey
+
+// Monitor is the long-lived measurement service this package is built
+// around: a resident crawl engine over one world, extended incrementally
+// with Add and queried through immutable, generation-stamped Views.
+//
+// The paper's thesis is that transitive trust must be audited
+// *continuously* — TCBs drift as delegations change — and a one-shot
+// batch survey cannot do that. A Monitor keeps every zone cut,
+// delegation chain, and memoized query from previous batches resident,
+// so Add only pays for what is genuinely new: adding names whose
+// dependency structure is already walked issues zero transport queries.
+//
+// Concurrency model: Add and Close serialize internally (one crawl
+// advances at a time); At is lock-free and may be called from any number
+// of goroutines, including while an Add is in flight — it returns the
+// last committed View, whose contents never change. Analysis results
+// (min-cuts, per-chain TCB scans) are cached in a chain-keyed memo
+// shared across generations and invalidated only for the chains a batch
+// actually touched, so repeated Summary/Bottleneck passes over a large
+// monitored survey are near-free.
+type Monitor struct {
+	world *topology.World
+	eng   *crawler.Engine
+	memo  *analysis.ChainMemo
+
+	mu   sync.Mutex // serializes Add (and its view commit) and Close
+	view atomic.Pointer[View]
+}
+
+// Open generates a world from opts (Seed, Names sizing the corpus, as in
+// NewStudy) and starts a monitoring session over it with an empty
+// survey. Names are not crawled until Add.
+func Open(ctx context.Context, opts Options) (*Monitor, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Names == 0 {
+		opts.Names = 20000
+	}
+	world, err := topology.Generate(topology.GenParams{Seed: opts.Seed, Names: opts.Names})
+	if err != nil {
+		return nil, err
+	}
+	return OpenWorld(ctx, world, opts)
+}
+
+// OpenWorld starts a monitoring session over an existing world
+// (hand-built or generated). The context is reserved for future
+// transport setup; opening does not crawl.
+func OpenWorld(_ context.Context, world *topology.World, opts Options) (*Monitor, error) {
+	direct := topology.NewDirectTransport(world.Registry)
+	var tr resolver.Transport = direct
+	if opts.WireFramed {
+		tr = topology.NewWireTransport(world.Registry)
+	}
+	r, err := world.Registry.Resolver(tr)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := crawler.NewEngine(r, world.Registry.ProbeFunc(direct), crawler.Config{
+		Workers:  opts.Workers,
+		MemoFile: opts.MemoFile,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{world: world, eng: eng, memo: analysis.NewChainMemo()}
+	m.view.Store(m.newView(eng.View()))
+	return m, nil
+}
+
+// Add extends the survey with names and commits a new generation,
+// returning its View. Names already surveyed are absorbed from the
+// walker's caches without transport traffic; names under already-walked
+// zones pay only for their own new labels. On error (cancellation,
+// worker failure) nothing is committed: At keeps answering from the
+// previous generation, and a retried Add resumes from everything the
+// walker already learned.
+func (m *Monitor) Add(ctx context.Context, names ...string) (*View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := m.view.Load()
+	s, err := m.eng.Add(ctx, names...)
+	if err != nil {
+		return nil, err
+	}
+	if s == prev.survey {
+		return prev, nil // empty Add: no new generation
+	}
+	m.memo.Advance(prev.survey, s)
+	v := m.newView(s)
+	m.view.Store(v)
+	return v, nil
+}
+
+// At returns the latest committed View. It never blocks: during an
+// in-flight Add it returns the previous generation. The returned View is
+// immutable and safe to query from any goroutine indefinitely.
+func (m *Monitor) At() *View { return m.view.Load() }
+
+// World returns the monitored world (registry and corpus).
+func (m *Monitor) World() *topology.World { return m.world }
+
+// Generation reports the latest committed generation (0 before the
+// first successful Add).
+func (m *Monitor) Generation() int64 { return m.eng.Generation() }
+
+// Queries reports the cumulative transport queries issued across all
+// Adds — the counter behind the memoization guarantee.
+func (m *Monitor) Queries() int { return m.eng.Queries() }
+
+// Close ends the session's write side: the query memo is persisted
+// (when Options.MemoFile is set) and released, and further Adds fail.
+// Every committed View remains fully queryable.
+func (m *Monitor) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eng.Close()
+}
+
+func (m *Monitor) newView(s *crawler.Survey) *View {
+	return &View{world: m.world, survey: s, memo: m.memo}
+}
+
+// View is one committed generation of a monitored survey: an immutable
+// dependency graph plus the full read API of the paper's analyses. All
+// methods are safe for concurrent use, and everything a View returns
+// stays valid forever — later Adds commit new Views instead of mutating
+// old ones (snapshot isolation).
+//
+// Whole-survey analyses (Summary, Bottlenecks) are computed once per
+// View and cached; per-chain work inside them is additionally served
+// from the Monitor's chain memo, which persists across generations, so
+// on a View taken after a small Add both are near-free.
+type View struct {
+	world  *topology.World
+	survey *crawler.Survey
+	memo   *analysis.ChainMemo
+
+	summaryOnce sync.Once
+	summary     *analysis.Summary
+
+	botMu    sync.Mutex
+	botStats *analysis.BottleneckStats
+}
+
+// Generation reports which Add committed this view (0 = the empty
+// pre-crawl view).
+func (v *View) Generation() int64 { return v.survey.Stats.Generation }
+
+// Survey exposes the underlying crawl dataset (graph, banners,
+// vulnerabilities, engine stats). It is immutable.
+func (v *View) Survey() *crawler.Survey { return v.survey }
+
+// Names lists the successfully surveyed names, sorted. The slice is
+// shared; do not modify.
+func (v *View) Names() []string { return v.survey.Names }
+
+// Popular is the world's redundancy-seeking "popular site" subset (the
+// paper's Alexa top 500), independent of what has been surveyed so far.
+func (v *View) Popular() []string { return v.world.Popular }
+
+// TCB returns the trusted computing base of a surveyed name.
+func (v *View) TCB(name string) ([]string, error) {
+	return v.survey.Graph.TCB(name)
+}
+
+// DOT renders a surveyed name's delegation graph in Graphviz format.
+func (v *View) DOT(name string) (string, error) {
+	return v.survey.Graph.DOT(name)
+}
+
+// Summary computes the headline statistics over this view's whole
+// corpus. The result is computed once per View (per-chain scans served
+// from the cross-generation memo) and shared — treat it as read-only.
+func (v *View) Summary() *analysis.Summary {
+	v.summaryOnce.Do(func() {
+		v.summary = analysis.SummarizeMemo(v.survey, v.survey.Names, v.memo)
+	})
+	return v.summary
+}
+
+// Bottleneck runs the §3.2 min-cut analysis for one name, served from
+// the chain memo when any name sharing the delegation chain was already
+// analyzed in this or an untouched earlier generation.
+func (v *View) Bottleneck(name string) (*mincut.Result, error) {
+	return analysis.BottleneckOfMemo(v.survey, name, v.memo)
+}
+
+// Bottlenecks runs the Figure 7 min-cut analysis over the whole corpus.
+// A successful result is computed once per View and shared (treat it as
+// read-only); per-chain cuts additionally persist in the memo across
+// generations. Errors — a cancelled ctx, typically — are never cached:
+// a later call with a live context recomputes, resuming from whatever
+// per-chain results the aborted pass already stored.
+func (v *View) Bottlenecks(ctx context.Context) (*analysis.BottleneckStats, error) {
+	v.botMu.Lock()
+	defer v.botMu.Unlock()
+	if v.botStats != nil {
+		return v.botStats, nil
+	}
+	stats, err := analysis.BottlenecksMemo(ctx, v.survey, v.survey.Names, 0, v.memo)
+	if err != nil {
+		return nil, err
+	}
+	v.botStats = stats
+	return stats, nil
+}
+
+// Attack builds a hijack scenario with the given compromised and downed
+// servers against this view's dependency graph.
+func (v *View) Attack(compromised, downed []string) (*hijack.Attack, error) {
+	return hijack.New(v.survey.Graph, compromised, downed)
+}
+
+// Audit runs the §5 diligence check on a surveyed name: where its trust
+// goes and which dependencies are dangerous.
+func (v *View) Audit(name string) ([]audit.Finding, error) {
+	return audit.Name(v.survey, name, audit.Policy{})
+}

@@ -78,7 +78,7 @@ func TestStudyFacade(t *testing.T) {
 func TestRunAllExperiments(t *testing.T) {
 	s := sharedStudy(t)
 	var buf bytes.Buffer
-	rows, err := RunAll(context.Background(), s, &buf)
+	rows, err := RunAll(context.Background(), s.View(), &buf)
 	if err != nil {
 		t.Fatalf("RunAll: %v\noutput so far:\n%s", err, buf.String())
 	}
