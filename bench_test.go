@@ -23,6 +23,7 @@ import (
 	"dnstrust/internal/mincut"
 	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
 // benchScale is the default corpus size for benchmark studies. Override
@@ -94,7 +95,7 @@ func BenchmarkSurveyCrawl(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr := topology.NewDirectTransport(world.Registry)
+		tr := world.Registry.Source()
 		r, err := world.Registry.Resolver(tr)
 		if err != nil {
 			b.Fatal(err)
@@ -122,8 +123,8 @@ func BenchmarkSurveyCrawlWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				tr := topology.NewLatencyTransport(
-					topology.NewDirectTransport(world.Registry), 200*time.Microsecond)
+				tr := transport.Chain(world.Registry.Source(),
+					transport.Latency(transport.FixedRTT(200*time.Microsecond)))
 				r, err := world.Registry.Resolver(tr)
 				if err != nil {
 					b.Fatal(err)
@@ -140,6 +141,44 @@ func BenchmarkSurveyCrawlWorkers(b *testing.B) {
 			b.ReportMetric(float64(len(world.Corpus))*float64(b.N)/b.Elapsed().Seconds(), "names/s")
 		})
 	}
+}
+
+// BenchmarkReplayCrawl measures the offline crawl mode: a survey served
+// entirely from a recorded query log through the wire codec — the
+// throughput of re-running an analysis over a snapshot of the past.
+func BenchmarkReplayCrawl(b *testing.B) {
+	world, err := topology.Generate(topology.GenParams{Seed: 3, Names: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	log := transport.NewLog()
+	rec := transport.Chain(world.Registry.Source(), transport.Record(log))
+	r, err := world.Registry.Resolver(rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := crawler.Run(context.Background(), r, world.Corpus,
+		world.Registry.ProbeFunc(rec), crawler.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay := transport.Replay(log)
+		rp, err := world.Registry.Resolver(replay)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := crawler.Run(context.Background(), rp, world.Corpus,
+			world.Registry.ProbeFunc(replay), crawler.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Names) != len(world.Corpus) {
+			b.Fatalf("replayed %d of %d names", len(s.Names), len(world.Corpus))
+		}
+	}
+	b.ReportMetric(float64(len(world.Corpus))*float64(b.N)/b.Elapsed().Seconds(), "names/s")
 }
 
 // BenchmarkWalkerContention isolates the walker's read path: every
@@ -197,9 +236,9 @@ func benchTransport(b *testing.B, wire bool) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var tr resolver.Transport = topology.NewDirectTransport(world.Registry)
+		tr := world.Registry.Source()
 		if wire {
-			tr = topology.NewWireTransport(world.Registry)
+			tr = transport.Chain(tr, transport.WireFramed())
 		}
 		r, err := world.Registry.Resolver(tr)
 		if err != nil {

@@ -1,8 +1,9 @@
 // Command benchdiff compares two BENCH_N.json reports (cmd/dnsbench
-// output) and fails loudly when the incremental-build hot path regressed:
-// the gate metric is build nanoseconds per name on the IncrementalBuild
-// benchmarks, the one CPU-bound quantity stable enough to gate CI on.
-// All other shared benchmarks are reported for information only.
+// output) and fails loudly when a gated hot path regressed. Gated
+// benchmarks are the CPU-bound, per-name-scaled ones: IncrementalBuild
+// (graph-build ns/name) and ReplayCrawl (ns/name served from a recorded
+// query log). All other shared benchmarks are reported for information
+// only.
 //
 // Usage:
 //
@@ -59,14 +60,18 @@ func load(path string) (map[string]Result, error) {
 
 // gated reports whether a benchmark participates in the regression gate.
 func gated(name string) bool {
-	return strings.HasPrefix(name, "IncrementalBuild/")
+	return strings.HasPrefix(name, "IncrementalBuild/") || strings.HasPrefix(name, "ReplayCrawl/")
 }
 
-// buildScale extracts the name count from an IncrementalBuild benchmark
-// name ("IncrementalBuild/names=100000").
+// buildScale extracts the per-op name count from a gated benchmark name
+// ("IncrementalBuild/names=100000", "ReplayCrawl/names=1200").
 func buildScale(name string) (float64, bool) {
+	i := strings.LastIndex(name, "names=")
+	if i < 0 {
+		return 0, false
+	}
 	var n float64
-	if _, err := fmt.Sscanf(name, "IncrementalBuild/names=%f", &n); err != nil || n <= 0 {
+	if _, err := fmt.Sscanf(name[i:], "names=%f", &n); err != nil || n <= 0 {
 		return 0, false
 	}
 	return n, true
@@ -130,11 +135,11 @@ func main() {
 		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", b.Name, o.NsPerOp, b.NsPerOp, 100*delta, mark)
 	}
 	if gatedSeen == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no IncrementalBuild benchmarks shared between the reports — nothing gated")
+		fmt.Fprintln(os.Stderr, "benchdiff: no gated benchmarks shared between the reports — nothing gated")
 		os.Exit(1)
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("gate passed: %d IncrementalBuild benchmark(s) within +%.0f%% build ns/name\n", gatedSeen, 100**maxRegress)
+	fmt.Printf("gate passed: %d gated benchmark(s) within +%.0f%% ns/name\n", gatedSeen, 100**maxRegress)
 }

@@ -34,6 +34,7 @@ import (
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
 // Result is one benchmark's machine-readable outcome.
@@ -57,7 +58,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output file")
+	out := flag.String("out", "BENCH_4.json", "output file")
 	names := flag.Int("names", 1200, "benchmark corpus size")
 	seed := flag.Int64("seed", 5, "world generation seed")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-query round-trip for crawl benches")
@@ -82,9 +83,9 @@ func main() {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				var tr resolver.Transport = topology.NewDirectTransport(world.Registry)
+				tr := world.Registry.Source()
 				if queryRTT > 0 {
-					tr = topology.NewLatencyTransport(tr, queryRTT)
+					tr = transport.Chain(tr, transport.Latency(transport.FixedRTT(queryRTT)))
 				}
 				r, err := world.Registry.Resolver(tr)
 				if err != nil {
@@ -120,6 +121,43 @@ func main() {
 		run(fmt.Sprintf("SurveyCrawlWorkers/workers=%d", workers), crawlBench(workers, *rtt))
 	}
 	run("SurveyCrawlDirect", crawlBench(0, 0))
+
+	// Replay throughput: record one direct crawl (including fingerprint
+	// probes), then measure how fast a whole survey is served back from
+	// the recorded log alone — the offline crawl-from-recording mode.
+	// Gated by cmd/benchdiff on replay ns/name alongside the build gate.
+	{
+		log := transport.NewLog()
+		rec := transport.Chain(world.Registry.Source(), transport.Record(log))
+		r, err := world.Registry.Resolver(rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := crawler.Run(context.Background(), r, world.Corpus,
+			world.Registry.ProbeFunc(rec), crawler.Config{}); err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: recording crawl: %v\n", err)
+			os.Exit(1)
+		}
+		run(fmt.Sprintf("ReplayCrawl/names=%d", len(world.Corpus)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rp, err := world.Registry.Resolver(transport.Replay(log))
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := crawler.Run(context.Background(), rp, world.Corpus,
+					world.Registry.ProbeFunc(transport.Replay(log)), crawler.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(s.Names) != len(world.Corpus) {
+					b.Fatalf("replayed %d of %d names", len(s.Names), len(world.Corpus))
+				}
+			}
+			b.ReportMetric(float64(len(world.Corpus))*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+		})
+	}
 	for _, scale := range []int{100_000, 1_000_000} {
 		scale := scale
 		run(fmt.Sprintf("IncrementalBuild/names=%d", scale), func(b *testing.B) {

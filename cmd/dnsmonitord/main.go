@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dnsmonitord [-addr :8053] [-names 20000] [-seed 1] [-workers 0] [-memo-file crawl.memo]
+//	            [-record crawl.qlog] [-replay crawl.qlog] [-live]
 //
 // On startup the daemon generates the synthetic world, crawls the
 // initial corpus, and then serves:
@@ -21,6 +22,13 @@
 // crawl is in flight, queries answer from the previous generation.
 // Repeated reads are near-free — min-cut and TCB results are memoized
 // per delegation chain across generations.
+//
+// The daemon's Internet is a transport-source composition, like
+// dnssurvey's: -live crawls over real loopback sockets, -record keeps a
+// byte-stable query log of every exchange (saved after the initial
+// crawl and after every /add), and -replay serves the whole session —
+// /add included — from a recorded log, so the daemon can monitor a
+// snapshot of the past.
 package main
 
 import (
@@ -33,9 +41,12 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"dnstrust"
+	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
 func main() {
@@ -44,24 +55,65 @@ func main() {
 	seed := flag.Int64("seed", 1, "world generation seed")
 	workers := flag.Int("workers", 0, "crawl parallelism (0 = GOMAXPROCS)")
 	memoFile := flag.String("memo-file", "", "persist the query memo here and resume from it")
+	record := flag.String("record", "", "record every transport exchange into this query-log file (saved after each crawl)")
+	replay := flag.String("replay", "", "serve the session from this recorded query log (strict: unrecorded queries fail)")
+	live := flag.Bool("live", false, "boot the world's nameservers on loopback and crawl over real UDP/TCP sockets")
 	flag.Parse()
 
 	ctx := context.Background()
+	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, MemoFile: *memoFile}
+	var recLog *dnstrust.QueryLog
+	if *record != "" {
+		recLog = transport.NewLog()
+		opts.RecordLog = recLog
+	}
+	if *replay != "" {
+		lg := transport.NewLog()
+		n, err := lg.LoadFile(*replay)
+		if err != nil {
+			log.Fatalf("dnsmonitord: %s: %v", *replay, err)
+		}
+		log.Printf("replaying %s: %d recorded questions", *replay, n)
+		opts.ReplayLog = lg
+	}
+
 	log.Printf("generating world (seed %d, %d names) and crawling initial corpus...", *seed, *names)
 	start := time.Now()
-	m, err := dnstrust.Open(ctx, dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, MemoFile: *memoFile})
+	world, err := dnstrust.NewWorld(opts)
+	if err != nil {
+		log.Fatalf("dnsmonitord: %v", err)
+	}
+	switch {
+	case *live && *replay != "":
+		// Strict replay never queries a terminal source; don't boot a
+		// fleet destined only to be closed.
+		log.Printf("dnsmonitord: -live ignored: strict -replay serves everything from the recording")
+	case *live:
+		lv, err := topology.StartLive(ctx, world.Registry)
+		if err != nil {
+			log.Fatalf("dnsmonitord: starting live servers: %v", err)
+		}
+		log.Printf("booted %d real DNS servers on loopback", lv.NumServers())
+		opts.Source = transport.From(lv)
+	}
+	m, err := dnstrust.OpenWorld(ctx, world, opts)
 	if err != nil {
 		log.Fatalf("dnsmonitord: %v", err)
 	}
 	defer m.Close()
+	srv := &server{m: m, recLog: recLog, recPath: *record}
 	v, err := m.Add(ctx, m.World().Corpus...)
 	if err != nil {
+		m.Close()
+		// A partial recording survives an aborted initial crawl, like
+		// the query memo does.
+		srv.saveRecording()
 		log.Fatalf("dnsmonitord: initial crawl: %v", err)
 	}
 	log.Printf("generation %d ready: %d names, %d nameservers (%.1fs); serving on %s",
 		v.Generation(), len(v.Names()), v.Survey().Graph.NumHosts(), time.Since(start).Seconds(), *addr)
 
-	srv := &server{m: m}
+	srv.saveRecording()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /summary", srv.summary)
 	mux.HandleFunc("GET /tcb", srv.tcb)
@@ -76,6 +128,26 @@ func main() {
 // view; /add serializes through the Monitor itself.
 type server struct {
 	m *dnstrust.Monitor
+
+	// recLog/recPath persist the session's query recording; recMu
+	// serializes saves from concurrent /add handlers.
+	recLog  *dnstrust.QueryLog
+	recPath string
+	recMu   sync.Mutex
+}
+
+// saveRecording writes the query log to disk, when recording.
+func (s *server) saveRecording() {
+	if s.recLog == nil {
+		return
+	}
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	if n, err := s.recLog.SaveFile(s.recPath); err != nil {
+		log.Printf("dnsmonitord: recording not saved: %v", err)
+	} else {
+		log.Printf("recorded %d questions to %s", n, s.recPath)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -219,6 +291,7 @@ func (s *server) add(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("add failed (previous generation still serving): %w", err))
 		return
 	}
+	s.saveRecording()
 	perName := make(map[string]any, len(names))
 	for _, n := range names {
 		if sz := v.Survey().Graph.TCBSize(n); sz >= 0 {

@@ -6,9 +6,21 @@
 //
 //	dnssurvey [-names 20000] [-seed 1] [-workers 0] [-markdown] [-only "Figure 2"]
 //	dnssurvey -follow [-names 20000] ...
+//	dnssurvey -record crawl.qlog          # record the crawl's transport exchanges
+//	dnssurvey -replay crawl.qlog          # re-run the survey offline from a recording
+//	dnssurvey -live                       # crawl over real UDP/TCP loopback sockets
 //
 // The paper's full scale is -names 593160 (budget several minutes and a
 // few GiB of memory).
+//
+// Which Internet the survey crawls is a transport-source composition:
+// the default is the in-memory synthetic world; -live boots every
+// nameserver as a real DNS server on loopback and crawls over actual
+// sockets; -record captures every transport exchange into a byte-stable
+// query log; -replay serves the entire crawl (fingerprint probes
+// included) from such a log — or from a -memo-file — touching no other
+// transport, so the same analysis can run over recorded snapshots from
+// different times. -record composes with both -live and -replay.
 //
 // With -follow the survey session stays open after the initial crawl:
 // every line read from stdin is a whitespace-separated batch of names to
@@ -29,6 +41,8 @@ import (
 
 	"dnstrust"
 	"dnstrust/internal/report"
+	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
 func main() {
@@ -37,6 +51,9 @@ func main() {
 	workers := flag.Int("workers", 0, "crawl parallelism (0 = GOMAXPROCS)")
 	markdown := flag.Bool("markdown", false, "emit the comparison table as Markdown (for EXPERIMENTS.md)")
 	memoFile := flag.String("memo-file", "", "persist the query memo here and resume from it on the next run")
+	record := flag.String("record", "", "record every transport exchange into this query-log file")
+	replay := flag.String("replay", "", "serve the crawl from this recorded query log (strict: unrecorded queries fail)")
+	live := flag.Bool("live", false, "boot the world's nameservers on loopback and crawl over real UDP/TCP sockets")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. \"Figure 7\")")
 	follow := flag.Bool("follow", false, "keep the session open: read name batches from stdin, add them incrementally, print deltas")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
@@ -51,11 +68,52 @@ func main() {
 		}
 	}
 
+	var recLog *dnstrust.QueryLog
+	if *record != "" {
+		recLog = transport.NewLog()
+		opts.RecordLog = recLog
+	}
+	if *replay != "" {
+		lg := transport.NewLog()
+		n, err := lg.LoadFile(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnssurvey: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "replaying %s: %d recorded questions\n", *replay, n)
+		}
+		opts.ReplayLog = lg
+	}
+
 	start := time.Now()
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "generating world (seed %d, %d names) and crawling...\n", *seed, *names)
 	}
-	m, err := dnstrust.Open(ctx, opts)
+	world, err := dnstrust.NewWorld(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnssurvey: %v\n", err)
+		os.Exit(1)
+	}
+	switch {
+	case *live && *replay != "":
+		// Strict replay never queries a terminal source; booting the
+		// fleet would only create sockets destined to be closed.
+		fmt.Fprintln(os.Stderr, "dnssurvey: -live ignored: strict -replay serves everything from the recording")
+	case *live:
+		lv, err := topology.StartLive(ctx, world.Registry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnssurvey: starting live servers: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "booted %d real DNS servers on loopback\n", lv.NumServers())
+		}
+		// The session owns the source chain: closing the monitor closes
+		// the live listeners.
+		opts.Source = transport.From(lv)
+	}
+	m, err := dnstrust.OpenWorld(ctx, world, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dnssurvey: %v\n", err)
 		os.Exit(1)
@@ -63,6 +121,9 @@ func main() {
 	v, err := m.Add(ctx, m.World().Corpus...)
 	if err != nil {
 		m.Close()
+		// Like the query memo, a partial recording survives an aborted
+		// crawl: everything answered so far is worth keeping.
+		saveRecording(recLog, *record, *quiet)
 		fmt.Fprintf(os.Stderr, "dnssurvey: %v\n", err)
 		os.Exit(1)
 	}
@@ -78,16 +139,18 @@ func main() {
 	if *follow {
 		followLoop(ctx, m, *quiet, *stats)
 		if err := m.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "dnssurvey: warning: query memo not saved: %v\n", err)
+			fmt.Fprintf(os.Stderr, "dnssurvey: warning: session teardown: %v\n", err)
 		}
+		saveRecording(recLog, *record, *quiet)
 		return
 	}
 
 	// One-shot mode: freeze the session (persisting the query memo) and
 	// regenerate the paper.
 	if err := m.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "dnssurvey: warning: query memo not saved: %v\n", err)
+		fmt.Fprintf(os.Stderr, "dnssurvey: warning: session teardown: %v\n", err)
 	}
+	saveRecording(recLog, *record, *quiet)
 
 	var rows []dnstrust.Comparison
 	if *only != "" {
@@ -187,6 +250,21 @@ func followLoop(ctx context.Context, m *dnstrust.Monitor, quiet, stats bool) {
 	}
 }
 
+// saveRecording persists the session's query log, when one was kept.
+func saveRecording(lg *dnstrust.QueryLog, path string, quiet bool) {
+	if lg == nil {
+		return
+	}
+	n, err := lg.SaveFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnssurvey: recording not saved: %v\n", err)
+		return
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "recorded %d questions to %s\n", n, path)
+	}
+}
+
 func printStats(sv *dnstrust.Survey) {
 	st := sv.Stats
 	fmt.Fprintf(os.Stderr,
@@ -196,6 +274,6 @@ func printStats(sv *dnstrust.Survey) {
 		"phases: walk+assemble %.2fs (streamed), closure build %.3fs; %d memo entries resumed\n",
 		st.WalkTime.Seconds(), st.BuildTime.Seconds(), st.MemoLoaded)
 	if err := st.MemoSaveErr; err != nil {
-		fmt.Fprintf(os.Stderr, "dnssurvey: warning: query memo not saved: %v\n", err)
+		fmt.Fprintf(os.Stderr, "dnssurvey: warning: session teardown: %v\n", err)
 	}
 }

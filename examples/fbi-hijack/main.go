@@ -79,7 +79,7 @@ func main() {
 	reg.SetLame("reston-ns3.telemail.net", true)
 
 	forged := hijack.NewForgingTransport(
-		topology.NewDirectTransport(reg),
+		reg.Source(),
 		[]netip.Addr{compromised.Addr},
 		attacker,
 		"ns.attacker.example",

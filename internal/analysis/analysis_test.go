@@ -28,7 +28,7 @@ func survey(t *testing.T) (*topology.World, *crawler.Survey) {
 			surveyErr = err
 			return
 		}
-		tr := topology.NewDirectTransport(w.Registry)
+		tr := w.Registry.Source()
 		r, err := w.Registry.Resolver(tr)
 		if err != nil {
 			surveyErr = err

@@ -16,6 +16,7 @@ import (
 	"dnstrust/internal/core"
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/resolver"
+	"dnstrust/internal/transport"
 	"dnstrust/internal/vulndb"
 )
 
@@ -26,6 +27,13 @@ type Config struct {
 	// SkipVersionProbe disables banner collection (banners come back
 	// empty, i.e. optimistically safe).
 	SkipVersionProbe bool
+	// Source, when non-nil, is the composed transport chain backing the
+	// engine's resolver. The engine takes ownership: Close closes it
+	// after the memo save, flushing stateful middleware (query
+	// recording) and releasing whatever the terminal holds (live
+	// sockets). The engine never queries it directly — queries flow
+	// through the resolver, which was built over the same chain.
+	Source transport.Source
 	// MemoFile, when non-empty, persists the walker's (name, qtype)
 	// query memo: an existing file is loaded before the crawl (resuming
 	// an interrupted run without re-asking answered questions) and the
@@ -49,9 +57,11 @@ type CrawlStats struct {
 	// MemoLoaded is the number of query-memo entries resumed from
 	// Config.MemoFile (0 when persistence is off or the file was absent).
 	MemoLoaded int
-	// MemoSaveErr records a failure to persist the query memo after an
-	// otherwise successful crawl (the survey is still returned; only the
-	// resume state was lost).
+	// MemoSaveErr records a teardown failure after an otherwise
+	// successful crawl — persisting the query memo, or closing the
+	// engine-owned transport source (Config.Source). The survey itself
+	// is still returned; only resume state or source resources were
+	// affected.
 	MemoSaveErr error
 	// WalkTime is the wall time of the streaming phase: corpus walk plus
 	// incremental graph assembly, which overlap completely.

@@ -15,7 +15,7 @@ func runSurvey(t *testing.T, names int, workers int) (*topology.World, *crawler.
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := topology.NewDirectTransport(w.Registry)
+	tr := w.Registry.Source()
 	r, err := w.Registry.Resolver(tr)
 	if err != nil {
 		t.Fatal(err)

@@ -9,16 +9,19 @@ import (
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/dnswire"
 	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
 // crawlWith crawls a world with the given parallelism on a fresh
-// transport and returns the survey plus the transport's query count.
-func crawlWith(t *testing.T, world *topology.World, workers int, trace topology.TraceFunc) (*crawler.Survey, int64) {
+// source chain and returns the survey plus the chain's query count.
+func crawlWith(t *testing.T, world *topology.World, workers int, trace transport.TraceFunc) (*crawler.Survey, int64) {
 	t.Helper()
-	tr := topology.NewDirectTransport(world.Registry)
+	counter := transport.NewCounter()
+	mws := []transport.Middleware{counter.Middleware()}
 	if trace != nil {
-		tr.SetTrace(trace)
+		mws = append(mws, transport.Trace(trace))
 	}
+	tr := transport.Chain(world.Registry.Source(), mws...)
 	r, err := world.Registry.Resolver(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +31,7 @@ func crawlWith(t *testing.T, world *topology.World, workers int, trace topology.
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s, tr.Queries()
+	return s, counter.Queries()
 }
 
 // TestSurveyQueryCountInvariance is the single-flight proof: crawling
@@ -51,7 +54,7 @@ func TestSurveyQueryCountInvariance(t *testing.T) {
 		name  string
 		qtype dnswire.Type
 	}
-	record := func(dst map[q]int, mu *sync.Mutex) topology.TraceFunc {
+	record := func(dst map[q]int, mu *sync.Mutex) transport.TraceFunc {
 		return func(server netip.Addr, name string, qtype dnswire.Type) {
 			mu.Lock()
 			dst[q{name, qtype}]++
@@ -100,7 +103,7 @@ func TestSurveyRaceStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := topology.NewDirectTransport(world.Registry)
+	tr := world.Registry.Source()
 	r, err := world.Registry.Resolver(tr)
 	if err != nil {
 		t.Fatal(err)

@@ -267,9 +267,10 @@ func (e *Engine) Add(ctx context.Context, names ...string) (*Survey, error) {
 }
 
 // Close saves the query memo (when Config.MemoFile is set), releases the
-// memoized responses, and rejects further Adds. Committed views remain
-// fully readable — Close only ends the engine's write side. It returns
-// the memo-save failure, if any.
+// memoized responses, closes the engine-owned transport chain (when
+// Config.Source is set), and rejects further Adds. Committed views
+// remain fully readable — Close only ends the engine's write side. It
+// returns the memo-save or source-close failure, if any.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -282,6 +283,9 @@ func (e *Engine) Close() error {
 		memoErr = saveMemoFile(e.w, e.cfg.MemoFile)
 	}
 	e.w.ReleaseQueryMemo()
+	if e.cfg.Source != nil {
+		memoErr = errors.Join(memoErr, e.cfg.Source.Close())
+	}
 	return memoErr
 }
 

@@ -9,11 +9,14 @@ import (
 	"dnstrust/internal/analysis"
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
-func openEngine(t *testing.T, world *topology.World, cfg crawler.Config) (*crawler.Engine, *topology.DirectTransport) {
+func openEngine(t *testing.T, world *topology.World, cfg crawler.Config) (*crawler.Engine, *transport.Counter) {
 	t.Helper()
-	tr := topology.NewDirectTransport(world.Registry)
+	counter := transport.NewCounter()
+	tr := transport.Chain(world.Registry.Source(), counter.Middleware())
+	cfg.Source = tr
 	r, err := world.Registry.Resolver(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -22,7 +25,7 @@ func openEngine(t *testing.T, world *topology.World, cfg crawler.Config) (*crawl
 	if err != nil {
 		t.Fatal(err)
 	}
-	return e, tr
+	return e, counter
 }
 
 // TestEngineIncrementalMatchesBatch is the Engine's equivalence gate: a
@@ -51,7 +54,7 @@ func TestEngineIncrementalMatchesBatch(t *testing.T) {
 		t.Errorf("generation after 3 adds = %d", got)
 	}
 
-	tr := topology.NewDirectTransport(world.Registry)
+	tr := world.Registry.Source()
 	r, err := world.Registry.Resolver(tr)
 	if err != nil {
 		t.Fatal(err)

@@ -28,7 +28,7 @@ func TestIncrementalBuildMatchesLegacy(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			tr := topology.NewDirectTransport(world.Registry)
+			tr := world.Registry.Source()
 			r, err := world.Registry.Resolver(tr)
 			if err != nil {
 				t.Fatal(err)

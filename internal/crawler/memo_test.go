@@ -1,13 +1,19 @@
 package crawler_test
 
 import (
+	"bytes"
 	"context"
+	"net/netip"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
+
+	"dnstrust/internal/dnswire"
 
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
 // TestMemoFileResume proves query-memo persistence end to end: a crawl
@@ -22,7 +28,8 @@ func TestMemoFileResume(t *testing.T) {
 	memoFile := filepath.Join(t.TempDir(), "crawl.memo")
 
 	runOnce := func() (*crawler.Survey, int64) {
-		tr := topology.NewDirectTransport(world.Registry)
+		counter := transport.NewCounter()
+		tr := transport.Chain(world.Registry.Source(), counter.Middleware())
 		r, err := world.Registry.Resolver(tr)
 		if err != nil {
 			t.Fatal(err)
@@ -32,7 +39,7 @@ func TestMemoFileResume(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s, tr.Queries()
+		return s, counter.Queries()
 	}
 
 	s1, q1 := runOnce()
@@ -79,7 +86,7 @@ func TestMemoFileSaveFailureKeepsSurvey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := world.Registry.Resolver(topology.NewDirectTransport(world.Registry))
+	r, err := world.Registry.Resolver(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,6 +104,60 @@ func TestMemoFileSaveFailureKeepsSurvey(t *testing.T) {
 	}
 }
 
+// idJitterSource stamps a fresh, schedule-dependent ID onto every
+// response — the behaviour of a live crawl's dnsclient, whose random
+// query IDs echo back in the answers.
+type idJitterSource struct {
+	inner transport.Source
+	n     atomic.Uint32
+}
+
+func (s *idJitterSource) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	resp, err := s.inner.Query(ctx, server, name, qtype, class)
+	if err == nil {
+		resp.ID = uint16(s.n.Add(1))
+	}
+	return resp, err
+}
+
+func (s *idJitterSource) Close() error { return s.inner.Close() }
+
+// TestSaveMemoByteStable: two concurrent crawls of the same corpus must
+// serialize byte-identical memo files — sorted records plus ID
+// normalization make recorded logs diffable between crawls — even when
+// the transport stamps schedule-dependent response IDs.
+func TestSaveMemoByteStable(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 17, Names: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlBytes := func() []byte {
+		memoFile := filepath.Join(t.TempDir(), "crawl.memo")
+		src := &idJitterSource{inner: world.Registry.Source()}
+		r, err := world.Registry.Resolver(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := crawler.Run(context.Background(), r, world.Corpus, nil,
+			crawler.Config{Workers: 8, SkipVersionProbe: true, MemoFile: memoFile}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(memoFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b1 := crawlBytes()
+	b2 := crawlBytes()
+	if len(b1) == 0 {
+		t.Fatal("empty memo serialization")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("two crawls of the same corpus serialized different memo bytes")
+	}
+}
+
 // TestMemoFileRejectsGarbage checks that a corrupt memo file fails the
 // crawl loudly instead of silently resuming from nothing.
 func TestMemoFileRejectsGarbage(t *testing.T) {
@@ -108,7 +169,7 @@ func TestMemoFileRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(memoFile, []byte("not a memo file at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	r, err := world.Registry.Resolver(topology.NewDirectTransport(world.Registry))
+	r, err := world.Registry.Resolver(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

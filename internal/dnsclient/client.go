@@ -94,6 +94,12 @@ func (c *Client) VersionBind(ctx context.Context, addr string) (string, error) {
 // Exchange performs the UDP query/response round trip for msg against
 // addr, retrying on timeouts and falling back to TCP when the response
 // arrives truncated.
+//
+// Cancellation is honored between and during attempts: the context is
+// re-checked before every UDP retry — a cancelled crawl stops burning
+// the retry budget on a dead server — an in-flight read is interrupted
+// the moment the context is cancelled, and a cancelled exchange reports
+// the context's error rather than masquerading as ErrTimeout.
 func (c *Client) Exchange(ctx context.Context, addr string, msg *dnswire.Message) (*dnswire.Message, error) {
 	pkt, err := msg.Pack()
 	if err != nil {
@@ -119,10 +125,24 @@ func (c *Client) Exchange(ctx context.Context, addr string, msg *dnswire.Message
 		}
 		return resp, nil
 	}
+	if err := ctx.Err(); err != nil {
+		// The final attempt died of cancellation, not of a slow server.
+		return nil, err
+	}
 	if lastErr == nil {
 		lastErr = ErrTimeout
 	}
 	return nil, fmt.Errorf("%w (after %d attempts): %v", ErrTimeout, c.cfg.Retries, lastErr)
+}
+
+// watchCancel interrupts conn's blocked reads/writes when ctx is
+// cancelled by slamming the deadline to the past. The returned stop
+// function releases the watcher; call it before closing the conn.
+func watchCancel(ctx context.Context, conn net.Conn) (stop func()) {
+	cancel := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0))
+	})
+	return func() { cancel() }
 }
 
 func (c *Client) exchangeUDP(ctx context.Context, addr string, msg *dnswire.Message, pkt []byte) (*dnswire.Message, error) {
@@ -139,6 +159,11 @@ func (c *Client) exchangeUDP(ctx context.Context, addr string, msg *dnswire.Mess
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
+	// Armed after the deadline is set: a cancellation landing in between
+	// would otherwise be overwritten by the future deadline. (An
+	// already-cancelled ctx fires the watcher immediately, leaving the
+	// past deadline in place.)
+	defer watchCancel(ctx, conn)()
 	if _, err := conn.Write(pkt); err != nil {
 		return nil, err
 	}
@@ -173,6 +198,8 @@ func (c *Client) exchangeTCP(ctx context.Context, addr string, msg *dnswire.Mess
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
+	// See exchangeUDP: armed after the deadline so cancellation wins.
+	defer watchCancel(ctx, conn)()
 	out := make([]byte, 2+len(pkt))
 	out[0], out[1] = byte(len(pkt)>>8), byte(len(pkt))
 	copy(out[2:], pkt)

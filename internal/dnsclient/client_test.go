@@ -2,6 +2,7 @@ package dnsclient
 
 import (
 	"context"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -71,6 +72,35 @@ func TestExchangeContextCancelled(t *testing.T) {
 	c := New(Config{Timeout: time.Second})
 	if _, err := c.Query(ctx, conn.LocalAddr().String(), "example.com", dnswire.TypeA, dnswire.ClassINET); err == nil {
 		t.Fatal("cancelled context should abort the query")
+	}
+}
+
+// TestExchangeMidFlightCancellation: cancelling the context while the
+// client is blocked on a dead server must abort promptly — interrupting
+// the in-flight read and skipping the remaining retry budget — and the
+// error must be the cancellation, not a timeout wrap.
+func TestExchangeMidFlightCancellation(t *testing.T) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A generous per-attempt timeout and a deep retry budget: without
+	// cancellation this exchange would block for ~10s.
+	c := New(Config{Timeout: time.Second, Retries: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Query(ctx, conn.LocalAddr().String(), "example.com", dnswire.TypeA, dnswire.ClassINET)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled exchange = %v, want context.Canceled in chain", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("cancelled exchange took %v; retries kept burning after cancellation", elapsed)
 	}
 }
 

@@ -213,7 +213,7 @@ func TestForgingTransportDivertsResolution(t *testing.T) {
 	reg.SetLame("reston-ns3.telemail.net", true)
 
 	forged := hijack.NewForgingTransport(
-		topology.NewDirectTransport(reg),
+		reg.Source(),
 		[]netip.Addr{comp.Addr},
 		attacker,
 		"evil.attacker.example",
@@ -237,7 +237,7 @@ func TestForgingTransportDivertsResolution(t *testing.T) {
 func TestForgingTransportHonestWithoutAttack(t *testing.T) {
 	reg := topology.FBIWorld()
 	forged := hijack.NewForgingTransport(
-		topology.NewDirectTransport(reg), nil,
+		reg.Source(), nil,
 		netip.MustParseAddr("203.0.113.66"), "evil.attacker.example")
 	r, err := reg.Resolver(forged)
 	if err != nil {

@@ -24,8 +24,13 @@ var memoMagic = []byte("DNSQMEMO1\n")
 
 // SaveMemo writes every completed, successful memo entry to dst and
 // returns how many records were written. Call it only when no walks are
-// in flight (after the crawl's workers have stopped). Records are sorted
-// by (name, qtype) so equal memos serialize identically.
+// in flight (after the crawl's workers have stopped).
+//
+// Output is deterministic: records are sorted by (name, qtype) and
+// response IDs are normalized to zero before packing (a live crawl's
+// dnsclient stamps random IDs), so two crawls of the same corpus over
+// the same world serialize byte-identically — memo files double as
+// diffable, replayable query logs (transport.Log loads them).
 func (w *Walker) SaveMemo(dst io.Writer) (int, error) {
 	type rec struct {
 		key  queryKey
@@ -62,7 +67,11 @@ func (w *Walker) SaveMemo(dst io.Writer) (int, error) {
 	n := 0
 	var hdr [8]byte
 	for _, r := range recs {
-		msg, err := r.resp.Pack()
+		// Shallow-copy to zero the ID without touching the shared,
+		// possibly still-referenced memo entry.
+		norm := *r.resp
+		norm.ID = 0
+		msg, err := norm.Pack()
 		if err != nil {
 			// An unpackable answer (synthetic transports can carry
 			// them) is simply not persisted; the resumed crawl re-asks.

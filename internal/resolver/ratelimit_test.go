@@ -1,17 +1,17 @@
 package resolver
 
 import (
-	"errors"
-
 	"context"
-	"dnstrust/internal/dnswire"
+	"errors"
 	"net/netip"
 	"testing"
 	"time"
+
+	"dnstrust/internal/dnswire"
 )
 
-// fakeClock drives the rate limiter deterministically: sleep advances
-// the clock instead of blocking, and every requested delay is recorded.
+// fakeClock drives the pacing middleware deterministically: sleep
+// advances the clock instead of blocking, recording every delay.
 type fakeClock struct {
 	t      time.Time
 	sleeps []time.Duration
@@ -29,134 +29,25 @@ func (c *fakeClock) sleep(_ context.Context, d time.Duration) error {
 	return nil
 }
 
-func TestRateLimiterBurstThenPaced(t *testing.T) {
-	clk := newFakeClock()
-	l := newRateLimiter(10, 2, clk.now, clk.sleep) // 10 qps, burst 2
-	addr := netip.MustParseAddr("192.0.2.1")
-	ctx := context.Background()
-
-	// The burst passes with no sleep.
-	for i := 0; i < 2; i++ {
-		if err := l.wait(ctx, addr, 0); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if len(clk.sleeps) != 0 {
-		t.Fatalf("burst slept: %v", clk.sleeps)
-	}
-
-	// Subsequent queries are paced at exactly 1/rate = 100ms apart.
-	for i := 0; i < 3; i++ {
-		if err := l.wait(ctx, addr, 0); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if len(clk.sleeps) != 3 {
-		t.Fatalf("paced queries slept %d times, want 3", len(clk.sleeps))
-	}
-	for i, d := range clk.sleeps {
-		if d < 99*time.Millisecond || d > 101*time.Millisecond {
-			t.Errorf("sleep %d = %v, want ~100ms", i, d)
-		}
-	}
-}
-
-func TestRateLimiterRefillsWhileIdle(t *testing.T) {
-	clk := newFakeClock()
-	l := newRateLimiter(10, 1, clk.now, clk.sleep)
-	addr := netip.MustParseAddr("192.0.2.1")
-	ctx := context.Background()
-
-	if err := l.wait(ctx, addr, 0); err != nil {
-		t.Fatal(err)
-	}
-	// Idle long enough to mature a fresh token: no sleep needed.
-	clk.t = clk.t.Add(time.Second)
-	if err := l.wait(ctx, addr, 0); err != nil {
-		t.Fatal(err)
-	}
-	if len(clk.sleeps) != 0 {
-		t.Fatalf("refilled bucket slept: %v", clk.sleeps)
-	}
-}
-
-func TestRateLimiterPerServerIndependence(t *testing.T) {
-	clk := newFakeClock()
-	l := newRateLimiter(10, 1, clk.now, clk.sleep)
-	ctx := context.Background()
-
-	// Draining server A's bucket must not delay server B.
-	a := netip.MustParseAddr("192.0.2.1")
-	b := netip.MustParseAddr("192.0.2.2")
-	if err := l.wait(ctx, a, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := l.wait(ctx, b, 0); err != nil {
-		t.Fatal(err)
-	}
-	if len(clk.sleeps) != 0 {
-		t.Fatalf("independent servers slept: %v", clk.sleeps)
-	}
-}
-
-func TestRateLimiterBurstFloor(t *testing.T) {
-	clk := newFakeClock()
-	l := newRateLimiter(100, 0, clk.now, clk.sleep) // burst 0 -> 1
-	addr := netip.MustParseAddr("192.0.2.1")
-	if err := l.wait(context.Background(), addr, 0); err != nil {
-		t.Fatal(err)
-	}
-	if len(clk.sleeps) != 0 {
-		t.Fatal("first query must always pass immediately")
-	}
-}
-
-// TestRateLimiterPerCallRate verifies the per-zone override mechanism at
-// the bucket level: the same server paced under two different rates is
-// granted tokens at whichever rate the current call carries.
-func TestRateLimiterPerCallRate(t *testing.T) {
-	clk := newFakeClock()
-	l := newRateLimiter(1, 1, clk.now, clk.sleep) // default 1 qps
-	addr := netip.MustParseAddr("192.0.2.1")
-	ctx := context.Background()
-
-	// Drain the burst, then pace at a 100 qps override: 10ms, not 1s.
-	if err := l.wait(ctx, addr, 100); err != nil {
-		t.Fatal(err)
-	}
-	if err := l.wait(ctx, addr, 100); err != nil {
-		t.Fatal(err)
-	}
-	if len(clk.sleeps) != 1 || clk.sleeps[0] > 11*time.Millisecond {
-		t.Fatalf("override-paced sleep = %v, want ~10ms", clk.sleeps)
-	}
-
-	// A later call at the default rate on the same bucket paces at 1s.
-	clk.sleeps = nil
-	if err := l.wait(ctx, addr, 0); err != nil {
-		t.Fatal(err)
-	}
-	if len(clk.sleeps) != 1 || clk.sleeps[0] < 900*time.Millisecond {
-		t.Fatalf("default-paced sleep = %v, want ~1s", clk.sleeps)
-	}
-}
-
-// TestDispatchZoneRateOverride checks the walker wiring end to end: a
-// dispatch addressed to a zone with a high override paces at that rate,
-// while the default zone paces at the conservative default — on the very
-// same limiter and fake clock.
+// TestDispatchZoneRateOverride checks the walker wiring end to end: the
+// walker no longer paces itself — it tags each dispatch with the queried
+// zone and the transport.RateLimit middleware (installed by New from the
+// rate config) paces at that zone's etiquette — so a dispatch addressed
+// to a zone with a high override waits at the override rate while the
+// default zone waits at the conservative default, on one fake clock.
 func TestDispatchZoneRateOverride(t *testing.T) {
+	clk := newFakeClock()
 	r, err := New(errTransport{err: errors.New("refused")}, Config{
 		Roots:             []ServerAddr{{Host: "a.root.test", Addr: netip.MustParseAddr("198.41.0.4")}},
 		QueriesPerSec:     1,
 		ZoneQueriesPerSec: map[string]float64{"com": 500, "quiet.example": -1},
+		rateNow:           clk.now,
+		rateSleep:         clk.sleep,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	w := NewWalker(r)
-	clk := newFakeClock()
-	w.limiter = newRateLimiter(r.cfg.QueriesPerSec, r.cfg.RateBurst, clk.now, clk.sleep)
 	ctx := context.Background()
 	// Each case queries one box twice (two ServerAddr entries sharing an
 	// address drain one bucket); a fresh address per case keeps the
@@ -187,20 +78,5 @@ func TestDispatchZoneRateOverride(t *testing.T) {
 	w.dispatch(ctx, "quiet.example", serversAt("192.0.2.3"), "x.quiet.example", dnswire.TypeA)
 	if len(clk.sleeps) != 0 {
 		t.Fatalf("disabled-zone dispatch slept: %v", clk.sleeps)
-	}
-}
-
-func TestRateLimiterCancellation(t *testing.T) {
-	clk := newFakeClock()
-	cancelled := context.Canceled
-	sleep := func(ctx context.Context, d time.Duration) error { return cancelled }
-	l := newRateLimiter(1, 1, clk.now, sleep)
-	addr := netip.MustParseAddr("192.0.2.1")
-	ctx := context.Background()
-	if err := l.wait(ctx, addr, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := l.wait(ctx, addr, 0); err != cancelled {
-		t.Fatalf("paced wait under cancellation = %v, want context.Canceled", err)
 	}
 }

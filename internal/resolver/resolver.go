@@ -11,12 +11,17 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"time"
 
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/dnswire"
+	"dnstrust/internal/transport"
 )
 
-// Transport delivers a single question to a nameserver address.
+// Transport delivers a single question to a nameserver address. It is
+// the one-method core of transport.Source: any Source is a Transport,
+// and a plain Transport adapts into the composable source stack with
+// transport.From.
 type Transport interface {
 	Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error)
 }
@@ -82,6 +87,24 @@ type Config struct {
 	// tries for one logical query before giving up with ErrRetryBudget.
 	// 0 tries every known server of the zone (the paper's behavior).
 	RetryBudget int
+
+	// rateNow and rateSleep inject a fake clock into the pacing
+	// middleware for in-package tests; nil selects real time.
+	rateNow   func() time.Time
+	rateSleep func(context.Context, time.Duration) error
+}
+
+// paced reports whether the config enables pacing anywhere.
+func (c *Config) paced() bool {
+	if c.QueriesPerSec > 0 {
+		return true
+	}
+	for _, r := range c.ZoneQueriesPerSec {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Config) applyDefaults() {
@@ -170,12 +193,28 @@ type Resolver struct {
 	tr  Transport
 }
 
-// New creates a Resolver.
+// New creates a Resolver. When the config enables pacing
+// (QueriesPerSec / ZoneQueriesPerSec), the transport is wrapped in the
+// transport.RateLimit middleware: every query the resolver or its
+// walkers issue is paced per server, with the queried zone's etiquette
+// carried by context tag. The wrapper is private to the resolver —
+// queries other components send through the same underlying source
+// (fingerprint probes, say) bypass it; a chain that should pace all of
+// its traffic composes transport.RateLimit into the chain itself.
 func New(tr Transport, cfg Config) (*Resolver, error) {
 	if len(cfg.Roots) == 0 {
 		return nil, errors.New("resolver: at least one root server required")
 	}
 	cfg.applyDefaults()
+	if cfg.paced() {
+		tr = transport.Chain(transport.From(tr), transport.RateLimit(transport.RateConfig{
+			QueriesPerSec:     cfg.QueriesPerSec,
+			ZoneQueriesPerSec: cfg.ZoneQueriesPerSec,
+			Burst:             cfg.RateBurst,
+			Now:               cfg.rateNow,
+			Sleep:             cfg.rateSleep,
+		}))
+	}
 	return &Resolver{cfg: cfg, tr: tr}, nil
 }
 
@@ -270,9 +309,10 @@ func (r *Resolver) resolveOnce(ctx context.Context, name string, qtype dnswire.T
 
 // queryAny tries the zone's servers in order until one responds usefully.
 func (r *Resolver) queryAny(ctx context.Context, zone string, servers []ServerAddr, name string, qtype dnswire.Type, trace *Trace) (*dnswire.Message, ServerAddr, error) {
+	qctx := transport.WithZone(ctx, zone)
 	var lastErr error = ErrNoServers
 	for _, srv := range servers {
-		resp, err := r.tr.Query(ctx, srv.Addr, name, qtype, dnswire.ClassINET)
+		resp, err := r.tr.Query(qctx, srv.Addr, name, qtype, dnswire.ClassINET)
 		if err != nil {
 			*trace = append(*trace, Step{Zone: zone, Server: srv, Name: name, Type: qtype, Kind: StepFailure, Err: err})
 			lastErr = err

@@ -10,6 +10,7 @@ import (
 
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/dnswire"
+	"dnstrust/internal/transport"
 )
 
 // ZoneInfo is what the walker learns about one zone from the delegation
@@ -135,7 +136,6 @@ type Walker struct {
 	qmemo   [numShards]queryShard
 	flights *flightGroup
 	obs     WalkObserver
-	limiter *rateLimiter
 
 	// nextOwner allocates walk identities for deadlock detection.
 	nextOwner atomic.Int64
@@ -150,9 +150,6 @@ type Walker struct {
 // pre-seeded as the root zone.
 func NewWalker(r *Resolver) *Walker {
 	w := &Walker{r: r, flights: newFlightGroup()}
-	if r.cfg.QueriesPerSec > 0 || anyPositiveRate(r.cfg.ZoneQueriesPerSec) {
-		w.limiter = newRateLimiter(r.cfg.QueriesPerSec, r.cfg.RateBurst, nil, nil)
-	}
 	for i := range w.shards {
 		w.shards[i].init()
 	}
@@ -168,27 +165,6 @@ func NewWalker(r *Resolver) *Walker {
 	rootShard.zones[""] = &ZoneInfo{Apex: "", Parent: "", NSHosts: rootHosts}
 	rootShard.servers[""] = append([]ServerAddr(nil), r.cfg.Roots...)
 	return w
-}
-
-// anyPositiveRate reports whether a zone-rate override map enables
-// pacing somewhere even when the default rate is off.
-func anyPositiveRate(rates map[string]float64) bool {
-	for _, r := range rates {
-		if r > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// rateFor returns the sustained query rate for servers acting for the
-// given zone apex: the per-zone override when configured, the default
-// otherwise. <= 0 means unpaced.
-func (w *Walker) rateFor(zone string) float64 {
-	if r, ok := w.r.cfg.ZoneQueriesPerSec[zone]; ok {
-		return r
-	}
-	return w.r.cfg.QueriesPerSec
 }
 
 // SetObserver installs the discovery event sink. It must be called
@@ -787,29 +763,29 @@ func (w *Walker) queryAny(ctx context.Context, zone string, servers []ServerAddr
 }
 
 // dispatch tries servers in order until one gives a usable response,
-// pacing each attempt through the per-server token bucket at the queried
-// zone's rate (when configured) and stopping once the retry budget is
-// spent.
+// stopping once the retry budget is spent. Pacing is no longer its
+// concern: each attempt carries the queried zone as a context tag, and
+// the transport.RateLimit middleware (installed by resolver.New when the
+// config enables pacing, or composed into any custom source chain)
+// paces the attempt at that zone's etiquette.
 func (w *Walker) dispatch(ctx context.Context, zone string, servers []ServerAddr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	if len(servers) == 0 {
 		return nil, ErrNoServers
 	}
-	rate := w.rateFor(zone)
+	qctx := transport.WithZone(ctx, zone)
 	var lastErr error = ErrNoServers
 	for attempt, srv := range servers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if w.r.cfg.RetryBudget > 0 && attempt >= w.r.cfg.RetryBudget {
 			// Double-%w keeps lastErr in the chain: a wrapped context
 			// cancellation must stay visible to isCtxErr so it is never
 			// memoized as a permanent failure.
 			return nil, fmt.Errorf("%w after %d attempts: %w", ErrRetryBudget, attempt, lastErr)
 		}
-		if w.limiter != nil && rate > 0 {
-			if err := w.limiter.wait(ctx, srv.Addr, rate); err != nil {
-				return nil, err
-			}
-		}
 		w.queries.Add(1)
-		resp, err := w.r.tr.Query(ctx, srv.Addr, name, qtype, dnswire.ClassINET)
+		resp, err := w.r.tr.Query(qctx, srv.Addr, name, qtype, dnswire.ClassINET)
 		if err != nil {
 			lastErr = err
 			continue

@@ -9,6 +9,7 @@ import (
 
 	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
 func newWalker(t *testing.T, reg *topology.Registry) *resolver.Walker {
@@ -274,7 +275,7 @@ func TestWalkCancellationIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Slow queries down so cancellation reliably lands mid-walk.
-	tr := topology.NewLatencyTransport(topology.NewDirectTransport(world.Registry), 500*time.Microsecond)
+	tr := transport.Chain(world.Registry.Source(), transport.Latency(transport.FixedRTT(500*time.Microsecond)))
 	r, err := world.Registry.Resolver(tr)
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 
 	"dnstrust/internal/dnswire"
 	"dnstrust/internal/dnszone"
+	"dnstrust/internal/transport"
 )
 
 func TestRegistryBasics(t *testing.T) {
@@ -99,7 +100,8 @@ func TestScenarioWorldsFinalize(t *testing.T) {
 
 func TestDirectTransportSemantics(t *testing.T) {
 	reg := FBIWorld()
-	tr := NewDirectTransport(reg)
+	counter := transport.NewCounter()
+	tr := transport.Chain(reg.Source(), counter.Middleware())
 	ctx := context.Background()
 
 	si := reg.Server("dns.sprintip.com")
@@ -126,15 +128,14 @@ func TestDirectTransportSemantics(t *testing.T) {
 	if err := reg.SetLame("unknown.host", true); err == nil {
 		t.Error("SetLame on unknown host must error")
 	}
-	if tr.Queries() < 2 {
+	if counter.Queries() < 2 {
 		t.Error("query counter not advancing")
 	}
 }
 
 func TestVersionBindProbe(t *testing.T) {
 	reg := FBIWorld()
-	tr := NewDirectTransport(reg)
-	probe := reg.ProbeFunc(tr)
+	probe := reg.ProbeFunc(nil)
 	banner, err := probe(context.Background(), "reston-ns2.telemail.net")
 	if err != nil {
 		t.Fatal(err)
@@ -154,8 +155,8 @@ func TestVersionBindProbe(t *testing.T) {
 
 func TestWireTransportEquivalence(t *testing.T) {
 	reg := FBIWorld()
-	direct := NewDirectTransport(reg)
-	wire := NewWireTransport(reg)
+	direct := reg.Source()
+	wire := transport.Chain(reg.Source(), transport.WireFramed())
 	ctx := context.Background()
 	si := reg.Server("a.gov-servers.net")
 	for _, q := range []struct {

@@ -5,13 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"sync/atomic"
-	"time"
 
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/dnsserver"
 	"dnstrust/internal/dnswire"
 	"dnstrust/internal/resolver"
+	"dnstrust/internal/transport"
 )
 
 // Transport errors.
@@ -22,167 +21,57 @@ var (
 	ErrServerDown = errors.New("topology: server does not respond")
 )
 
-// TraceFunc observes one transport query. Hooks must be safe for
-// concurrent calls; the crawl's dedup tests use them to assert exactly
-// which queries crossed the transport.
-type TraceFunc func(server netip.Addr, name string, qtype dnswire.Type)
-
-// DirectTransport answers resolver queries in memory with the exact
-// response semantics of the network server (it shares dnsserver.Respond).
-// It implements resolver.Transport. The query path is contention-free:
-// registry lookups are lock-free after Finalize and the counters are
-// atomics.
-type DirectTransport struct {
-	reg *Registry
-	// queries counts transport calls, for ablation benchmarks.
-	queries atomic.Int64
-	// trace, when set, observes every query served.
-	trace atomic.Pointer[TraceFunc]
-}
-
-// NewDirectTransport wraps a finalized registry.
-func NewDirectTransport(reg *Registry) *DirectTransport {
-	return &DirectTransport{reg: reg}
-}
-
-// Queries reports the number of queries served.
-func (t *DirectTransport) Queries() int64 { return t.queries.Load() }
-
-// SetTrace installs (or, with nil, removes) a query-trace hook. Safe to
-// call while queries are in flight.
-func (t *DirectTransport) SetTrace(fn TraceFunc) {
-	if fn == nil {
-		t.trace.Store(nil)
-		return
-	}
-	t.trace.Store(&fn)
-}
-
-// Query implements resolver.Transport.
-func (t *DirectTransport) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t.queries.Add(1)
-	if fn := t.trace.Load(); fn != nil {
-		(*fn)(server, name, qtype)
-	}
-	si := t.reg.ServerByAddr(server)
+// Respond answers one DNS request in memory with the exact response
+// semantics of the network server (it shares dnsserver.Respond). It
+// implements transport.Authority, so a registry plugs straight into the
+// composable source stack: transport.Direct(reg) is the in-memory
+// terminal, and tracing/latency/fault/record behaviour layers over it as
+// middleware. The path is contention-free: registry lookups are
+// lock-free after Finalize and the lame overlay is atomic.
+func (r *Registry) Respond(server netip.Addr, req *dnswire.Message) (*dnswire.Message, error) {
+	si := r.ServerByAddr(server)
 	if si == nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoSuchServer, server)
 	}
-	if t.reg.isLame(si) {
+	if r.isLame(si) {
 		return nil, fmt.Errorf("%w: %s", ErrServerDown, si.Host)
 	}
-	zs := t.reg.ZoneSetOf(si.Host)
+	zs := r.ZoneSetOf(si.Host)
 	if zs == nil {
 		return nil, fmt.Errorf("topology: server %q has no zones (registry not finalized?)", si.Host)
 	}
-	req := dnswire.NewQuery(1, dnsname.Canonical(name), qtype, class)
 	return dnsserver.Respond(zs, si.Banner, req), nil
 }
 
-// VersionBind probes a server's banner through the same code path the
-// network prober uses.
-func (t *DirectTransport) VersionBind(ctx context.Context, server netip.Addr) (string, error) {
-	resp, err := t.Query(ctx, server, "version.bind", dnswire.TypeTXT, dnswire.ClassCHAOS)
-	if err != nil {
-		return "", err
-	}
-	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
-		return "", nil
-	}
-	if txt, ok := resp.Answers[0].Data.(dnswire.TXT); ok && len(txt.Text) > 0 {
-		return txt.Text[0], nil
-	}
-	return "", nil
-}
-
-// WireTransport is a DirectTransport variant that round-trips every
-// message through the full wire codec (pack + unpack on both directions),
-// exercising the identical byte path a network crawl would see without
-// socket overhead. Used by the transport ablation.
-type WireTransport struct {
-	inner *DirectTransport
-}
-
-// NewWireTransport wraps a finalized registry with wire-format framing.
-func NewWireTransport(reg *Registry) *WireTransport {
-	return &WireTransport{inner: NewDirectTransport(reg)}
-}
-
-// Query implements resolver.Transport with full pack/unpack framing.
-func (t *WireTransport) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
-	req := dnswire.NewQuery(1, dnsname.Canonical(name), qtype, class)
-	pkt, err := req.Pack()
-	if err != nil {
-		return nil, err
-	}
-	reqBack, err := dnswire.Unpack(pkt)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := t.inner.Query(ctx, server, reqBack.Questions[0].Name, reqBack.Questions[0].Type, reqBack.Questions[0].Class)
-	if err != nil {
-		return nil, err
-	}
-	out, err := resp.Pack()
-	if err != nil {
-		return nil, err
-	}
-	return dnswire.Unpack(out)
-}
-
-// LatencyTransport wraps a transport with a fixed simulated round-trip
-// time per query. Real surveys are network-bound — the paper's crawl of
-// 593k names took days of wall-clock, dominated by RTTs — so this is the
-// honest substrate for measuring how crawl throughput scales with the
-// worker pool: workers overlap round-trips exactly as a live crawl's
-// would, independent of how many cores the host happens to have.
-type LatencyTransport struct {
-	inner resolver.Transport
-	rtt   time.Duration
-}
-
-// NewLatencyTransport wraps inner, delaying every query by rtt.
-func NewLatencyTransport(inner resolver.Transport, rtt time.Duration) *LatencyTransport {
-	return &LatencyTransport{inner: inner, rtt: rtt}
-}
-
-// Query implements resolver.Transport with simulated network delay.
-func (t *LatencyTransport) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
-	if t.rtt > 0 {
-		timer := time.NewTimer(t.rtt)
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			timer.Stop()
-			return nil, ctx.Err()
-		}
-	}
-	return t.inner.Query(ctx, server, name, qtype, class)
+// Source returns the registry's in-memory terminal source,
+// transport.Direct over this registry.
+func (r *Registry) Source() transport.Source {
+	return transport.Direct(r)
 }
 
 // ProbeFunc returns a version.bind prober keyed by host name, for the
-// crawler's fingerprinting pass.
-func (r *Registry) ProbeFunc(tr *DirectTransport) func(ctx context.Context, host string) (string, error) {
+// crawler's fingerprinting pass. Probes flow through the given query
+// surface — pass the crawl's composed source so fingerprinting shares
+// its pacing, recording, and replay behaviour; nil selects a fresh
+// direct source over this registry.
+func (r *Registry) ProbeFunc(tr resolver.Transport) func(ctx context.Context, host string) (string, error) {
 	if tr == nil {
-		tr = NewDirectTransport(r)
+		tr = r.Source()
 	}
 	return func(ctx context.Context, host string) (string, error) {
 		si := r.Server(host)
 		if si == nil {
 			return "", fmt.Errorf("topology: unknown server %q", host)
 		}
-		return tr.VersionBind(ctx, si.Addr)
+		return transport.VersionBind(ctx, tr, si.Addr)
 	}
 }
 
-// Resolver builds an iterative resolver over this registry's root servers
-// using the given transport (nil means a fresh DirectTransport).
+// Resolver builds an iterative resolver over this registry's root
+// servers using the given transport (nil means a fresh direct source).
 func (r *Registry) Resolver(tr resolver.Transport) (*resolver.Resolver, error) {
 	if tr == nil {
-		tr = NewDirectTransport(r)
+		tr = r.Source()
 	}
 	roots := r.RootServers()
 	if len(roots) == 0 {
@@ -216,6 +105,4 @@ func (r *Registry) isLame(si *ServerInfo) bool {
 	return si.Lame
 }
 
-var _ resolver.Transport = (*DirectTransport)(nil)
-var _ resolver.Transport = (*WireTransport)(nil)
-var _ resolver.Transport = (*LatencyTransport)(nil)
+var _ transport.Authority = (*Registry)(nil)

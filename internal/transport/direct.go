@@ -1,0 +1,38 @@
+package transport
+
+import (
+	"context"
+	"net/netip"
+
+	"dnstrust/internal/dnsname"
+	"dnstrust/internal/dnswire"
+)
+
+// Authority answers one DNS request in process: the registry side of the
+// synthetic Internet. *topology.Registry implements it (lame servers and
+// unbound addresses surface as errors, exactly like an unresponsive
+// network server).
+type Authority interface {
+	Respond(server netip.Addr, req *dnswire.Message) (*dnswire.Message, error)
+}
+
+// Direct is the in-memory terminal source: it answers resolver queries
+// straight from an Authority with the exact response semantics of the
+// network server, no sockets and no framing. It replaces the old
+// topology.DirectTransport; tracing, latency, and wire framing are now
+// middleware composed over it.
+func Direct(a Authority) Source {
+	return directSource{a}
+}
+
+type directSource struct{ a Authority }
+
+func (d directSource) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := dnswire.NewQuery(1, dnsname.Canonical(name), qtype, class)
+	return d.a.Respond(server, req)
+}
+
+func (d directSource) Close() error { return nil }

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"dnstrust/internal/dnswire"
+)
+
+// ErrInjectedTimeout is the error a Fault middleware returns for a query
+// it decided to drop, standing in for an unresponsive server.
+var ErrInjectedTimeout = errors.New("transport: injected timeout")
+
+// FaultModel configures probabilistic fault injection. Each probability
+// is evaluated independently in order — Timeout, then ServFail, then
+// Truncate — against one uniform draw per logical query, so
+// Timeout+ServFail+Truncate <= 1 partitions queries into disjoint fault
+// classes and the remainder passes through untouched.
+//
+// Decisions are a pure hash of (Seed, server, name, qtype): the same
+// logical query faults identically no matter when it is asked, how many
+// workers race to ask it, or how many times a retry loop re-asks it.
+// That makes fault scenarios reproducible — rerunning a crawl with the
+// same seed injects exactly the same faults — and schedule-invariant,
+// like the rest of the survey engine.
+type FaultModel struct {
+	// Seed selects the fault universe; equal seeds fault identically.
+	Seed int64
+	// Timeout is the probability a query is dropped with
+	// ErrInjectedTimeout.
+	Timeout float64
+	// ServFail is the probability a query is answered with SERVFAIL.
+	ServFail float64
+	// Truncate is the probability a (successful) response comes back
+	// with the truncation flag set.
+	Truncate float64
+}
+
+// draw maps one logical query to a uniform float in [0, 1).
+func (m FaultModel) draw(server netip.Addr, name string, qtype dnswire.Type) float64 {
+	// FNV-1a over the seed and the query identity, finished with a
+	// 64-bit mix so nearby seeds decorrelate.
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(m.Seed) >> (8 * i)))
+	}
+	for _, b := range server.As16() {
+		mix(b)
+	}
+	for i := 0; i < len(name); i++ {
+		mix(name[i])
+	}
+	mix(byte(qtype))
+	mix(byte(qtype >> 8))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Fault returns middleware that injects the model's faults into the
+// query stream. Injected SERVFAILs are synthesized without consulting
+// the inner source (the "server" answered, uselessly); injected
+// timeouts never reach it (the "server" never answered); truncation
+// flags the inner source's real response.
+func Fault(m FaultModel) Middleware {
+	return func(next Source) Source {
+		return layer{inner: next, query: func(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p := m.draw(server, name, qtype)
+			if p < m.Timeout {
+				return nil, fmt.Errorf("%w: %v refused to answer %s", ErrInjectedTimeout, server, name)
+			}
+			p -= m.Timeout
+			if p < m.ServFail {
+				resp := dnswire.NewQuery(1, name, qtype, class).Reply()
+				resp.RCode = dnswire.RCodeServFail
+				return resp, nil
+			}
+			p -= m.ServFail
+			resp, err := next.Query(ctx, server, name, qtype, class)
+			if err != nil {
+				return nil, err
+			}
+			if p < m.Truncate {
+				tc := *resp
+				tc.Truncated = true
+				return &tc, nil
+			}
+			return resp, nil
+		}}
+	}
+}

@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"context"
+	"net/netip"
+
+	"dnstrust/internal/dnsclient"
+	"dnstrust/internal/dnswire"
+)
+
+// Live is the real-network terminal source: queries go over actual
+// UDP/TCP sockets through dnsclient (retries, truncation fallback,
+// response validation), addressed to server:port. A crawl of the real
+// Internet — root hints supplied via dnstrust.Options.Roots — is then
+// just another source composition; so is a crawl of topology.StartLive's
+// loopback fleet (which carries its own address mapping and adapts via
+// From).
+//
+// port 0 selects the standard DNS port 53. client nil selects a client
+// with survey defaults.
+func Live(client *dnsclient.Client, port uint16) Source {
+	if client == nil {
+		client = dnsclient.New(dnsclient.Config{})
+	}
+	if port == 0 {
+		port = 53
+	}
+	return liveSource{client: client, port: port}
+}
+
+type liveSource struct {
+	client *dnsclient.Client
+	port   uint16
+}
+
+func (l liveSource) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	return l.client.Query(ctx, netip.AddrPortFrom(server, l.port).String(), name, qtype, class)
+}
+
+func (l liveSource) Close() error { return nil }

@@ -1,0 +1,67 @@
+package transport_test
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnstrust/internal/dnsclient"
+	"dnstrust/internal/dnsserver"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/dnszone"
+	"dnstrust/internal/transport"
+)
+
+// TestLiveSourceOverRealSocket: the Live terminal source speaks actual
+// UDP through dnsclient — an authoritative answer and a version.bind
+// probe both come back over the wire, and middleware composes over it
+// like over any other source.
+func TestLiveSourceOverRealSocket(t *testing.T) {
+	ctx := context.Background()
+	z := dnszone.New("example.test")
+	z.AddNS("ns.example.test")
+	if err := z.AddAddress("www.example.test", netip.MustParseAddr("192.0.2.80")); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dnsserver.Start(ctx, "127.0.0.1:0", dnsserver.Config{
+		Zones:         []*dnszone.Zone{z},
+		VersionBanner: "BIND 8.3.0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	port := uint16(srv.Addr().(*net.UDPAddr).Port)
+
+	counter := transport.NewCounter()
+	src := transport.Chain(
+		transport.Live(dnsclient.New(dnsclient.Config{Timeout: 2 * time.Second}), port),
+		counter.Middleware(),
+	)
+	defer src.Close()
+	server := netip.MustParseAddr("127.0.0.1")
+
+	resp, err := src.Query(ctx, server, "www.example.test", dnswire.TypeA, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Authoritative || len(resp.Answers) != 1 {
+		t.Fatalf("live answer = %s", resp)
+	}
+	if a, ok := resp.Answers[0].Data.(dnswire.A); !ok || a.Addr != netip.MustParseAddr("192.0.2.80") {
+		t.Fatalf("live A record = %v", resp.Answers[0].Data)
+	}
+
+	banner, err := transport.VersionBind(ctx, src, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banner != "BIND 8.3.0" {
+		t.Fatalf("live banner = %q", banner)
+	}
+	if counter.Queries() != 2 {
+		t.Fatalf("counter saw %d queries, want 2", counter.Queries())
+	}
+}

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnstrust/internal/dnswire"
+)
+
+// RateConfig tunes the RateLimit middleware.
+type RateConfig struct {
+	// QueriesPerSec is the default sustained per-server rate; <= 0
+	// disables pacing for queries without a per-zone override.
+	QueriesPerSec float64
+	// ZoneQueriesPerSec overrides QueriesPerSec per queried zone apex
+	// (read from the WithZone context tag). TLD and registry servers are
+	// provisioned for orders of magnitude more traffic than leaf-zone
+	// boxes, so a live crawl typically sets a high override for "com",
+	// "net", ... and leaves the conservative default for everything
+	// else. Keys are canonical zone apexes ("" is the root); matching is
+	// exact. A zone absent from the map uses QueriesPerSec; an override
+	// <= 0 disables pacing for that zone.
+	ZoneQueriesPerSec map[string]float64
+	// Burst is the token-bucket depth (back-to-back queries one server
+	// absorbs before pacing kicks in). Values below 1 default to 1.
+	Burst int
+	// Now and Sleep inject a fake clock for tests; nil selects the real
+	// time.Now and a timer-based sleep.
+	Now   func() time.Time
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// rateFor returns the sustained query rate for servers acting for the
+// given zone apex: the per-zone override when configured, the default
+// otherwise. <= 0 means unpaced.
+func (c *RateConfig) rateFor(zone string, tagged bool) float64 {
+	if tagged {
+		if r, ok := c.ZoneQueriesPerSec[zone]; ok {
+			return r
+		}
+	}
+	return c.QueriesPerSec
+}
+
+// RateLimit returns pacing middleware: one token bucket per server
+// address, so a crawl may hammer its own walk pipeline as hard as it
+// likes but no single remote nameserver sees more than the configured
+// sustained rate, no matter how many workers share it. The per-call rate
+// comes from the query's WithZone tag via cfg.ZoneQueriesPerSec,
+// falling back to cfg.QueriesPerSec for untagged queries.
+func RateLimit(cfg RateConfig) Middleware {
+	l := newRateLimiter(cfg.QueriesPerSec, cfg.Burst, cfg.Now, cfg.Sleep)
+	return func(next Source) Source {
+		return layer{inner: next, query: func(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+			zone, tagged := ZoneFromContext(ctx)
+			if rate := cfg.rateFor(zone, tagged); rate > 0 {
+				if err := l.wait(ctx, server, rate); err != nil {
+					return nil, err
+				}
+			}
+			return next.Query(ctx, server, name, qtype, class)
+		}}
+	}
+}
+
+// rateLimiter paces transport queries with one token bucket per server
+// address. Buckets refill continuously at rate tokens/sec up to burst;
+// callers that find the bucket empty reserve the next future token and
+// sleep until it matures, so waiters are admitted strictly in arrival
+// order per server without a queue.
+//
+// The sustained rate may vary per call (per-zone overrides: the
+// middleware passes the rate of the zone the query is addressed to). A
+// bucket's token balance carries across rate changes; accrual and
+// reservation both use the current call's rate, so a server that serves
+// both a high-rate TLD zone and a low-rate leaf zone is paced by
+// whichever etiquette applies to each query.
+//
+// The clock (now) and the blocking primitive (sleep) are injectable for
+// tests; nil selects the real time.Now and a timer-based sleep.
+type rateLimiter struct {
+	rate  float64 // default tokens per second (calls passing rate 0)
+	burst float64
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+
+	mu      sync.Mutex
+	buckets map[netip.Addr]*bucket
+}
+
+type bucket struct {
+	tokens float64 // may go negative: reserved future tokens
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int, now func() time.Time, sleep func(context.Context, time.Duration) error) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		sleep:   sleep,
+		buckets: make(map[netip.Addr]*bucket),
+	}
+}
+
+// wait blocks until addr's bucket grants a token or ctx is done. rate is
+// the sustained rate for this call (a per-zone override); 0 selects the
+// limiter's default. The reservation is made under the lock; the sleep
+// happens outside it, so waiters on different servers never serialize on
+// each other.
+func (l *rateLimiter) wait(ctx context.Context, addr netip.Addr, rate float64) error {
+	if rate == 0 {
+		rate = l.rate
+	}
+	if rate <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	t := l.now()
+	b := l.buckets[addr]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[addr] = b
+	}
+	b.tokens += t.Sub(b.last).Seconds() * rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = t
+	b.tokens--
+	var d time.Duration
+	if b.tokens < 0 {
+		d = time.Duration(-b.tokens / rate * float64(time.Second))
+	}
+	l.mu.Unlock()
+	if d > 0 {
+		return l.sleep(ctx, d)
+	}
+	return nil
+}
+
+// sleepCtx is the production sleep: a timer racing ctx cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the rate limiter deterministically: sleep advances
+// the clock instead of blocking, and every requested delay is recorded.
+type fakeClock struct {
+	t      time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func (c *fakeClock) sleep(_ context.Context, d time.Duration) error {
+	c.sleeps = append(c.sleeps, d)
+	c.t = c.t.Add(d)
+	return nil
+}
+
+func TestRateLimiterBurstThenPaced(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(10, 2, clk.now, clk.sleep) // 10 qps, burst 2
+	addr := netip.MustParseAddr("192.0.2.1")
+	ctx := context.Background()
+
+	// The burst passes with no sleep.
+	for i := 0; i < 2; i++ {
+		if err := l.wait(ctx, addr, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(clk.sleeps) != 0 {
+		t.Fatalf("burst slept: %v", clk.sleeps)
+	}
+
+	// Subsequent queries are paced at exactly 1/rate = 100ms apart.
+	for i := 0; i < 3; i++ {
+		if err := l.wait(ctx, addr, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(clk.sleeps) != 3 {
+		t.Fatalf("paced queries slept %d times, want 3", len(clk.sleeps))
+	}
+	for i, d := range clk.sleeps {
+		if d < 99*time.Millisecond || d > 101*time.Millisecond {
+			t.Errorf("sleep %d = %v, want ~100ms", i, d)
+		}
+	}
+}
+
+func TestRateLimiterRefillsWhileIdle(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(10, 1, clk.now, clk.sleep)
+	addr := netip.MustParseAddr("192.0.2.1")
+	ctx := context.Background()
+
+	if err := l.wait(ctx, addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Idle long enough to mature a fresh token: no sleep needed.
+	clk.t = clk.t.Add(time.Second)
+	if err := l.wait(ctx, addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 0 {
+		t.Fatalf("refilled bucket slept: %v", clk.sleeps)
+	}
+}
+
+func TestRateLimiterPerServerIndependence(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(10, 1, clk.now, clk.sleep)
+	ctx := context.Background()
+
+	// Draining server A's bucket must not delay server B.
+	a := netip.MustParseAddr("192.0.2.1")
+	b := netip.MustParseAddr("192.0.2.2")
+	if err := l.wait(ctx, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.wait(ctx, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 0 {
+		t.Fatalf("independent servers slept: %v", clk.sleeps)
+	}
+}
+
+func TestRateLimiterBurstFloor(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(100, 0, clk.now, clk.sleep) // burst 0 -> 1
+	addr := netip.MustParseAddr("192.0.2.1")
+	if err := l.wait(context.Background(), addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 0 {
+		t.Fatal("first query must always pass immediately")
+	}
+}
+
+// TestRateLimiterPerCallRate verifies the per-zone override mechanism at
+// the bucket level: the same server paced under two different rates is
+// granted tokens at whichever rate the current call carries.
+func TestRateLimiterPerCallRate(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(1, 1, clk.now, clk.sleep) // default 1 qps
+	addr := netip.MustParseAddr("192.0.2.1")
+	ctx := context.Background()
+
+	// Drain the burst, then pace at a 100 qps override: 10ms, not 1s.
+	if err := l.wait(ctx, addr, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.wait(ctx, addr, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 1 || clk.sleeps[0] > 11*time.Millisecond {
+		t.Fatalf("override-paced sleep = %v, want ~10ms", clk.sleeps)
+	}
+
+	// A later call at the default rate on the same bucket paces at 1s.
+	clk.sleeps = nil
+	if err := l.wait(ctx, addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 1 || clk.sleeps[0] < 900*time.Millisecond {
+		t.Fatalf("default-paced sleep = %v, want ~1s", clk.sleeps)
+	}
+}
+
+func TestRateLimiterCancellation(t *testing.T) {
+	clk := newFakeClock()
+	cancelled := context.Canceled
+	sleep := func(ctx context.Context, d time.Duration) error { return cancelled }
+	l := newRateLimiter(1, 1, clk.now, sleep)
+	addr := netip.MustParseAddr("192.0.2.1")
+	ctx := context.Background()
+	if err := l.wait(ctx, addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.wait(ctx, addr, 0); err != cancelled {
+		t.Fatalf("paced wait under cancellation = %v, want context.Canceled", err)
+	}
+}
+
+// TestRateLimitMiddlewareZoneTag checks the middleware end to end: a
+// query tagged with a zone carrying a high override paces at that rate,
+// an untagged or unlisted-zone query paces at the default, and a
+// disabled-zone query is unpaced — all against one chain and fake clock.
+func TestRateLimitMiddlewareZoneTag(t *testing.T) {
+	clk := newFakeClock()
+	var served int
+	inner := From(queryCounter{&served})
+	src := Chain(inner, RateLimit(RateConfig{
+		QueriesPerSec:     1,
+		ZoneQueriesPerSec: map[string]float64{"com": 500, "quiet.example": -1},
+		Now:               clk.now,
+		Sleep:             clk.sleep,
+	}))
+	bg := context.Background()
+	q := func(ctx context.Context, ip string) {
+		t.Helper()
+		if _, err := src.Query(ctx, netip.MustParseAddr(ip), "x.example", 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Zone "com" carries the 500 qps override: the second query to the
+	// same box waits ~2ms instead of ~1s.
+	q(WithZone(bg, "com"), "192.0.2.1")
+	q(WithZone(bg, "com"), "192.0.2.1")
+	if len(clk.sleeps) != 1 || clk.sleeps[0] > 3*time.Millisecond {
+		t.Fatalf("com-paced sleeps = %v, want one ~2ms wait", clk.sleeps)
+	}
+
+	// An unlisted zone falls back to the 1 qps default.
+	clk.sleeps = nil
+	q(WithZone(bg, "example.net"), "192.0.2.2")
+	q(WithZone(bg, "example.net"), "192.0.2.2")
+	if len(clk.sleeps) != 1 || clk.sleeps[0] < 500*time.Millisecond {
+		t.Fatalf("default-paced sleeps = %v, want one ~1s wait", clk.sleeps)
+	}
+
+	// A zone with a non-positive override is unpaced entirely.
+	clk.sleeps = nil
+	q(WithZone(bg, "quiet.example"), "192.0.2.3")
+	q(WithZone(bg, "quiet.example"), "192.0.2.3")
+	if len(clk.sleeps) != 0 {
+		t.Fatalf("disabled-zone queries slept: %v", clk.sleeps)
+	}
+
+	// Untagged queries pace at the default too.
+	clk.sleeps = nil
+	q(bg, "192.0.2.4")
+	q(bg, "192.0.2.4")
+	if len(clk.sleeps) != 1 {
+		t.Fatalf("untagged queries slept %d times, want 1", len(clk.sleeps))
+	}
+
+	if served != 8 {
+		t.Fatalf("inner source served %d queries, want 8", served)
+	}
+}

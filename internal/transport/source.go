@@ -1,0 +1,153 @@
+// Package transport is the composable query boundary of the survey: one
+// Source interface that every "Internet" the crawler can talk to hides
+// behind, plus a middleware chain that layers crosscutting behaviour —
+// pacing, tracing, simulated latency, fault injection, recording — over
+// any of them.
+//
+// Four terminal sources cover the spectrum of worlds a crawl can run
+// against:
+//
+//   - Direct serves queries in memory from an Authority (the synthetic
+//     topology registry) with the exact response semantics of the
+//     network server.
+//   - Live speaks real UDP/TCP through dnsclient, so a crawl of the
+//     actual Internet is just another source.
+//   - Replay serves a crawl entirely from a recorded query log through
+//     the wire codec — the offline "crawl from a recording" mode.
+//   - Fault (a middleware, composable over any of the above) injects
+//     deterministic, seeded timeouts/SERVFAILs/truncation for scenario
+//     stress.
+//
+// Which Internet a crawl sees is then a one-line composition:
+//
+//	src := transport.Chain(transport.Direct(reg),
+//	    transport.RateLimit(rates),
+//	    transport.Trace(fn),
+//	    transport.Latency(transport.FixedRTT(200*time.Microsecond)),
+//	    transport.Fault(model),
+//	    transport.Record(log),
+//	)
+//
+// Middleware listed first is outermost: a query passes through the chain
+// in the order written before reaching the terminal source.
+package transport
+
+import (
+	"context"
+	"net/netip"
+
+	"dnstrust/internal/dnswire"
+)
+
+// Queryer is the minimal query surface — the same single method as
+// resolver.Transport, restated here so the two packages need not import
+// each other. Any resolver.Transport is a Queryer and vice versa.
+type Queryer interface {
+	Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error)
+}
+
+// Source is the composable transport boundary: a Queryer that can also
+// be shut down. Close releases whatever the source holds — sockets for
+// live crawls, nothing for in-memory ones — and flushes stateful
+// middleware; closing a chain closes through to the terminal.
+//
+// Every Source is a valid resolver.Transport.
+type Source interface {
+	Queryer
+	Close() error
+}
+
+// Middleware wraps a Source with one crosscutting behaviour. The
+// returned Source must forward Close to the wrapped one.
+type Middleware func(Source) Source
+
+// Chain composes middleware over a terminal source. The middleware
+// listed first is outermost: a query passes through mws in the order
+// given before reaching src.
+func Chain(src Source, mws ...Middleware) Source {
+	for i := len(mws) - 1; i >= 0; i-- {
+		src = mws[i](src)
+	}
+	return src
+}
+
+// QueryFunc is the signature of one query hop, used by middleware
+// implementations.
+type queryFunc func(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error)
+
+// layer is the common middleware shape: a query function over an inner
+// source, forwarding Close.
+type layer struct {
+	inner Source
+	query queryFunc
+}
+
+func (l layer) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	return l.query(ctx, server, name, qtype, class)
+}
+
+func (l layer) Close() error { return l.inner.Close() }
+
+// From adapts any plain Queryer (e.g. a resolver.Transport test fake, or
+// topology.Live) into a Source. If q already is a Source it is returned
+// unchanged; otherwise Close forwards to q's own Close method when it
+// has one (with or without an error return) and is a no-op when it does
+// not.
+func From(q Queryer) Source {
+	if s, ok := q.(Source); ok {
+		return s
+	}
+	return adapted{q}
+}
+
+type adapted struct{ q Queryer }
+
+func (a adapted) Query(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class) (*dnswire.Message, error) {
+	return a.q.Query(ctx, server, name, qtype, class)
+}
+
+func (a adapted) Close() error {
+	switch c := a.q.(type) {
+	case interface{ Close() error }:
+		return c.Close()
+	case interface{ Close() }:
+		c.Close()
+	}
+	return nil
+}
+
+// zoneKey carries the queried zone apex through the context, so pacing
+// middleware deep in a chain can apply per-zone etiquette without the
+// query signature knowing about zones.
+type zoneKey struct{}
+
+// WithZone annotates ctx with the apex of the zone the queried servers
+// act for ("" is the root). The resolver and walker tag every query they
+// issue; RateLimit reads the tag to select per-zone rate overrides.
+func WithZone(ctx context.Context, apex string) context.Context {
+	return context.WithValue(ctx, zoneKey{}, apex)
+}
+
+// ZoneFromContext reports the zone apex a query is addressed to, when
+// the issuer tagged it with WithZone.
+func ZoneFromContext(ctx context.Context) (string, bool) {
+	apex, ok := ctx.Value(zoneKey{}).(string)
+	return apex, ok
+}
+
+// VersionBind probes a server's version.bind banner through any query
+// surface, returning "" when the server hides it (REFUSED or empty
+// answers) — the survey's optimistic treatment of hidden servers.
+func VersionBind(ctx context.Context, q Queryer, server netip.Addr) (string, error) {
+	resp, err := q.Query(ctx, server, "version.bind", dnswire.TypeTXT, dnswire.ClassCHAOS)
+	if err != nil {
+		return "", err
+	}
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
+		return "", nil
+	}
+	if txt, ok := resp.Answers[0].Data.(dnswire.TXT); ok && len(txt.Text) > 0 {
+		return txt.Text[0], nil
+	}
+	return "", nil
+}

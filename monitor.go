@@ -2,6 +2,7 @@ package dnstrust
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -12,12 +13,18 @@ import (
 	"dnstrust/internal/mincut"
 	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
 // Survey re-exports the crawl dataset type (graph, banners,
 // vulnerabilities, engine stats) so callers outside the module can name
 // what View.Survey and Study.Survey return.
 type Survey = crawler.Survey
+
+// QueryLog re-exports the transport query log — the recordable,
+// replayable, byte-stable capture of every exchange a session performed
+// — for Options.RecordLog / Options.ReplayLog.
+type QueryLog = transport.Log
 
 // Monitor is the long-lived measurement service this package is built
 // around: a resident crawl engine over one world, extended incrementally
@@ -51,39 +58,80 @@ type Monitor struct {
 // NewStudy) and starts a monitoring session over it with an empty
 // survey. Names are not crawled until Add.
 func Open(ctx context.Context, opts Options) (*Monitor, error) {
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	if opts.Names == 0 {
-		opts.Names = 20000
-	}
-	world, err := topology.Generate(topology.GenParams{Seed: opts.Seed, Names: opts.Names})
+	world, err := NewWorld(opts)
 	if err != nil {
 		return nil, err
 	}
 	return OpenWorld(ctx, world, opts)
 }
 
+// NewWorld generates the synthetic world a session with the same
+// Seed/Names options would monitor, without starting a crawl. Use it
+// when the transport source needs the world first — booting
+// topology.StartLive over the registry, say — before OpenWorld.
+func NewWorld(opts Options) (*topology.World, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Names == 0 {
+		opts.Names = 20000
+	}
+	return topology.Generate(topology.GenParams{Seed: opts.Seed, Names: opts.Names})
+}
+
 // OpenWorld starts a monitoring session over an existing world
 // (hand-built or generated). The context is reserved for future
 // transport setup; opening does not crawl.
+//
+// The transport the session queries is composed from the options:
+// the terminal is opts.Source (default: the world's in-memory direct
+// transport), replaced by a replay of opts.ReplayLog when set (strict,
+// or falling through to the terminal on misses); wire framing and query
+// recording layer over it as middleware. The session owns the composed
+// chain and closes it on Close.
 func OpenWorld(_ context.Context, world *topology.World, opts Options) (*Monitor, error) {
-	direct := topology.NewDirectTransport(world.Registry)
-	var tr resolver.Transport = direct
+	src := opts.Source
+	if src == nil {
+		src = world.Registry.Source()
+	}
+	if opts.ReplayLog != nil {
+		if opts.ReplayFallthrough {
+			src = transport.ReplayThrough(opts.ReplayLog, src)
+		} else {
+			// Strict replay displaces the terminal entirely, but the
+			// session still owns a caller-supplied Source (a live fleet,
+			// say): keep it on the chain's Close path so nothing leaks.
+			if opts.Source != nil {
+				src = ownedReplay{Source: transport.Replay(opts.ReplayLog), displaced: opts.Source}
+			} else {
+				src = transport.Replay(opts.ReplayLog)
+			}
+		}
+	}
 	if opts.WireFramed {
-		tr = topology.NewWireTransport(world.Registry)
+		src = transport.Chain(src, transport.WireFramed())
 	}
-	r, err := world.Registry.Resolver(tr)
+	if opts.RecordLog != nil {
+		src = transport.Chain(src, transport.Record(opts.RecordLog))
+	}
+	roots := opts.Roots
+	if len(roots) == 0 {
+		roots = world.Registry.RootServers()
+	}
+	r, err := resolver.New(src, resolver.Config{Roots: roots})
 	if err != nil {
-		return nil, err
+		// The session owns the composed chain from here on; an aborted
+		// open must not leak it (live sockets, notably).
+		return nil, errors.Join(err, src.Close())
 	}
-	eng, err := crawler.NewEngine(r, world.Registry.ProbeFunc(direct), crawler.Config{
+	eng, err := crawler.NewEngine(r, world.Registry.ProbeFunc(src), crawler.Config{
 		Workers:  opts.Workers,
 		MemoFile: opts.MemoFile,
 		Progress: opts.Progress,
+		Source:   src,
 	})
 	if err != nil {
-		return nil, err
+		return nil, errors.Join(err, src.Close())
 	}
 	m := &Monitor{world: world, eng: eng, memo: analysis.NewChainMemo()}
 	m.view.Store(m.newView(eng.View()))
@@ -141,6 +189,17 @@ func (m *Monitor) Close() error {
 
 func (m *Monitor) newView(s *crawler.Survey) *View {
 	return &View{world: m.world, survey: s, memo: m.memo}
+}
+
+// ownedReplay is a strict replay source that also owns the terminal it
+// displaced, honoring Options.Source's close-on-Close contract.
+type ownedReplay struct {
+	transport.Source
+	displaced transport.Source
+}
+
+func (o ownedReplay) Close() error {
+	return errors.Join(o.Source.Close(), o.displaced.Close())
 }
 
 // View is one committed generation of a monitored survey: an immutable

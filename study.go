@@ -34,7 +34,9 @@ import (
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/hijack"
 	"dnstrust/internal/mincut"
+	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
 )
 
 // Options configures a study or monitoring session.
@@ -56,6 +58,32 @@ type Options struct {
 	MemoFile string
 	// Progress receives crawl progress callbacks when non-nil.
 	Progress func(done, total int)
+
+	// Source, when non-nil, replaces the world's in-memory direct
+	// transport as the terminal the crawl queries: any transport.Source
+	// or middleware chain — a topology.StartLive loopback fleet (via
+	// transport.From), transport.Live against the real Internet, or a
+	// hand-composed transport.Chain with latency/fault/trace layers.
+	// The session takes ownership and closes it on Close.
+	Source transport.Source
+	// Roots overrides the resolver's root hints. Required when Source
+	// is not backed by the generated world's registry (a real-network
+	// crawl); defaults to the world registry's root servers.
+	Roots []resolver.ServerAddr
+	// RecordLog, when non-nil, records every successful transport
+	// exchange of the session into it (outermost in the chain, so
+	// fingerprint probes are captured too). Save the log afterwards to
+	// get a byte-stable, replayable recording of the crawl.
+	RecordLog *transport.Log
+	// ReplayLog, when non-nil, serves the session from the recorded log
+	// instead of the terminal source: strict mode (ReplayFallthrough
+	// false) errors on any query the log cannot answer, proving the
+	// crawl never touched another Internet; fallthrough mode delegates
+	// misses to the terminal (Source or the world's direct transport)
+	// and records the delta back into the log.
+	ReplayLog *transport.Log
+	// ReplayFallthrough selects the fallthrough replay mode above.
+	ReplayFallthrough bool
 }
 
 // Study is a generated world plus its completed survey: the one-shot
