@@ -20,6 +20,7 @@ import (
 	"dnstrust/internal/analysis"
 	"dnstrust/internal/core"
 	"dnstrust/internal/crawler"
+	"dnstrust/internal/delta"
 	"dnstrust/internal/mincut"
 	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
@@ -489,6 +490,35 @@ func BenchmarkChainMemoSecondPass(b *testing.B) {
 	b.Run("second", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			pass(b, warm)
+		}
+	})
+}
+
+// BenchmarkTimelineDiff backs the timeline's O(changed) claim: after a
+// small Add on a 100k-name survey, diffing the two generations must
+// cost proportional to what changed (the touched names and late-changed
+// chains), not the corpus — identical chain ids short-circuit without
+// being read. The measured op is the full typed Delta: name
+// classification, TCB set diffs, and min-cuts for changed chains.
+func BenchmarkTimelineDiff(b *testing.B) {
+	const scale = 100_000
+	const extra = 50
+	bu := core.NewBuilder(scale + extra)
+	core.FeedSyntheticRange(bu, 0, scale, scale+extra)
+	older := crawler.FromGraph(bu.FinishEpoch())
+	core.FeedSyntheticRange(bu, scale, scale+extra, scale+extra)
+	newer := crawler.FromGraph(bu.FinishEpoch())
+
+	b.Run(fmt.Sprintf("names=%d", scale), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := delta.Compute(context.Background(), older, newer, delta.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(d.NamesAdded) != extra {
+				b.Fatalf("delta saw %d added names, want %d", len(d.NamesAdded), extra)
+			}
 		}
 	})
 }

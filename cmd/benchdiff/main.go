@@ -1,9 +1,11 @@
 // Command benchdiff compares two BENCH_N.json reports (cmd/dnsbench
 // output) and fails loudly when a gated hot path regressed. Gated
 // benchmarks are the CPU-bound, per-name-scaled ones: IncrementalBuild
-// (graph-build ns/name) and ReplayCrawl (ns/name served from a recorded
-// query log). All other shared benchmarks are reported for information
-// only.
+// (graph-build ns/name), ReplayCrawl (ns/name served from a recorded
+// query log), and TimelineDiff (ns/name to diff two generations after a
+// small Add — the chain-id shortcut must keep this near-constant, so a
+// regression here means the diff started scanning the corpus). All
+// other shared benchmarks are reported for information only.
 //
 // Usage:
 //
@@ -60,7 +62,9 @@ func load(path string) (map[string]Result, error) {
 
 // gated reports whether a benchmark participates in the regression gate.
 func gated(name string) bool {
-	return strings.HasPrefix(name, "IncrementalBuild/") || strings.HasPrefix(name, "ReplayCrawl/")
+	return strings.HasPrefix(name, "IncrementalBuild/") ||
+		strings.HasPrefix(name, "ReplayCrawl/") ||
+		strings.HasPrefix(name, "TimelineDiff/")
 }
 
 // buildScale extracts the per-op name count from a gated benchmark name

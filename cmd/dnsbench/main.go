@@ -11,10 +11,14 @@
 // plus a zero-RTT CPU-only crawl, a cache-contention microbench, the
 // incremental graph-build benchmarks (synthetic 100k/1M-name corpora
 // streamed through core.Builder, reporting build time and per-name
-// memory so the flat-memory claim is tracked from PR to PR), and the
-// Monitor-era benchmarks: incremental epoch adds vs one batch build,
-// view read throughput during a crawl, and the chain-memo cold/warm
-// second-pass ratio on a real survey (-memo-names).
+// memory so the flat-memory claim is tracked from PR to PR), the
+// Monitor-era benchmarks (incremental epoch adds vs one batch build,
+// view read throughput during a crawl, the chain-memo cold/warm
+// second-pass ratio on a real survey via -memo-names), and the timeline
+// benchmarks: the warm generation diff after a small Add on a 100k-name
+// survey (gated) and the retained-generation memory comparison —
+// bytes/generation with the copy-on-write epoch store versus detached
+// full-table epochs.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"dnstrust/internal/analysis"
 	"dnstrust/internal/core"
 	"dnstrust/internal/crawler"
+	"dnstrust/internal/delta"
 	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
 	"dnstrust/internal/transport"
@@ -58,7 +63,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output file")
+	out := flag.String("out", "BENCH_5.json", "output file")
 	names := flag.Int("names", 1200, "benchmark corpus size")
 	seed := flag.Int64("seed", 5, "world generation seed")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-query round-trip for crawl benches")
@@ -174,6 +179,35 @@ func main() {
 			b.ReportMetric(finishNs/float64(b.N)/1e6, "finish-ms/op")
 		})
 	}
+	// Timeline benchmarks: the warm generation diff after a small Add on
+	// a 100k-name survey (gated by cmd/benchdiff: identical chains must
+	// keep short-circuiting, so diff cost tracks what changed, not the
+	// corpus), and the retention memory claim — bytes pinned per live
+	// generation with the copy-on-write epoch store versus detached
+	// full-table epochs.
+	{
+		const scale = 100_000
+		const extra = 50
+		bu := core.NewBuilder(scale + extra)
+		core.FeedSyntheticRange(bu, 0, scale, scale+extra)
+		older := crawler.FromGraph(bu.FinishEpoch())
+		core.FeedSyntheticRange(bu, scale, scale+extra, scale+extra)
+		newer := crawler.FromGraph(bu.FinishEpoch())
+		run(fmt.Sprintf("TimelineDiff/names=%d", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := delta.Compute(context.Background(), older, newer, delta.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(d.NamesAdded) != extra {
+					b.Fatalf("delta saw %d added names, want %d", len(d.NamesAdded), extra)
+				}
+			}
+		})
+	}
+	rep.Benchmarks = append(rep.Benchmarks, measureRetention())
+
 	// Monitor-era benchmarks: incremental epoch adds vs one batch build,
 	// read throughput against immutable views during a crawl, and the
 	// chain-memo warm/cold ratio the ≥10x second-pass claim rests on.
@@ -316,10 +350,83 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
 		os.Exit(1)
 	}
+	writeReport(*out, data, len(rep.Benchmarks))
+}
+
+// measureRetention quantifies what one retained generation costs: a
+// 100k-name survey takes eight small Adds, each committing an epoch that
+// stays live. With the copy-on-write epoch store a generation pins array
+// headers plus whatever changed; the "without" baseline detaches each
+// epoch into a self-contained graph (cloned intern maps, materialized
+// chain tables) — the cost every retained generation paid before the
+// store existed. Reported as heap bytes per generation after a full GC.
+func measureRetention() Result {
+	fmt.Fprintln(os.Stderr, "running RetainedGenerationMemory...")
+	const scale = 100_000
+	const gens = 8
+	const extra = 50
+	total := scale + gens*extra
+
+	bu := core.NewBuilder(total)
+	core.FeedSyntheticRange(bu, 0, scale, total)
+	base := bu.FinishEpoch()
+
+	heap := func() float64 {
+		// Two cycles so transient build garbage (scratch unions the
+		// copy-on-write aliasing dropped, finalizer-held spans) is fully
+		// reclaimed before reading — the per-generation signal is small.
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	}
+
+	retained := make([]*core.Graph, 0, gens)
+	for i := 0; i < gens; i++ {
+		lo := scale + i*extra
+		core.FeedSyntheticRange(bu, lo, lo+extra, total)
+		retained = append(retained, bu.FinishEpoch())
+	}
+
+	// Measure by *dropping* references between settled readings, so the
+	// deltas isolate exactly the retained structures (heap churn from
+	// unrelated earlier work cancels out): first the cost of N detached
+	// (full-table) copies, then the cost of the N-1 older copy-on-write
+	// generations relative to keeping only the newest.
+	hAll := heap()
+	detached := make([]*core.Graph, 0, gens-1)
+	for _, g := range retained[:gens-1] {
+		detached = append(detached, g.Detach())
+	}
+	hDetached := heap()
+	runtime.KeepAlive(detached)
+	detached = nil
+	for i := range retained[:gens-1] {
+		retained[i] = nil
+	}
+	hNewestOnly := heap()
+
+	fullPerGen := (hDetached - hAll) / (gens - 1)
+	cowPerGen := (hAll - hNewestOnly) / (gens - 1)
+	runtime.KeepAlive(base)
+	runtime.KeepAlive(retained)
+
+	return Result{
+		Name:       fmt.Sprintf("RetainedGenerationMemory/names=%d", scale),
+		Iterations: gens,
+		Extra: map[string]float64{
+			"cow-bytes/gen":      cowPerGen,
+			"detached-bytes/gen": fullPerGen,
+		},
+	}
+}
+
+func writeReport(out string, data []byte, n int) {
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, n)
 }

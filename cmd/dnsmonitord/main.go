@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	dnsmonitord [-addr :8053] [-names 20000] [-seed 1] [-workers 0] [-memo-file crawl.memo]
-//	            [-record crawl.qlog] [-replay crawl.qlog] [-live]
+//	dnsmonitord [-addr :8053] [-names 20000] [-seed 1] [-workers 0] [-retain 8]
+//	            [-memo-file crawl.memo] [-record crawl.qlog] [-replay crawl.qlog] [-live]
 //
 // On startup the daemon generates the synthetic world, crawls the
 // initial corpus, and then serves:
@@ -15,13 +15,22 @@
 //	GET  /bottleneck?name=N  §3.2 min-cut analysis of a name
 //	GET  /audit?name=N       §5 trust-audit findings for a name
 //	GET  /stats              crawl-engine counters and generation
+//	GET  /generations        the retained timeline (-retain bounds it)
+//	GET  /diff?from=&to=     typed trust delta between two retained
+//	                         generations (TCB drift, min-cut movement,
+//	                         zone/chain churn)
+//	GET  /watch?since=&grow=&limit=
+//	                         names whose TCB grew by >= grow hosts (or
+//	                         past limit total) since generation `since`
 //	POST /add                whitespace-separated names in the body are
 //	                         added incrementally; responds with the delta
 //
 // Reads are served from immutable views and never block: while an /add
 // crawl is in flight, queries answer from the previous generation.
 // Repeated reads are near-free — min-cut and TCB results are memoized
-// per delegation chain across generations.
+// per delegation chain across generations, retained generations share
+// the survey's storage copy-on-write, and generation diffs examine only
+// the chains that actually changed.
 //
 // The daemon's Internet is a transport-source composition, like
 // dnssurvey's: -live crawls over real loopback sockets, -record keeps a
@@ -40,6 +49,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -54,6 +64,7 @@ func main() {
 	names := flag.Int("names", 20000, "initial survey corpus size (paper: 593160)")
 	seed := flag.Int64("seed", 1, "world generation seed")
 	workers := flag.Int("workers", 0, "crawl parallelism (0 = GOMAXPROCS)")
+	retain := flag.Int("retain", 8, "committed generations kept live for /generations, /diff, /watch")
 	memoFile := flag.String("memo-file", "", "persist the query memo here and resume from it")
 	record := flag.String("record", "", "record every transport exchange into this query-log file (saved after each crawl)")
 	replay := flag.String("replay", "", "serve the session from this recorded query log (strict: unrecorded queries fail)")
@@ -61,7 +72,7 @@ func main() {
 	flag.Parse()
 
 	ctx := context.Background()
-	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, MemoFile: *memoFile}
+	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, Retain: *retain, MemoFile: *memoFile}
 	var recLog *dnstrust.QueryLog
 	if *record != "" {
 		recLog = transport.NewLog()
@@ -111,7 +122,7 @@ func main() {
 		log.Fatalf("dnsmonitord: initial crawl: %v", err)
 	}
 	log.Printf("generation %d ready: %d names, %d nameservers (%.1fs); serving on %s",
-		v.Generation(), len(v.Names()), v.Survey().Graph.NumHosts(), time.Since(start).Seconds(), *addr)
+		v.Generation(), v.NumNames(), v.Survey().Graph.NumHosts(), time.Since(start).Seconds(), *addr)
 
 	srv.saveRecording()
 	mux := http.NewServeMux()
@@ -120,6 +131,9 @@ func main() {
 	mux.HandleFunc("GET /bottleneck", srv.bottleneck)
 	mux.HandleFunc("GET /audit", srv.audit)
 	mux.HandleFunc("GET /stats", srv.stats)
+	mux.HandleFunc("GET /generations", srv.generations)
+	mux.HandleFunc("GET /diff", srv.diff)
+	mux.HandleFunc("GET /watch", srv.watch)
 	mux.HandleFunc("POST /add", srv.add)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
@@ -260,7 +274,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	st := v.Survey().Stats
 	writeJSON(w, http.StatusOK, map[string]any{
 		"generation":        v.Generation(),
-		"names":             len(v.Names()),
+		"names":             v.NumNames(),
 		"servers":           v.Survey().Graph.NumHosts(),
 		"zones":             v.Survey().Graph.NumZones(),
 		"chains":            v.Survey().Graph.NumChains(),
@@ -269,6 +283,136 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"shared_walks":      st.Walker.SharedWalks,
 		"walk_seconds":      st.WalkTime.Seconds(),
 		"build_seconds":     st.BuildTime.Seconds(),
+	})
+}
+
+// genParam parses an int64 query parameter, with a default when absent.
+func genParam(r *http.Request, key string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad ?%s=%q: %w", key, raw, err)
+	}
+	return v, nil
+}
+
+func (s *server) generations(w http.ResponseWriter, r *http.Request) {
+	tl := s.m.Timeline()
+	out := make([]map[string]any, 0, len(tl))
+	for _, v := range tl {
+		g := v.Survey().Graph
+		out = append(out, map[string]any{
+			"generation": v.Generation(),
+			"names":      v.NumNames(),
+			"servers":    g.NumHosts(),
+			"zones":      g.NumZones(),
+			"chains":     g.NumChains(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"retained":    len(tl),
+		"generations": out,
+	})
+}
+
+// timelineRange resolves ?from= and ?to= against the retained timeline
+// (defaults: oldest retained, latest committed).
+func (s *server) timelineRange(r *http.Request) (from, to int64, err error) {
+	tl := s.m.Timeline()
+	if len(tl) == 0 {
+		return 0, 0, errors.New("no generations retained")
+	}
+	from, err = genParam(r, "from", tl[0].Generation())
+	if err != nil {
+		return 0, 0, err
+	}
+	to, err = genParam(r, "to", tl[len(tl)-1].Generation())
+	return from, to, err
+}
+
+func (s *server) diff(w http.ResponseWriter, r *http.Request) {
+	from, to, err := s.timelineRange(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if from > to {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("from=%d exceeds to=%d", from, to))
+		return
+	}
+	d, err := s.m.BetweenContext(r.Context(), from, to)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// watch flags drifting names: TCB grown by at least ?grow= hosts (default
+// 1) since generation ?since= (default the oldest retained), plus names
+// whose TCB crossed the absolute ?limit= threshold between the
+// generations.
+func (s *server) watch(w http.ResponseWriter, r *http.Request) {
+	tl := s.m.Timeline()
+	if len(tl) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no generations retained"))
+		return
+	}
+	to := tl[len(tl)-1].Generation()
+	since, err := genParam(r, "since", tl[0].Generation())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	grow, err := genParam(r, "grow", 1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	limit, err := genParam(r, "limit", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if since > to {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("since=%d exceeds the latest generation %d", since, to))
+		return
+	}
+	d, err := s.m.BetweenContext(r.Context(), since, to)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	grew := make([]map[string]any, 0)
+	for _, c := range d.Grew(int(grow)) {
+		grew = append(grew, map[string]any{
+			"name": c.Name, "old_tcb": c.OldTCB, "new_tcb": c.NewTCB, "growth": c.Growth(),
+			"tcb_added": c.TCBAdded,
+		})
+	}
+	crossed := make([]map[string]any, 0)
+	if limit > 0 {
+		for _, c := range d.Changed {
+			if int64(c.OldTCB) <= limit && int64(c.NewTCB) > limit {
+				crossed = append(crossed, map[string]any{
+					"name": c.Name, "old_tcb": c.OldTCB, "new_tcb": c.NewTCB, "limit": limit,
+				})
+			}
+		}
+	}
+	// Zombie dependencies never arise within one monitored session (zone
+	// cuts are first-observation-wins immutable); they surface when
+	// diffing independent recordings — dnssurvey -diff / DiffLogs — so
+	// the watch response does not carry a perpetually empty field.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"since":         since,
+		"to":            to,
+		"min_growth":    grow,
+		"grew":          grew,
+		"crossed_limit": crossed,
 	})
 }
 
@@ -303,8 +447,8 @@ func (s *server) add(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"generation":        v.Generation(),
 		"added":             len(names),
-		"names_total":       len(v.Names()),
-		"new_names":         len(v.Names()) - len(prev.Names()),
+		"names_total":       v.NumNames(),
+		"new_names":         v.NumNames() - prev.NumNames(),
 		"new_servers":       v.Survey().Graph.NumHosts() - prev.Survey().Graph.NumHosts(),
 		"transport_queries": s.m.Queries() - prevQueries,
 		"seconds":           time.Since(start).Seconds(),

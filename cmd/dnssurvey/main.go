@@ -9,6 +9,16 @@
 //	dnssurvey -record crawl.qlog          # record the crawl's transport exchanges
 //	dnssurvey -replay crawl.qlog          # re-run the survey offline from a recording
 //	dnssurvey -live                       # crawl over real UDP/TCP loopback sockets
+//	dnssurvey -diff old.qlog new.qlog     # drift study: diff two recordings offline
+//
+// With -diff the survey is not crawled at all: the two recorded query
+// logs (crawls of the same corpus at different times — use the same
+// -names/-seed they were recorded with) are replayed through strict
+// offline sources and the typed trust delta between them is printed —
+// names added and removed, per-name TCB hosts gained and lost, min-cut
+// drift, zone NS churn, and zombie dependencies (hosts still trusted
+// whose delegation vanished). The exit status is 4 when drift was found,
+// 0 when the recordings agree.
 //
 // The paper's full scale is -names 593160 (budget several minutes and a
 // few GiB of memory).
@@ -56,12 +66,22 @@ func main() {
 	live := flag.Bool("live", false, "boot the world's nameservers on loopback and crawl over real UDP/TCP sockets")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. \"Figure 7\")")
 	follow := flag.Bool("follow", false, "keep the session open: read name batches from stdin, add them incrementally, print deltas")
+	diff := flag.Bool("diff", false, "diff two recorded query logs (two positional args) instead of crawling")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	stats := flag.Bool("stats", false, "print crawl-engine statistics (transport queries, dedup counters)")
 	flag.Parse()
 
 	ctx := context.Background()
 	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, MemoFile: *memoFile}
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dnssurvey: -diff needs two query-log files: dnssurvey -diff old.qlog new.qlog")
+			os.Exit(2)
+		}
+		runDiff(ctx, flag.Arg(0), flag.Arg(1), opts, *quiet)
+		return
+	}
 	if !*quiet {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcrawled %d/%d names", done, total)
@@ -250,6 +270,91 @@ func followLoop(ctx context.Context, m *dnstrust.Monitor, quiet, stats bool) {
 	}
 }
 
+// runDiff is the -diff mode: replay two recordings of the same corpus
+// through strict offline sources and print the typed trust delta.
+func runDiff(ctx context.Context, oldPath, newPath string, opts dnstrust.Options, quiet bool) {
+	load := func(path string) *dnstrust.QueryLog {
+		lg := transport.NewLog()
+		n, err := lg.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnssurvey: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "loaded %s: %d recorded questions\n", path, n)
+		}
+		return lg
+	}
+	oldLog, newLog := load(oldPath), load(newPath)
+	start := time.Now()
+	d, err := dnstrust.DiffLogs(ctx, oldLog, newLog, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnssurvey: diff: %v\n", err)
+		os.Exit(1)
+	}
+	// The diff only covers names that resolved in at least one
+	// recording; corpus entries missing from both (e.g. -names larger
+	// than what the logs were recorded with) are invisible to it and
+	// must not be reported as "agreeing".
+	if d.Compared < opts.Names {
+		fmt.Fprintf(os.Stderr,
+			"dnssurvey: warning: only %d of %d corpus names resolved in either recording — were the logs recorded with the same -names/-seed?\n",
+			d.Compared, opts.Names)
+	}
+	if d.Empty() {
+		fmt.Printf("no drift: %s and %s agree on all %d surveyed names (%.1fs)\n",
+			oldPath, newPath, d.Compared, time.Since(start).Seconds())
+		return
+	}
+
+	fmt.Printf("drift %s -> %s:\n", oldPath, newPath)
+	if len(d.NamesAdded) > 0 {
+		fmt.Printf("  names added:   %d %s\n", len(d.NamesAdded), preview(d.NamesAdded))
+	}
+	if len(d.NamesRemoved) > 0 {
+		fmt.Printf("  names removed: %d %s\n", len(d.NamesRemoved), preview(d.NamesRemoved))
+	}
+	if len(d.ZonesAdded) > 0 || len(d.ZonesRemoved) > 0 {
+		fmt.Printf("  zones: +%d -%d\n", len(d.ZonesAdded), len(d.ZonesRemoved))
+	}
+	if d.ChainsAdded > 0 || d.ChainsRemoved > 0 {
+		fmt.Printf("  delegation chains: +%d -%d\n", d.ChainsAdded, d.ChainsRemoved)
+	}
+	for _, zc := range d.ZoneChanges {
+		fmt.Printf("  zone %s: NS +%v -%v\n", zc.Apex, zc.NSAdded, zc.NSRemoved)
+	}
+	for _, c := range d.Changed {
+		fmt.Printf("  %s: TCB %d -> %d (+%d/-%d hosts), min-cut %d -> %d (safe %d -> %d)%s\n",
+			c.Name, c.OldTCB, c.NewTCB, len(c.TCBAdded), len(c.TCBRemoved),
+			c.OldCut, c.NewCut, c.OldSafe, c.NewSafe, chainNote(c))
+	}
+	for _, z := range d.Zombies {
+		fmt.Printf("  ZOMBIE %s (%s): still in %d names' TCB", z.Host, z.Kind, z.Names)
+		if len(z.Zones) > 0 {
+			fmt.Printf("; dropped by %v", z.Zones)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d names changed, %d zombies (%.1fs)\n", len(d.Changed), len(d.Zombies), time.Since(start).Seconds())
+	os.Exit(4)
+}
+
+func chainNote(c dnstrust.NameChange) string {
+	if c.ChainChanged {
+		return " [delegation chain re-routed]"
+	}
+	return ""
+}
+
+// preview renders the first few entries of a long name list.
+func preview(names []string) string {
+	const show = 3
+	if len(names) <= show {
+		return fmt.Sprintf("%v", names)
+	}
+	return fmt.Sprintf("%v...", names[:show])
+}
+
 // saveRecording persists the session's query log, when one was kept.
 func saveRecording(lg *dnstrust.QueryLog, path string, quiet bool) {
 	if lg == nil {
@@ -271,8 +376,8 @@ func printStats(sv *dnstrust.Survey) {
 		"engine: gen %d, %d workers, %d transport queries, %d query-memo hits, %d shared walks, %d inline fallbacks\n",
 		st.Generation, st.Workers, st.Walker.Queries, st.Walker.MemoHits, st.Walker.SharedWalks, st.Walker.InlineWalks)
 	fmt.Fprintf(os.Stderr,
-		"phases: walk+assemble %.2fs (streamed), closure build %.3fs; %d memo entries resumed\n",
-		st.WalkTime.Seconds(), st.BuildTime.Seconds(), st.MemoLoaded)
+		"phases: walk+assemble %.2fs (streamed), closure build %.3fs; %d memo entries resumed, %d failures retried\n",
+		st.WalkTime.Seconds(), st.BuildTime.Seconds(), st.MemoLoaded, st.FailuresRetried)
 	if err := st.MemoSaveErr; err != nil {
 		fmt.Fprintf(os.Stderr, "dnssurvey: warning: session teardown: %v\n", err)
 	}

@@ -1,0 +1,158 @@
+// Drift walkthrough: the paper warns that transitive trust *drifts* —
+// a name's TCB grows silently as delegations change — and this example
+// measures that drift both ways the library supports:
+//
+//  1. Live, inside one Monitor: a flaky dependency is dark during the
+//     first crawl, recovers, and the next generation's diff pinpoints
+//     the name whose trust surface silently grew.
+//
+//  2. Offline, between recordings: two byte-stable query logs of the
+//     same corpus — one with a delegation removed between them — are
+//     replayed and diffed without touching any transport, surfacing the
+//     dropped host as a zombie dependency (still trusted through a
+//     stale delegation).
+//
+//     go run ./examples/drift
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dnstrust"
+	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// ---- Part 1: drift inside one monitored session -----------------
+	fmt.Println("== live drift: a lame dependency recovers between generations ==")
+
+	reg := buildWorld(false)
+	corpus := []string{"www.corp.com", "www.other.com"}
+	// The whole legacy.net zone is dark during the first crawl, so the
+	// address chains of its nameservers cannot be walked.
+	for _, h := range []string{"ns.legacy.net", "nsz.legacy.net"} {
+		if err := reg.SetLame(h, true); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Retain enough history to diff any pair of generations later.
+	m, err := dnstrust.OpenWorld(ctx, &topology.World{Registry: reg, Corpus: corpus},
+		dnstrust.Options{Retain: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	v1, err := m.Add(ctx, corpus...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generation %d: TCB(www.corp.com) = %d hosts (legacy.net is dark)\n",
+		v1.Generation(), v1.Survey().Graph.TCBSize("www.corp.com"))
+
+	// The zone comes back; re-adding the same corpus re-asks only the
+	// previously failed questions and attaches the recovered dependency
+	// tail late.
+	for _, h := range []string{"ns.legacy.net", "nsz.legacy.net"} {
+		if err := reg.SetLame(h, false); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v2, err := m.Add(ctx, corpus...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generation %d: TCB(www.corp.com) = %d hosts\n",
+		v2.Generation(), v2.Survey().Graph.TCBSize("www.corp.com"))
+
+	// The timeline answers "what changed, and did my trust surface
+	// grow?" — identical chains diff to nothing, so only the drifted
+	// name is examined.
+	d, err := m.Between(v1.Generation(), v2.Generation())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range d.NamesAdded {
+		fmt.Printf("drift: %s became resolvable (its only nameserver was dark)\n", n)
+	}
+	for _, c := range d.Changed {
+		fmt.Printf("drift: %s TCB %d -> %d, gained %v (min-cut %d -> %d)\n",
+			c.Name, c.OldTCB, c.NewTCB, c.TCBAdded, c.OldCut, c.NewCut)
+	}
+
+	// ---- Part 2: the three-line offline drift study ------------------
+	fmt.Println("\n== recorded drift: crawl, wait, crawl again, diff the logs ==")
+
+	// "Time t0": record a crawl of the original world.
+	logThen := record(ctx, buildWorld(false), corpus)
+	// "Time t1": the corp.com operator drops the legacy nameserver —
+	// but other.com still delegates through it.
+	logNow := record(ctx, buildWorld(true), corpus)
+
+	// The drift study proper: replay both recordings strictly offline
+	// and diff. Zero live queries, by construction.
+	diff, err := dnstrust.DiffLogs(ctx, logThen, logNow, dnstrust.Options{
+		Corpus: corpus,
+		Roots:  reg.RootServers(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, zc := range diff.ZoneChanges {
+		fmt.Printf("zone %s: NS removed %v\n", zc.Apex, zc.NSRemoved)
+	}
+	for _, c := range diff.Changed {
+		fmt.Printf("%s: TCB %d -> %d (lost %v)\n", c.Name, c.OldTCB, c.NewTCB, c.TCBRemoved)
+	}
+	for _, z := range diff.Zombies {
+		fmt.Printf("ZOMBIE %s (%s): dropped by %v, yet still in %d name(s)' TCB\n",
+			z.Host, z.Kind, z.Zones, z.Names)
+	}
+}
+
+// buildWorld assembles the example Internet; with dropLegacy, zone
+// corp.com no longer lists nsz.legacy.net (the injected delegation
+// change between the two recordings).
+func buildWorld(dropLegacy bool) *topology.Registry {
+	b := topology.NewWorld()
+	gtld := []string{"a.gtld-servers.net", "b.gtld-servers.net"}
+	b.Zone("com", gtld...)
+	b.Zone("net", gtld...)
+	b.Zone("gtld-servers.net", gtld...)
+	corpNS := []string{"ns1.host.net", "nsz.legacy.net"}
+	if dropLegacy {
+		corpNS = corpNS[:1]
+	}
+	b.Zone("corp.com", corpNS...)
+	b.Zone("other.com", "nsz.legacy.net")
+	b.Zone("host.net", "ns1.host.net")
+	b.Zone("legacy.net", "ns.legacy.net", "nsz.legacy.net")
+	b.Host("www.corp.com")
+	b.Host("www.other.com")
+	return b.Finalize()
+}
+
+// record crawls a world once with recording enabled and returns the
+// byte-stable query log (in a real study this is dnssurvey -record, run
+// at two different times).
+func record(ctx context.Context, reg *topology.Registry, corpus []string) *dnstrust.QueryLog {
+	lg := transport.NewLog()
+	m, err := dnstrust.OpenWorld(ctx, &topology.World{Registry: reg, Corpus: corpus},
+		dnstrust.Options{RecordLog: lg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Add(ctx, corpus...); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return lg
+}

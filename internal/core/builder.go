@@ -1,15 +1,16 @@
 package core
 
-import "maps"
+import "sort"
 
 // Builder is the streaming graph assembler: the crawl engine feeds it
 // walker events (zone discovered, chain resolved) and per-name walk
-// results as they happen, and it absorbs them straight into the Graph's
-// intern tables — zones, hosts, and delegation chains become compact
-// int32 ids the moment they stream in, with no string-keyed end-of-crawl
-// buffer. Finish only runs the Tarjan/closure pass over the already
-// compact arrays, so graph construction memory stays flat in the corpus
-// size (one map entry per name, one interned chain per *distinct* chain).
+// results as they happen, and it absorbs them straight into the shared
+// epoch store's intern tables — zones, hosts, and delegation chains
+// become compact int32 ids the moment they stream in, with no
+// string-keyed end-of-crawl buffer. Finish only runs the Tarjan/closure
+// pass over the already compact arrays, so graph construction memory
+// stays flat in the corpus size (one map entry per name, one interned
+// chain per *distinct* chain).
 //
 // Event ordering contract: a zone must be observed before any chain that
 // traverses it, and a host's chain before the results that depend on it —
@@ -21,13 +22,21 @@ import "maps"
 // dropped on Complete/Fail.
 //
 // A Builder is single-owner: exactly one goroutine (the crawl's
-// assembler) calls its methods. Finish may be called once, after the
-// last event.
+// assembler) calls its methods. It may keep absorbing events after a
+// FinishEpoch — published epochs read the same store copy-on-write, with
+// every mutation epoch-stamped so older graphs never see younger writes.
+// Finish may be called once, after the last event.
 type Builder struct {
-	g *Graph
+	st *store
+	// epoch counts FinishEpoch calls; in-flight mutations are stamped
+	// epoch+1 (the epoch they will first be visible at).
+	epoch int64
+	// prev is the last finalized epoch's graph, the copy-on-write donor
+	// for the next epoch's closure/TCB tables.
+	prev *Graph
 
 	// chainIDs dedups interned chains: byte-packed zone-id key -> chain
-	// id. Identical delegation chains share one []int32 in g.chains.
+	// id. Identical delegation chains share one []int32 in st.chains.
 	chainIDs map[string]int32
 	// pending holds chains whose key is not (yet) an interned NS host.
 	pending map[string][]string
@@ -35,9 +44,30 @@ type Builder struct {
 	// chain did resolve, so a later zone listing such a name as an NS
 	// host can still attach it (bounded by the failure count).
 	failedChain map[string]int32
-	// failed maps names whose walk failed; mutually exclusive with
-	// g.nameChain (last report wins).
+	// failed maps names whose walk failed; mutually exclusive with the
+	// store's live name mappings (last report wins).
 	failed map[string]error
+
+	// versionedPresent counts versioned-table entries whose latest
+	// version is present; the live name count is len(store.base) plus
+	// this (base entries are always present).
+	versionedPresent int
+	// touched journals names whose chain mapping changed since the last
+	// FinishEpoch, in arrival order (duplicates possible when a name
+	// flips twice in one batch; readers dedup). FinishEpoch moves it
+	// into the store's per-epoch journal without sorting, so the build
+	// hot path pays one append per changed name and nothing at commit.
+	// The first live-store epoch is not journaled at all: no older
+	// same-store epoch exists to diff it against, so nothing can ever
+	// read that journal — and the big initial batch pays nothing.
+	touched []string
+
+	// shared flips true once a graph backed by the live store has been
+	// published (the first non-empty FinishEpoch): from then on readers
+	// can exist and every mutation takes the store lock. Until then the
+	// builder writes lock-free — the whole first batch, and any one-shot
+	// Build/Finish, never pays for synchronization nobody needs.
+	shared bool
 
 	// epochHosts is the host-table length at the last FinishEpoch: hosts
 	// below this index already appeared in a finalized Graph.
@@ -62,16 +92,27 @@ func NewBuilder(sizeHint int) *Builder {
 		sizeHint = 0
 	}
 	return &Builder{
-		g: &Graph{
-			hostID:    make(map[string]int32),
-			zoneID:    make(map[string]int32),
-			nameChain: make(map[string]int32, sizeHint),
-		},
+		st:           newStore(sizeHint),
 		chainIDs:     make(map[string]int32),
 		pending:      make(map[string][]string),
 		failedChain:  make(map[string]int32),
 		failed:       make(map[string]error),
 		lateAttached: make(map[int32]struct{}),
+	}
+}
+
+// lock/unlock guard store mutations, but only once a live-store graph
+// has been published — before that no reader exists and the write path
+// stays synchronization-free.
+func (b *Builder) lock() {
+	if b.shared {
+		b.st.mu.Lock()
+	}
+}
+
+func (b *Builder) unlock() {
+	if b.shared {
+		b.st.mu.Unlock()
 	}
 }
 
@@ -84,31 +125,37 @@ func (b *Builder) ObserveZone(apex string, nsHosts []string) {
 	if apex == "" {
 		return
 	}
-	g := b.g
-	if _, known := g.zoneID[apex]; known {
+	st := b.st
+	if _, known := st.zoneID[apex]; known {
 		return
 	}
-	g.internZone(apex)
+	b.lock()
+	defer b.unlock()
+	zid := int32(len(st.zones))
+	st.zones = append(st.zones, apex)
+	st.zoneID[apex] = zid
 	ids := make([]int32, 0, len(nsHosts))
 	for _, h := range nsHosts {
-		hid, isNew := g.internHost(h)
+		hid, isNew := b.internHostLocked(h)
 		if isNew {
 			// The host's chain may already be known: waiting in the
 			// pending set, or interned through the host doubling as a
 			// surveyed name (completed or failed after its chain walk).
 			if chain, ok := b.pending[h]; ok {
 				delete(b.pending, h)
-				g.hostChain[hid] = b.internChain(chain)
-			} else if cid, ok := g.nameChain[h]; ok {
-				g.hostChain[hid] = b.chainSlice(cid)
+				b.attachChainLocked(hid, b.internChainIDLocked(chain))
+			} else if vs, ok := st.names[h]; ok && vs.latest().present {
+				b.attachChainLocked(hid, vs.latest().cid)
+			} else if cid, ok := st.base[h]; ok {
+				b.attachChainLocked(hid, cid)
 			} else if cid, ok := b.failedChain[h]; ok {
-				g.hostChain[hid] = b.chainSlice(cid)
+				b.attachChainLocked(hid, cid)
 			}
 		}
 		ids = append(ids, hid)
 	}
 	sortUnique(&ids)
-	g.zoneNS = append(g.zoneNS, ids)
+	st.zoneNS = append(st.zoneNS, ids)
 }
 
 // ObserveChain absorbs one resolved delegation chain for key (a
@@ -117,10 +164,12 @@ func (b *Builder) ObserveZone(apex string, nsHosts []string) {
 // in the pending set until their host is interned by a zone observation,
 // or are dropped when the key completes as a surveyed name.
 func (b *Builder) ObserveChain(key string, chain []string) {
-	g := b.g
-	if hid, ok := g.hostID[key]; ok {
-		if g.hostChain[hid] == nil {
-			g.hostChain[hid] = b.internChain(chain)
+	st := b.st
+	if hid, ok := st.hostID[key]; ok {
+		if st.hostChainAt[hid] == 0 {
+			b.lock()
+			b.attachChainLocked(hid, b.internChainIDLocked(chain))
+			b.unlock()
 			if int(hid) < b.epochHosts {
 				b.lateAttached[hid] = struct{}{}
 			}
@@ -140,7 +189,45 @@ func (b *Builder) Complete(name string, chain []string) {
 	delete(b.failed, name)
 	delete(b.failedChain, name)
 	delete(b.pending, name)
-	b.g.nameChain[name] = b.internChainID(chain)
+	st := b.st
+	if !b.shared {
+		// First live epoch: no reader exists and no history is needed —
+		// one compact map assignment, exactly the pre-timeline hot path.
+		cid := b.internChainIDLocked(chain)
+		st.base[name] = cid
+		st.chainNames[cid] = append(st.chainNames[cid], name)
+		return
+	}
+	b.lock()
+	cid := b.internChainIDLocked(chain)
+	nv := nameVer{epoch: b.epoch + 1, cid: cid, present: true}
+	if vs, ok := st.names[name]; ok {
+		lv := vs.latest()
+		if lv.present && lv.cid == cid {
+			b.unlock()
+			return // unchanged mapping: no new version, no touch
+		}
+		b.writeVersionLocked(name, vs, lv, nv)
+		if !lv.present {
+			b.versionedPresent++
+		}
+	} else if bcid, ok := st.base[name]; ok {
+		if bcid == cid {
+			b.unlock()
+			return // unchanged mapping
+		}
+		// Re-chained: the base mapping becomes version 0.
+		delete(st.base, name)
+		m := []nameVer{nv}
+		st.names[name] = nameVers{v0: nameVer{epoch: st.baseEpoch, cid: bcid, present: true}, more: &m}
+		b.versionedPresent++ // base shrank by one: net live count unchanged
+	} else {
+		st.names[name] = nameVers{v0: nv}
+		b.versionedPresent++
+	}
+	st.chainNames[cid] = append(st.chainNames[cid], name)
+	b.unlock()
+	b.touched = append(b.touched, name)
 }
 
 // Fail records one name whose walk failed. It supersedes any earlier
@@ -149,39 +236,129 @@ func (b *Builder) Complete(name string, chain []string) {
 // fails), the interned chain id is kept so the name can still serve as
 // an NS host of a later-observed zone.
 func (b *Builder) Fail(name string, err error) {
+	st := b.st
 	if chain, ok := b.pending[name]; ok {
-		b.failedChain[name] = b.internChainID(chain)
+		b.lock()
+		b.failedChain[name] = b.internChainIDLocked(chain)
+		b.unlock()
 		delete(b.pending, name)
-	} else if cid, ok := b.g.nameChain[name]; ok {
-		b.failedChain[name] = cid
+	} else if vs, ok := st.names[name]; ok && vs.latest().present {
+		b.failedChain[name] = vs.latest().cid
+	} else if bcid, ok := st.base[name]; ok {
+		b.failedChain[name] = bcid
 	}
-	delete(b.g.nameChain, name)
+	if !b.shared {
+		delete(st.base, name)
+		b.failed[name] = err
+		return
+	}
+	if vs, ok := st.names[name]; ok {
+		if lv := vs.latest(); lv.present {
+			b.lock()
+			b.writeVersionLocked(name, vs, lv, nameVer{epoch: b.epoch + 1, cid: lv.cid, present: false})
+			b.unlock()
+			b.versionedPresent--
+			b.touched = append(b.touched, name)
+		}
+	} else if bcid, ok := st.base[name]; ok {
+		// A base name stops resolving: its mapping becomes version 0
+		// with an absent version on top (old epochs keep seeing it).
+		b.lock()
+		delete(st.base, name)
+		m := []nameVer{{epoch: b.epoch + 1, cid: bcid, present: false}}
+		st.names[name] = nameVers{v0: nameVer{epoch: st.baseEpoch, cid: bcid, present: true}, more: &m}
+		b.unlock()
+		b.touched = append(b.touched, name)
+	}
 	b.failed[name] = err
 }
 
+// writeVersionLocked records nv as the newest version of a name whose
+// current entry is vs (with latest version lv). Same-epoch rewrites
+// (fail→complete flips within one batch) collapse to a single version so
+// histories stay short. Callers hold the store lock when shared.
+func (b *Builder) writeVersionLocked(name string, vs nameVers, lv nameVer, nv nameVer) {
+	if lv.epoch == nv.epoch {
+		if vs.more != nil {
+			(*vs.more)[len(*vs.more)-1] = nv
+			return // mutated behind the overflow pointer: no map write
+		}
+		vs.v0 = nv
+		b.st.names[name] = vs
+		return
+	}
+	if vs.more == nil {
+		vs.more = &[]nameVer{nv}
+		b.st.names[name] = vs
+		return
+	}
+	*vs.more = append(*vs.more, nv)
+}
+
+// numNames reports the current live (present) name count.
+func (b *Builder) numNames() int { return len(b.st.base) + b.versionedPresent }
+
 // Done reports how many names (successes plus failures) have been
 // absorbed so far. A name reported both complete and failed counts once.
-func (b *Builder) Done() int { return len(b.g.nameChain) + len(b.failed) }
+func (b *Builder) Done() int { return b.numNames() + len(b.failed) }
 
-// Names returns the successfully walked names, sorted.
-func (b *Builder) Names() []string { return b.g.Names() }
+// Names returns the successfully walked names at the builder's current
+// (uncommitted) state, sorted.
+func (b *Builder) Names() []string {
+	out := make([]string, 0, b.numNames())
+	for name := range b.st.base {
+		out = append(out, name)
+	}
+	for name, vs := range b.st.names {
+		if vs.latest().present {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Failed returns the per-name failure map. The map is shared with the
 // builder; callers own it after Finish.
 func (b *Builder) Failed() map[string]error { return b.failed }
 
-// internChainID interns chain into the graph's chain table, deduplicating
-// against every chain seen so far, and returns its chain id. Zones not
-// (yet) interned are skipped, mirroring the batch builder's behavior —
-// the walker's event order guarantees chain zones arrive first.
-func (b *Builder) internChainID(chain []string) int32 {
-	g := b.g
+// internHostLocked interns a host name and reports whether it was new.
+// Callers hold st.mu.
+func (b *Builder) internHostLocked(host string) (int32, bool) {
+	st := b.st
+	if id, ok := st.hostID[host]; ok {
+		return id, false
+	}
+	id := int32(len(st.hosts))
+	st.hosts = append(st.hosts, host)
+	st.hostID[host] = id
+	st.hostChain = append(st.hostChain, nil)
+	st.hostChainAt = append(st.hostChainAt, 0)
+	return id, true
+}
+
+// attachChainLocked assigns host hid's address chain, stamped with the
+// epoch it becomes visible at. Callers hold st.mu; entries are assigned
+// at most once.
+func (b *Builder) attachChainLocked(hid, cid int32) {
+	st := b.st
+	st.hostChain[hid] = b.chainSliceLocked(cid)
+	st.hostChainAt[hid] = b.epoch + 1
+}
+
+// internChainIDLocked interns chain into the store's chain table,
+// deduplicating against every chain seen so far, and returns its chain
+// id. Zones not (yet) interned are skipped, mirroring the batch
+// builder's behavior — the walker's event order guarantees chain zones
+// arrive first. Callers hold st.mu.
+func (b *Builder) internChainIDLocked(chain []string) int32 {
+	st := b.st
 	ids := b.idBuf[:0]
 	for _, apex := range chain {
 		if apex == "" {
 			continue
 		}
-		if zid, ok := g.zoneID[apex]; ok {
+		if zid, ok := st.zoneID[apex]; ok {
 			ids = append(ids, zid)
 		}
 	}
@@ -195,22 +372,18 @@ func (b *Builder) internChainID(chain []string) int32 {
 	if cid, ok := b.chainIDs[string(key)]; ok {
 		return cid
 	}
-	cid := int32(len(g.chains))
-	g.chains = append(g.chains, append([]int32(nil), ids...))
+	cid := int32(len(st.chains))
+	st.chains = append(st.chains, append([]int32(nil), ids...))
+	st.chainNames = append(st.chainNames, nil)
 	b.chainIDs[string(key)] = cid
 	return cid
 }
 
-// internChain interns chain and returns the shared zone-id slice.
-func (b *Builder) internChain(chain []string) []int32 {
-	return b.chainSlice(b.internChainID(chain))
-}
-
-// chainSlice returns the shared zone-id slice of an interned chain,
-// never nil: a resolved-but-empty chain must stay distinguishable from
-// "no chain known" in hostChain.
-func (b *Builder) chainSlice(cid int32) []int32 {
-	ids := b.g.chains[cid]
+// chainSliceLocked returns the shared zone-id slice of an interned
+// chain, never nil: a resolved-but-empty chain must stay distinguishable
+// from "no chain known" in hostChain.
+func (b *Builder) chainSliceLocked(cid int32) []int32 {
+	ids := b.st.chains[cid]
 	if ids == nil {
 		ids = []int32{}
 	}
@@ -225,12 +398,10 @@ func (b *Builder) chainSlice(cid int32) []int32 {
 // Long-lived consumers that keep absorbing events between reads use
 // FinishEpoch instead.
 func (b *Builder) Finish() *Graph {
-	g := b.g
+	g := b.FinishEpoch()
 	b.pending = nil
 	b.chainIDs = nil
 	b.failedChain = nil
-	g.computeClosures()
-	g.computeChainTCBs()
 	return g
 }
 
@@ -238,34 +409,84 @@ func (b *Builder) Finish() *Graph {
 // returns an immutable snapshot Graph, leaving the builder open: events
 // may keep streaming in and FinishEpoch may be called again for the next
 // epoch. The snapshot is safe for concurrent readers while the builder
-// advances because nothing it references is ever mutated afterwards:
+// advances because every graph of one builder reads the same store
+// copy-on-write:
 //
-//   - hosts/zones/chains/zoneNS are append-only — the snapshot's slice
-//     headers pin the epoch's length, and later appends never rewrite
-//     occupied elements (inner slices are interned and immutable);
-//   - hostChain entries can be assigned later (a pending chain attaching
-//     to an existing host), so the id-indexed headers are copied;
-//   - the intern maps (hostID, zoneID, nameChain) keep growing, so they
-//     are cloned.
+//   - hosts/zones/chains/zoneNS are append-only — the snapshot pins the
+//     epoch's lengths, and later appends never rewrite occupied elements
+//     (inner slices are interned and immutable);
+//   - hostChain attachments and name→chain mappings are epoch-stamped
+//     (versioned, for names), so an older epoch never observes a younger
+//     write;
+//   - the intern maps are shared under the store's read-write lock
+//     instead of being cloned per epoch.
 //
-// The clone cost is O(names + hosts + zones) slice headers and map
-// entries per epoch; the closure pass itself is the same one Finish runs.
+// The per-epoch cost is therefore the closure pass plus O(zones+chains)
+// slice headers, with inner closure/TCB slices aliased to the previous
+// epoch whenever unchanged — N retained generations of a large survey
+// share one copy of almost everything.
 func (b *Builder) FinishEpoch() *Graph {
-	g := b.g
-	eg := &Graph{
-		hosts:     g.hosts[:len(g.hosts):len(g.hosts)],
-		hostID:    maps.Clone(g.hostID),
-		zones:     g.zones[:len(g.zones):len(g.zones)],
-		zoneID:    maps.Clone(g.zoneID),
-		zoneNS:    g.zoneNS[:len(g.zoneNS):len(g.zoneNS)],
-		hostChain: append([][]int32(nil), g.hostChain...),
-		chains:    g.chains[:len(g.chains):len(g.chains)],
-		nameChain: maps.Clone(g.nameChain),
+	st := b.st
+	b.epoch++
+
+	// An epoch of a still-empty store (the Monitor's pre-crawl
+	// generation 0) is backed by its own empty store: the live store
+	// then has no readers yet, and the whole first batch — usually the
+	// big one — streams in without any locking.
+	if !b.shared && len(st.zones) == 0 && len(st.hosts) == 0 && len(st.base) == 0 && len(st.names) == 0 {
+		eg := &Graph{st: newStore(0), epoch: b.epoch}
+		eg.computeClosures(nil, nil)
+		eg.computeChainTCBs(nil, nil)
+		return eg
 	}
-	eg.computeClosures()
-	eg.computeChainTCBs()
-	b.epochHosts = len(g.hosts)
-	return eg
+
+	g := &Graph{
+		st:       st,
+		epoch:    b.epoch,
+		hosts:    st.hosts[:len(st.hosts):len(st.hosts)],
+		zones:    st.zones[:len(st.zones):len(st.zones)],
+		chains:   st.chains[:len(st.chains):len(st.chains)],
+		zoneNS:   st.zoneNS[:len(st.zoneNS):len(st.zoneNS)],
+		numNames: b.numNames(),
+	}
+	g.computeClosures(b.prev, st.hostChain)
+	g.computeChainTCBs(b.prev, b.lateAttached)
+	if len(b.touched) > 0 {
+		b.lock()
+		st.touched[b.epoch] = b.touched
+		b.unlock()
+		b.touched = nil
+	}
+	b.epochHosts = len(st.hosts)
+	b.prev = g
+	// The graph is about to be published: later mutations can race its
+	// readers and must synchronize, and base entries are frozen as
+	// visible from this epoch on.
+	if !b.shared {
+		st.baseEpoch = b.epoch
+		b.shared = true
+	}
+	return g
+}
+
+// PruneJournal discards the per-epoch change journals at and below the
+// given epoch. Call it with the oldest epoch still diffable (a Monitor
+// passes the oldest retained generation's epoch as views fall off its
+// bounded timeline): journals the retained views can read stay intact,
+// and a caller still holding an evicted view transparently gets the
+// by-name diff path (Graph.JournalComplete gates the shortcut). This
+// bounds the store's historic growth to the retention window plus
+// per-name version lists, which grow only with genuine churn.
+func (b *Builder) PruneJournal(upTo int64) {
+	st := b.st
+	b.lock()
+	for e := st.journalFloor + 1; e <= upTo; e++ {
+		delete(st.touched, e)
+	}
+	if upTo > st.journalFloor {
+		st.journalFloor = upTo
+	}
+	b.unlock()
 }
 
 // TakeLateAttached returns and clears the set of host ids — all below the

@@ -52,7 +52,7 @@ func (d *Digraph) HostNode(host string) int {
 // ReachableZoneIDs returns every zone id reachable from name's delegation
 // chain over the zone dependency graph (the zones of Figure 1's boxes).
 func (g *Graph) ReachableZoneIDs(name string) ([]int32, error) {
-	cid, ok := g.nameChain[dnsname.Canonical(name)]
+	cid, ok := g.NameChainID(name)
 	if !ok {
 		return nil, fmt.Errorf("core: name %q not in survey", name)
 	}
@@ -85,7 +85,7 @@ func (g *Graph) isTLDZone(z int32) bool {
 // Digraph builds the per-name delegation digraph for min-cut analysis.
 func (g *Graph) Digraph(name string) (*Digraph, error) {
 	name = dnsname.Canonical(name)
-	cid, ok := g.nameChain[name]
+	cid, ok := g.NameChainID(name)
 	if !ok {
 		return nil, fmt.Errorf("core: name %q not in survey", name)
 	}
@@ -93,10 +93,17 @@ func (g *Graph) Digraph(name string) (*Digraph, error) {
 	if len(chain) == 0 {
 		return nil, fmt.Errorf("core: name %q has an empty delegation chain", name)
 	}
-	tcb, err := g.TCBIDs(name)
-	if err != nil {
-		return nil, err
+	tcb := g.chainTCB[cid]
+
+	// Materialize the TCB members' address chains at this epoch in one
+	// locked pass (entries can attach in later epochs; the stamp check
+	// hides those writes from this graph).
+	memberChain := make(map[int32][]int32, len(tcb))
+	g.st.mu.RLock()
+	for _, hid := range tcb {
+		memberChain[hid] = g.hostChainOfLocked(hid)
 	}
+	g.st.mu.RUnlock()
 
 	d := &Digraph{Name: name, hostIndex: make(map[string]int, len(tcb))}
 	local := make(map[int32]int, len(tcb))
@@ -139,7 +146,7 @@ func (g *Graph) Digraph(name string) (*Digraph, error) {
 	// Host edges.
 	for _, hid := range tcb {
 		from := local[hid]
-		chain := g.hostChain[hid]
+		chain := memberChain[hid]
 		// Glue waiver: in-bailiwick servers of their own zone are reached
 		// through parent referral glue, so their own zone is not an
 		// address dependency.
@@ -204,7 +211,10 @@ func (g *Graph) DOT(name string) (string, error) {
 	}
 
 	// Name -> its chain zones' first servers (visual anchor to each box).
-	chain := g.chains[g.nameChain[name]]
+	var chain []int32
+	if cid, ok := g.NameChainID(name); ok {
+		chain = g.chains[cid]
+	}
 	if len(chain) > 0 {
 		az := chain[len(chain)-1]
 		if len(g.zoneNS[az]) > 0 {

@@ -13,52 +13,60 @@
 // chain appears once as a compact zone-id list, names reference chains by
 // id, and the TCB of each chain is unioned exactly once — a survey of half
 // a million names touches each zone closure and each chain once.
+//
+// Graphs produced by one Builder share a copy-on-write epoch store:
+// holding many generations of a monitored survey live costs array
+// headers per generation, not full table clones, and every per-chain
+// result carries the epoch at which it last changed — the stamp the
+// timeline diff uses to skip unchanged chains in O(1).
 package core
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/resolver"
 )
 
-// Graph is the zone-level dependency structure extracted from a crawl.
-// Build one incrementally with a Builder (or from a snapshot with Build);
-// it is immutable (and safe for concurrent use) afterwards.
+// Graph is the zone-level dependency structure extracted from a crawl at
+// one committed epoch. Build one incrementally with a Builder (or from a
+// snapshot with Build); it is immutable (and safe for concurrent use)
+// afterwards — later epochs of the same builder share its storage
+// copy-on-write instead of mutating it.
 type Graph struct {
-	// Interned nameserver hosts.
+	// st is the shared epoch store; epoch selects which writes are
+	// visible to this graph.
+	st    *store
+	epoch int64
+
+	// Pinned append-only array headers: lock-free reads, content below
+	// the pinned length never changes.
 	hosts  []string
-	hostID map[string]int32
-
-	// Interned zones ("" excluded: the paper excludes root servers).
 	zones  []string
-	zoneID map[string]int32
-
-	// zoneNS[z] lists the NS host ids of zone z, sorted.
-	zoneNS [][]int32
-	// hostChain[h] lists the zone ids on host h's address chain
-	// (TLD-first). Hosts whose chain walk failed have nil chains: they
-	// are still TCB members but contribute no further dependencies.
-	// Entries alias the interned chain table: hosts sharing a delegation
-	// chain share one []int32.
-	hostChain [][]int32
-
-	// chains is the interned chain table: every distinct delegation
-	// chain appears exactly once as a zone-id list (TLD-first).
 	chains [][]int32
-	// nameChain maps each surveyed name to its interned chain id.
-	nameChain map[string]int32
+	zoneNS [][]int32
+
+	numNames int
 
 	// closure[z] is the sorted set of host ids transitively reachable
 	// from zone z (z's NS hosts, their chains' NS hosts, and so on).
 	closure [][]int32
-	// chainTCB[c] is the sorted host-id union of the closures of every
-	// zone on chain c — the TCB shared by every name on that chain.
-	chainTCB [][]int32
 	// zoneAdj[z] lists the zones z depends on (the chains of its NS
 	// hosts), deduplicated.
 	zoneAdj [][]int32
+	// chainTCB[c] is the sorted host-id union of the closures of every
+	// zone on chain c — the TCB shared by every name on that chain.
+	chainTCB [][]int32
+	// chainStamp[c] is the epoch at which chain c's dependency structure
+	// (its TCB, or the address chain of any TCB member) last changed.
+	// Inner slices of all three tables alias the previous epoch's when
+	// unchanged, so retained generations share almost everything.
+	chainStamp []int64
+
+	namesOnce sync.Once
+	names     []string
 }
 
 // Build constructs the dependency graph from a crawl snapshot. It is the
@@ -90,27 +98,15 @@ func Build(snap *resolver.Snapshot) *Graph {
 	return b.Finish()
 }
 
-func (g *Graph) internZone(apex string) int32 {
-	if id, ok := g.zoneID[apex]; ok {
-		return id
-	}
-	id := int32(len(g.zones))
-	g.zones = append(g.zones, apex)
-	g.zoneID[apex] = id
-	return id
-}
+// Epoch reports the builder epoch this graph was finalized at (1 for the
+// first FinishEpoch or a one-shot Finish, increasing per epoch).
+func (g *Graph) Epoch() int64 { return g.epoch }
 
-// internHost interns a host name and reports whether it was new.
-func (g *Graph) internHost(host string) (int32, bool) {
-	if id, ok := g.hostID[host]; ok {
-		return id, false
-	}
-	id := int32(len(g.hosts))
-	g.hosts = append(g.hosts, host)
-	g.hostID[host] = id
-	g.hostChain = append(g.hostChain, nil)
-	return id, true
-}
+// SharesStore reports whether two graphs are epochs of the same builder,
+// i.e. share one copy-on-write store. Same-store graphs with ordered
+// epochs can be diffed incrementally off interned ids; foreign graphs
+// must be compared by name.
+func (g *Graph) SharesStore(o *Graph) bool { return o != nil && g.st == o.st }
 
 // NumZones reports the number of zones in the graph (root excluded).
 func (g *Graph) NumZones() int { return len(g.zones) }
@@ -122,7 +118,7 @@ func (g *Graph) NumHosts() int { return len(g.hosts) }
 func (g *Graph) NumChains() int { return len(g.chains) }
 
 // NumNames reports the number of surveyed names in the graph.
-func (g *Graph) NumNames() int { return len(g.nameChain) }
+func (g *Graph) NumNames() int { return g.numNames }
 
 // Hosts returns all nameserver host names; the slice is shared, do not
 // modify.
@@ -133,8 +129,68 @@ func (g *Graph) Host(id int32) string { return g.hosts[id] }
 
 // HostID returns the interned id of host and whether it exists.
 func (g *Graph) HostID(host string) (int32, bool) {
-	id, ok := g.hostID[dnsname.Canonical(host)]
-	return id, ok
+	g.st.mu.RLock()
+	id, ok := g.st.hostID[dnsname.Canonical(host)]
+	g.st.mu.RUnlock()
+	if !ok || int(id) >= len(g.hosts) {
+		return 0, false
+	}
+	return id, true
+}
+
+// zoneIDOf resolves a canonical apex to a zone id visible at this epoch.
+func (g *Graph) zoneIDOf(apex string) (int32, bool) {
+	g.st.mu.RLock()
+	id, ok := g.st.zoneID[apex]
+	g.st.mu.RUnlock()
+	if !ok || int(id) >= len(g.zones) {
+		return 0, false
+	}
+	return id, true
+}
+
+// nameVersion resolves a canonical name to its chain mapping at this
+// epoch; ok is false when the name is absent (never surveyed, surveyed
+// later than this epoch, or failed by this epoch).
+func (g *Graph) nameVersion(name string) (int32, bool) {
+	g.st.mu.RLock()
+	cid, ok := g.nameAtLocked(name)
+	g.st.mu.RUnlock()
+	return cid, ok
+}
+
+// nameAtLocked is nameVersion with the store lock held by the caller. A
+// name lives in exactly one of the two tables: the versioned table when
+// it was ever touched after the first live epoch, the compact base
+// table otherwise (base entries are visible to every published epoch).
+func (g *Graph) nameAtLocked(name string) (int32, bool) {
+	if vs, ok := g.st.names[name]; ok {
+		v, ok := vs.at(g.epoch)
+		if !ok || !v.present {
+			return 0, false
+		}
+		return v.cid, true
+	}
+	if cid, ok := g.st.base[name]; ok {
+		return cid, true
+	}
+	return 0, false
+}
+
+// hostChainOfLocked returns host h's address chain as visible at this
+// epoch (nil while unattached). Callers hold st.mu.
+func (g *Graph) hostChainOfLocked(h int32) []int32 {
+	if at := g.st.hostChainAt[h]; at == 0 || at > g.epoch {
+		return nil
+	}
+	return g.st.hostChain[h]
+}
+
+// hostChainOf is hostChainOfLocked with its own lock.
+func (g *Graph) hostChainOf(h int32) []int32 {
+	g.st.mu.RLock()
+	defer g.st.mu.RUnlock()
+	return g.hostChainOfLocked(h)
 }
 
 // Zones returns all zone apexes; the slice is shared, do not modify.
@@ -145,7 +201,7 @@ func (g *Graph) Zone(id int32) string { return g.zones[id] }
 
 // ZoneNS returns the NS host ids of a zone apex.
 func (g *Graph) ZoneNS(apex string) []int32 {
-	id, ok := g.zoneID[dnsname.Canonical(apex)]
+	id, ok := g.zoneIDOf(dnsname.Canonical(apex))
 	if !ok {
 		return nil
 	}
@@ -158,29 +214,41 @@ func (g *Graph) ZoneNSIDs(z int32) []int32 { return g.zoneNS[z] }
 
 // HostChainIDs returns the zone ids on an interned host's address chain;
 // the slice is shared, do not modify.
-func (g *Graph) HostChainIDs(h int32) []int32 { return g.hostChain[h] }
+func (g *Graph) HostChainIDs(h int32) []int32 { return g.hostChainOf(h) }
 
 // HostChainZones returns the zone apexes on host's address chain.
 func (g *Graph) HostChainZones(host string) []string {
-	id, ok := g.hostID[dnsname.Canonical(host)]
+	id, ok := g.HostID(host)
 	if !ok {
 		return nil
 	}
-	out := make([]string, 0, len(g.hostChain[id]))
-	for _, zid := range g.hostChain[id] {
+	chain := g.hostChainOf(id)
+	out := make([]string, 0, len(chain))
+	for _, zid := range chain {
 		out = append(out, g.zones[zid])
 	}
 	return out
 }
 
-// Names returns the surveyed names in sorted order.
+// Names returns the surveyed names in sorted order. The slice is
+// computed once per graph and shared; do not modify.
 func (g *Graph) Names() []string {
-	out := make([]string, 0, len(g.nameChain))
-	for n := range g.nameChain {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	g.namesOnce.Do(func() {
+		out := make([]string, 0, g.numNames)
+		g.st.mu.RLock()
+		for name := range g.st.base {
+			out = append(out, name)
+		}
+		for name, vs := range g.st.names {
+			if v, ok := vs.at(g.epoch); ok && v.present {
+				out = append(out, name)
+			}
+		}
+		g.st.mu.RUnlock()
+		sort.Strings(out)
+		g.names = out
+	})
+	return g.names
 }
 
 // NameChainID returns the interned chain id of a surveyed name and
@@ -188,8 +256,7 @@ func (g *Graph) Names() []string {
 // share a chain id, so per-chain analysis results (TCBs, min-cuts) can be
 // memoized by id instead of re-joining zone strings.
 func (g *Graph) NameChainID(name string) (int32, bool) {
-	id, ok := g.nameChain[dnsname.Canonical(name)]
-	return id, ok
+	return g.nameVersion(dnsname.Canonical(name))
 }
 
 // ChainZoneIDs returns the zone ids of an interned chain, TLD-first; the
@@ -200,9 +267,122 @@ func (g *Graph) ChainZoneIDs(cid int32) []int32 { return g.chains[cid] }
 // on the interned chain; the slice is shared, do not modify.
 func (g *Graph) ChainTCBIDs(cid int32) []int32 { return g.chainTCB[cid] }
 
+// ChainStamp reports the epoch at which the chain's dependency structure
+// last changed: its TCB set, or the address chain of a TCB member (which
+// can reshape the min-cut digraph without changing the TCB set). A chain
+// whose stamp is at or below an older same-store epoch is structurally
+// identical in both epochs.
+func (g *Graph) ChainStamp(cid int32) int64 { return g.chainStamp[cid] }
+
+// ChainsChangedSince returns the interned chain ids whose dependency
+// structure changed after the given epoch, in id order. With epoch equal
+// to an older same-store graph's Epoch, the result is exactly the set of
+// chains a timeline diff must examine — everything else diffs to nothing
+// in O(1).
+func (g *Graph) ChainsChangedSince(epoch int64) []int32 {
+	var out []int32
+	for ci, st := range g.chainStamp {
+		if st > epoch {
+			out = append(out, int32(ci))
+		}
+	}
+	return out
+}
+
+// NamesTouchedSince returns, sorted and deduplicated, the names whose
+// chain mapping changed after the given epoch (completed, failed, or
+// re-chained) — the per-epoch journal kept by the builder, so a small
+// Add's touched set is read without scanning the name table.
+func (g *Graph) NamesTouchedSince(epoch int64) []string {
+	var out []string
+	g.st.mu.RLock()
+	for e := epoch + 1; e <= g.epoch; e++ {
+		out = append(out, g.st.touched[e]...)
+	}
+	g.st.mu.RUnlock()
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Strings(out)
+	dst := out[:1]
+	for _, n := range out[1:] {
+		if n != dst[len(dst)-1] {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}
+
+// JournalComplete reports whether the per-epoch change journal is
+// intact for every epoch after the given one, i.e. whether an
+// incremental diff from that epoch is possible. Journals below the
+// pruned floor are gone (Builder.PruneJournal); a diff from an evicted
+// generation falls back to the by-name path instead.
+func (g *Graph) JournalComplete(since int64) bool {
+	g.st.mu.RLock()
+	defer g.st.mu.RUnlock()
+	return since >= g.st.journalFloor
+}
+
+// TouchedSince reports whether any name's chain mapping changed after
+// the given epoch — the O(#epochs) fast path behind "this batch changed
+// nothing", without materializing the journal.
+func (g *Graph) TouchedSince(epoch int64) bool {
+	g.st.mu.RLock()
+	defer g.st.mu.RUnlock()
+	for e := epoch + 1; e <= g.epoch; e++ {
+		if len(g.st.touched[e]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ChainLive reports whether at least one surveyed name maps to the
+// interned chain at this epoch — NamesOnChain's emptiness test without
+// materializing or sorting the name list (stops at the first live hit).
+func (g *Graph) ChainLive(cid int32) bool {
+	if int(cid) >= len(g.chains) {
+		return false
+	}
+	g.st.mu.RLock()
+	defer g.st.mu.RUnlock()
+	for _, n := range g.st.chainNames[cid] {
+		if c, ok := g.nameAtLocked(n); ok && c == cid {
+			return true
+		}
+	}
+	return false
+}
+
+// NamesOnChain returns, sorted, the surveyed names mapped to the interned
+// chain at this epoch.
+func (g *Graph) NamesOnChain(cid int32) []string {
+	if int(cid) >= len(g.chains) {
+		return nil
+	}
+	g.st.mu.RLock()
+	cand := g.st.chainNames[cid]
+	out := make([]string, 0, len(cand))
+	for _, n := range cand {
+		if c, ok := g.nameAtLocked(n); ok && c == cid {
+			out = append(out, n)
+		}
+	}
+	g.st.mu.RUnlock()
+	sort.Strings(out)
+	dst := out[:0]
+	for i, n := range out {
+		if i == 0 || n != out[i-1] {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}
+
 // NameChainZones returns the zone apexes on a surveyed name's chain.
 func (g *Graph) NameChainZones(name string) []string {
-	cid, ok := g.nameChain[dnsname.Canonical(name)]
+	cid, ok := g.NameChainID(name)
 	if !ok {
 		return nil
 	}
@@ -214,24 +394,93 @@ func (g *Graph) NameChainZones(name string) []string {
 	return out
 }
 
-// zoneDeps returns the zone-level dependency targets of zone z: every
-// zone on the address chain of every NS host of z.
-func (g *Graph) zoneDeps(z int32) []int32 {
-	var deps []int32
-	for _, h := range g.zoneNS[z] {
-		deps = append(deps, g.hostChain[h]...)
+// Detach materializes a store-independent copy of this epoch: cloned
+// intern maps, flattened name versions, and deep-copied (but still
+// internally aliased) closure/TCB tables. A detached graph answers every
+// query identically but shares nothing mutable with the builder — it is
+// also the "pin a full epoch" baseline the retention benchmarks compare
+// the copy-on-write store against.
+func (g *Graph) Detach() *Graph {
+	src := g.st
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+
+	st := newStore(g.numNames)
+	st.hosts = g.hosts
+	st.zones = g.zones
+	st.chains = g.chains
+	st.zoneNS = g.zoneNS
+	for h, id := range src.hostID {
+		if int(id) < len(g.hosts) {
+			st.hostID[h] = id
+		}
 	}
-	sortUnique(&deps)
-	return deps
+	for z, id := range src.zoneID {
+		if int(id) < len(g.zones) {
+			st.zoneID[z] = id
+		}
+	}
+	st.hostChain = make([][]int32, len(g.hosts))
+	st.hostChainAt = make([]int64, len(g.hosts))
+	for h := range st.hostChain {
+		if c := g.hostChainOfLocked(int32(h)); c != nil {
+			st.hostChain[h] = append([]int32(nil), c...)
+			st.hostChainAt[h] = src.hostChainAt[h]
+		}
+	}
+	st.baseEpoch = src.baseEpoch
+	for name, cid := range src.base {
+		st.base[name] = cid
+	}
+	st.chainNames = make([][]string, len(g.chains))
+	for name, cid := range st.base {
+		st.chainNames[cid] = append(st.chainNames[cid], name)
+	}
+	for name, vs := range src.names {
+		if v, ok := vs.at(g.epoch); ok {
+			st.names[name] = nameVers{v0: v}
+			if v.present {
+				st.chainNames[v.cid] = append(st.chainNames[v.cid], name)
+			}
+		}
+	}
+
+	return &Graph{
+		st:         st,
+		epoch:      g.epoch,
+		hosts:      g.hosts,
+		zones:      g.zones,
+		chains:     g.chains,
+		zoneNS:     g.zoneNS,
+		numNames:   g.numNames,
+		closure:    copyAliased(g.closure),
+		zoneAdj:    copyAliased(g.zoneAdj),
+		chainTCB:   copyAliased(g.chainTCB),
+		chainStamp: append([]int64(nil), g.chainStamp...),
+	}
 }
 
 // computeClosures condenses the zone dependency digraph with Tarjan's
 // algorithm and unions server sets bottom-up over the condensation DAG.
-func (g *Graph) computeClosures() {
+// hostChain is the builder's current chain table (every attach is
+// visible to the epoch being finalized). When prev is the previous
+// epoch's graph, closure and adjacency slices equal to the previous
+// epoch's alias them, so retained generations share storage.
+func (g *Graph) computeClosures(prev *Graph, hostChain [][]int32) {
 	n := len(g.zones)
 	g.closure = make([][]int32, n)
 	if n == 0 {
+		g.zoneAdj = make([][]int32, 0)
 		return
+	}
+
+	zoneDeps := func(z int32) []int32 {
+		var deps []int32
+		for _, h := range g.zoneNS[z] {
+			deps = append(deps, hostChain[h]...)
+		}
+		sortUnique(&deps)
+		return deps
 	}
 
 	// Iterative Tarjan SCC.
@@ -246,7 +495,10 @@ func (g *Graph) computeClosures() {
 	}
 	adj := make([][]int32, n)
 	for z := 0; z < n; z++ {
-		adj[z] = g.zoneDeps(int32(z))
+		adj[z] = zoneDeps(int32(z))
+		if prev != nil && z < len(prev.zoneAdj) && int32sEqual(prev.zoneAdj[z], adj[z]) {
+			adj[z] = prev.zoneAdj[z]
+		}
 	}
 	g.zoneAdj = adj
 
@@ -333,6 +585,11 @@ func (g *Graph) computeClosures() {
 			set = append(set, sccClosure[sc]...)
 		}
 		sortUnique(&set)
+		// Copy-on-write: when the set is unchanged from the previous
+		// epoch, every member zone aliases the previous slice.
+		if z0 := sccMembers[c][0]; prev != nil && int(z0) < len(prev.closure) && int32sEqual(prev.closure[z0], set) {
+			set = prev.closure[z0]
+		}
 		sccClosure[c] = set
 	}
 	for z := 0; z < n; z++ {
@@ -342,23 +599,51 @@ func (g *Graph) computeClosures() {
 
 // computeChainTCBs unions zone closures into one TCB per interned chain.
 // Every name on the chain shares the resulting slice, so the per-name
-// Figure 2/5/6 passes become O(1) lookups.
-func (g *Graph) computeChainTCBs() {
+// Figure 2/5/6 passes become O(1) lookups. TCBs equal to the previous
+// epoch's alias its slices, and each chain's stamp records the epoch it
+// last changed — unchanged meaning both an identical TCB set and no TCB
+// member whose address chain attached late this epoch (a late attach
+// reshapes the min-cut digraph even when the TCB set is stable).
+func (g *Graph) computeChainTCBs(prev *Graph, late map[int32]struct{}) {
 	g.chainTCB = make([][]int32, len(g.chains))
+	g.chainStamp = make([]int64, len(g.chains))
 	for ci, chain := range g.chains {
 		var tcb []int32
 		for _, z := range chain {
 			tcb = append(tcb, g.closure[z]...)
 		}
 		sortUnique(&tcb)
-		g.chainTCB[ci] = tcb
+		if prev != nil && ci < len(prev.chainTCB) && int32sEqual(prev.chainTCB[ci], tcb) {
+			g.chainTCB[ci] = prev.chainTCB[ci]
+			if tcbIntersects(prev.chainTCB[ci], late) {
+				g.chainStamp[ci] = g.epoch
+			} else {
+				g.chainStamp[ci] = prev.chainStamp[ci]
+			}
+		} else {
+			g.chainTCB[ci] = tcb
+			g.chainStamp[ci] = g.epoch
+		}
 	}
+}
+
+// tcbIntersects reports whether any TCB member is in the late set.
+func tcbIntersects(tcb []int32, late map[int32]struct{}) bool {
+	if len(late) == 0 {
+		return false
+	}
+	for _, h := range tcb {
+		if _, ok := late[h]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // ZoneClosure returns the sorted host ids transitively reachable from a
 // zone apex (its full server dependency set).
 func (g *Graph) ZoneClosure(apex string) []int32 {
-	id, ok := g.zoneID[dnsname.Canonical(apex)]
+	id, ok := g.zoneIDOf(dnsname.Canonical(apex))
 	if !ok {
 		return nil
 	}
@@ -370,7 +655,7 @@ func (g *Graph) ZoneClosure(apex string) []int32 {
 // servers are excluded (chains never include the root). The slice is
 // shared with every name on the same chain; do not modify.
 func (g *Graph) TCBIDs(name string) ([]int32, error) {
-	cid, ok := g.nameChain[dnsname.Canonical(name)]
+	cid, ok := g.NameChainID(name)
 	if !ok {
 		return nil, fmt.Errorf("core: name %q not in survey", name)
 	}
@@ -405,7 +690,7 @@ func (g *Graph) TCBSize(name string) int {
 // "only 2.2 servers are administered by the nameowner"; everything else
 // in the TCB is transitive).
 func (g *Graph) DirectNS(name string) ([]string, error) {
-	cid, ok := g.nameChain[dnsname.Canonical(name)]
+	cid, ok := g.NameChainID(name)
 	if !ok || len(g.chains[cid]) == 0 {
 		return nil, fmt.Errorf("core: name %q not in survey", name)
 	}

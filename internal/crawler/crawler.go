@@ -80,6 +80,11 @@ type CrawlStats struct {
 	// can be invalidated (see core.Builder.TakeLateAttached). Nil for
 	// almost every batch.
 	LateAttachedHosts []int32
+	// FailuresRetried counts the memoized failures evicted at this
+	// batch's generation boundary (resolver.Walker.ForgetFailures) — the
+	// questions this batch was allowed to re-ask so recovered
+	// dependencies become visible.
+	FailuresRetried int
 }
 
 // Survey is the complete dataset of one crawl: the dependency graph, the

@@ -153,6 +153,13 @@ func (e *Engine) Add(ctx context.Context, names ...string) (*Survey, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Generation boundary: forget memoized failures so this batch
+	// re-asks them — the only way a resident session can observe a
+	// dependency that was lame and recovered (TCB drift). Successful
+	// discoveries stay memoized, so re-adding a clean corpus still
+	// crosses the transport zero times.
+	retried := e.w.ForgetFailures()
+
 	// One unified event stream per batch: walker discoveries and walk
 	// results share a FIFO channel, preserving the causal order the
 	// builder relies on. The walker only fires callbacks from this
@@ -244,9 +251,21 @@ func (e *Engine) Add(ctx context.Context, names ...string) (*Survey, error) {
 	late := e.pendingLate
 	e.pendingLate = nil
 
+	// A batch that touched no name mappings (pure re-adds) shares the
+	// previous generation's sorted name list instead of materializing a
+	// fresh one — with Monitor retention, unchanged generations cost
+	// array headers, not O(corpus) copies.
+	var surveyNames []string
+	if prev := e.view.Load(); prev != nil && g.SharesStore(prev.Graph) &&
+		!g.TouchedSince(prev.Graph.Epoch()) {
+		surveyNames = prev.Names
+	} else {
+		surveyNames = g.Names()
+	}
+
 	s := &Survey{
 		Graph:  g,
-		Names:  g.Names(),
+		Names:  surveyNames,
 		Failed: maps.Clone(e.b.Failed()),
 		Banner: maps.Clone(e.banner),
 		Vulns:  maps.Clone(e.vulns),
@@ -259,11 +278,25 @@ func (e *Engine) Add(ctx context.Context, names ...string) (*Survey, error) {
 			BuildTime:         buildTime,
 			Generation:        e.gen.Add(1),
 			LateAttachedHosts: late,
+			FailuresRetried:   retried,
 		},
 		walker: e.w,
 	}
 	e.view.Store(s)
 	return s, nil
+}
+
+// PruneJournal discards the graph store's per-epoch change journals at
+// and below the given epoch — call it as old generations fall off a
+// bounded retention window, so a long-lived engine's history stays
+// bounded. Diffs from generations older than the prune point fall back
+// to the by-name path.
+func (e *Engine) PruneJournal(epoch int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.b.PruneJournal(epoch)
+	}
 }
 
 // Close saves the query memo (when Config.MemoFile is set), releases the

@@ -176,6 +176,44 @@ func (w *Walker) SetObserver(obs WalkObserver) { w.obs = obs }
 // Queries reports how many transport queries the walker has issued.
 func (w *Walker) Queries() int { return int(w.queries.Load()) }
 
+// ForgetFailures evicts every memoized failure — errored query-memo
+// entries and cached host walk errors — while keeping all successful
+// discoveries. It is the longitudinal counterpart of the memo's
+// exactly-once guarantee: within one batch a failed question is asked
+// exactly once, but a resident session that monitors drift must re-ask
+// it on the next batch, or a dependency that was lame yesterday (and
+// answers today) stays invisible forever. The crawl engine calls it at
+// each generation boundary; re-adding a fully successful corpus still
+// crosses the transport zero times, because only failures are evicted.
+// In-flight entries are left alone (their walk owns them). It returns
+// the number of evicted failures.
+func (w *Walker) ForgetFailures() int {
+	n := 0
+	for i := range w.qmemo {
+		qs := &w.qmemo[i]
+		qs.mu.Lock()
+		for key, e := range qs.m {
+			select {
+			case <-e.done:
+				if e.err != nil {
+					delete(qs.m, key)
+					n++
+				}
+			default:
+			}
+		}
+		qs.mu.Unlock()
+	}
+	for i := range w.shards {
+		s := &w.shards[i]
+		s.mu.Lock()
+		n += len(s.hostErr)
+		clear(s.hostErr)
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // ReleaseQueryMemo drops the (name, qtype) query memo, freeing the
 // cached response messages — O(total queries) of memory a finished crawl
 // no longer needs. Call it only once all walks are done (and after

@@ -3,12 +3,14 @@ package dnstrust
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"dnstrust/internal/analysis"
 	"dnstrust/internal/audit"
 	"dnstrust/internal/crawler"
+	"dnstrust/internal/delta"
 	"dnstrust/internal/hijack"
 	"dnstrust/internal/mincut"
 	"dnstrust/internal/resolver"
@@ -52,6 +54,12 @@ type Monitor struct {
 
 	mu   sync.Mutex // serializes Add (and its view commit) and Close
 	view atomic.Pointer[View]
+
+	// tlMu guards the retained timeline. It is separate from mu so
+	// Timeline/Between never block behind an in-flight crawl.
+	tlMu     sync.Mutex
+	retain   int
+	timeline []*View
 }
 
 // Open generates a world from opts (Seed, Names sizing the corpus, as in
@@ -133,8 +141,10 @@ func OpenWorld(_ context.Context, world *topology.World, opts Options) (*Monitor
 	if err != nil {
 		return nil, errors.Join(err, src.Close())
 	}
-	m := &Monitor{world: world, eng: eng, memo: analysis.NewChainMemo()}
-	m.view.Store(m.newView(eng.View()))
+	m := &Monitor{world: world, eng: eng, memo: analysis.NewChainMemo(), retain: max(opts.Retain, 1)}
+	v := m.newView(eng.View())
+	m.view.Store(v)
+	m.timeline = []*View{v}
 	return m, nil
 }
 
@@ -158,8 +168,75 @@ func (m *Monitor) Add(ctx context.Context, names ...string) (*View, error) {
 	}
 	m.memo.Advance(prev.survey, s)
 	v := m.newView(s)
+	// The view pointer and the timeline commit inside one critical
+	// section: anyone who observed the new generation via At() and then
+	// asks the timeline is guaranteed to find it there (Timeline/Between
+	// block on tlMu until both updates are visible).
+	m.tlMu.Lock()
 	m.view.Store(v)
+	m.timeline = append(m.timeline, v)
+	evicted := len(m.timeline) > m.retain
+	if evicted {
+		m.timeline = append([]*View(nil), m.timeline[len(m.timeline)-m.retain:]...)
+	}
+	oldest := m.timeline[0]
+	m.tlMu.Unlock()
+	if evicted {
+		// Keep the store's history bounded by the retention window: no
+		// retained view diffs from below the oldest one, so older change
+		// journals can go. A caller still holding an evicted view gets
+		// the by-name diff path — correct, just not the shortcut.
+		m.eng.PruneJournal(oldest.survey.Graph.Epoch())
+	}
 	return v, nil
+}
+
+// Timeline returns the retained committed generations, oldest to newest
+// (the newest is always At()'s view). The bound is Options.Retain;
+// retained Views share the survey's storage copy-on-write, so a long
+// timeline costs little beyond its per-generation analysis results.
+// Timeline never blocks behind an in-flight Add.
+func (m *Monitor) Timeline() []*View {
+	m.tlMu.Lock()
+	defer m.tlMu.Unlock()
+	return append([]*View(nil), m.timeline...)
+}
+
+// Between computes the typed trust delta from generation from to
+// generation to. Both must still be retained (Options.Retain bounds the
+// history; Timeline lists what is available). Diffing a generation
+// against itself returns an empty delta.
+func (m *Monitor) Between(from, to int64) (*Delta, error) {
+	return m.BetweenContext(context.Background(), from, to)
+}
+
+// BetweenContext is Between honoring ctx: cancellation is checked
+// between the per-chain min-cut computations of a large delta.
+func (m *Monitor) BetweenContext(ctx context.Context, from, to int64) (*Delta, error) {
+	if from > to {
+		return nil, fmt.Errorf("dnstrust: Between(%d, %d): from exceeds to", from, to)
+	}
+	var vf, vt *View
+	m.tlMu.Lock()
+	lo, hi := int64(-1), int64(-1)
+	for _, v := range m.timeline {
+		g := v.Generation()
+		if lo < 0 {
+			lo = g
+		}
+		hi = g
+		if g == from {
+			vf = v
+		}
+		if g == to {
+			vt = v
+		}
+	}
+	m.tlMu.Unlock()
+	if vf == nil || vt == nil {
+		return nil, fmt.Errorf("dnstrust: generations %d..%d not retained (timeline holds %d..%d; raise Options.Retain)", from, to, lo, hi)
+	}
+	return vt.DiffContext(ctx, vf)
 }
 
 // At returns the latest committed View. It never blocks: during an
@@ -171,8 +248,10 @@ func (m *Monitor) At() *View { return m.view.Load() }
 func (m *Monitor) World() *topology.World { return m.world }
 
 // Generation reports the latest committed generation (0 before the
-// first successful Add).
-func (m *Monitor) Generation() int64 { return m.eng.Generation() }
+// first successful Add). It reads the committed view — never the
+// engine's internal counter, which during an in-flight Add can already
+// name a generation that At() does not serve yet.
+func (m *Monitor) Generation() int64 { return m.view.Load().Generation() }
 
 // Queries reports the cumulative transport queries issued across all
 // Adds — the counter behind the memoization guarantee.
@@ -232,13 +311,42 @@ func (v *View) Generation() int64 { return v.survey.Stats.Generation }
 // vulnerabilities, engine stats). It is immutable.
 func (v *View) Survey() *crawler.Survey { return v.survey }
 
-// Names lists the successfully surveyed names, sorted. The slice is
-// shared; do not modify.
-func (v *View) Names() []string { return v.survey.Names }
+// Names lists the successfully surveyed names, sorted. The slice is a
+// defensive copy: callers may keep or modify it freely. Use NumNames
+// when only the count is needed.
+func (v *View) Names() []string { return append([]string(nil), v.survey.Names...) }
+
+// NumNames reports the number of successfully surveyed names without
+// copying the name list.
+func (v *View) NumNames() int { return v.survey.Graph.NumNames() }
 
 // Popular is the world's redundancy-seeking "popular site" subset (the
 // paper's Alexa top 500), independent of what has been surveyed so far.
-func (v *View) Popular() []string { return v.world.Popular }
+// The slice is a defensive copy.
+func (v *View) Popular() []string { return append([]string(nil), v.world.Popular...) }
+
+// Diff computes the typed trust delta from an older view to this one:
+// what drifted — TCB members gained and lost per name, bottleneck
+// min-cuts reshaped, zones and chains appearing or vanishing, zombie
+// dependencies left behind. Views committed by the same Monitor diff
+// incrementally off the shared store's interned ids and epoch stamps
+// (identical chains cost nothing); views from unrelated sessions — two
+// replayed recordings, say — are compared by name, which is also where
+// zombies can surface.
+func (v *View) Diff(older *View) (*Delta, error) {
+	return v.DiffContext(context.Background(), older)
+}
+
+// DiffContext is Diff honoring ctx: cancellation is checked between the
+// per-chain min-cut computations of a large delta, so an abandoned
+// request stops burning CPU.
+func (v *View) DiffContext(ctx context.Context, older *View) (*Delta, error) {
+	if older == nil {
+		return nil, errors.New("dnstrust: Diff of a nil view")
+	}
+	return delta.Compute(ctx, older.survey, v.survey,
+		delta.Options{OldMemo: older.memo, NewMemo: v.memo})
+}
 
 // TCB returns the trusted computing base of a surveyed name.
 func (v *View) TCB(name string) ([]string, error) {

@@ -49,6 +49,19 @@ type Options struct {
 	Names int
 	// Workers is the crawl parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Retain bounds the Monitor's timeline: the number of most recent
+	// committed generations kept live for Timeline, Between, and Diff.
+	// Retained generations share the survey's append-only storage
+	// copy-on-write, so holding many live is cheap — array headers per
+	// generation, not full table clones. 0 (or 1) keeps only the latest
+	// view, the pre-timeline behavior.
+	Retain int
+	// Corpus overrides the surveyed name list for DiffLogs: the two
+	// recordings are replayed over exactly these names. When it is set
+	// together with Roots, DiffLogs skips world generation entirely
+	// (recordings of hand-built worlds carry their own corpus). Ignored
+	// by Open/OpenWorld, which crawl nothing until Add.
+	Corpus []string
 	// WireFramed routes every query through the full DNS wire codec
 	// (pack + unpack both ways) instead of in-memory message passing.
 	WireFramed bool

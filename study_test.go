@@ -104,8 +104,8 @@ func TestRunAllExperiments(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("%d experiments, want 13 (9 figures + 4 tables)", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("%d experiments, want 14 (9 figures + 4 tables + drift)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

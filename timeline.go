@@ -1,0 +1,129 @@
+// The longitudinal read surface: typed trust deltas between committed
+// generations, and the three-line drift study — crawl the same corpus at
+// two times through Record, then diff the recordings offline.
+package dnstrust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dnstrust/internal/delta"
+	"dnstrust/internal/topology"
+)
+
+// Delta re-exports the typed trust delta between two survey generations:
+// per-name TCB hosts added and removed, bottleneck min-cut shrinkage and
+// growth, new and vanished zones and chains, and zombie dependencies.
+// Produce one with Monitor.Between, View.Diff, or DiffLogs.
+type Delta = delta.Delta
+
+// NameChange re-exports one name's trust-surface movement.
+type NameChange = delta.NameChange
+
+// ZoneChange re-exports one zone's NS-set drift between independent
+// crawls.
+type ZoneChange = delta.ZoneChange
+
+// Zombie re-exports one stale dependency: a host still inside some
+// name's TCB whose delegation was removed, or that stopped answering,
+// between the compared generations.
+type Zombie = delta.Zombie
+
+// ZombieKind re-exports the zombie classification.
+type ZombieKind = delta.ZombieKind
+
+// Zombie classifications.
+const (
+	DelegationRemoved = delta.DelegationRemoved
+	StoppedAnswering  = delta.StoppedAnswering
+)
+
+// DiffLogs replays two recorded query logs — two crawls of the same
+// corpus at different times — through strict Replay sources and diffs
+// the resulting views, making "record now, record later, diff" a
+// three-line drift study:
+//
+//	d, err := dnstrust.DiffLogs(ctx, then, now, dnstrust.Options{Names: 20000})
+//	for _, z := range d.Zombies { fmt.Println(z.Host, z.Kind, z.Names) }
+//
+// Both replays are strict: every query is served from its log through
+// the wire codec and a query the log cannot answer fails that name's
+// walk, so the diff touches no terminal transport at all — zero live
+// queries, by construction. Names resolvable in only one recording
+// surface as NamesAdded/NamesRemoved; delegation changes surface as
+// ZoneChanges, per-name TCB/min-cut drift, and — when a dropped host is
+// still trusted through another delegation — Zombies.
+//
+// The corpus replayed is opts.Corpus when set, else the corpus of the
+// world generated from opts (Seed, Names), which matches what dnssurvey
+// -record crawled with the same flags. When both opts.Corpus and
+// opts.Roots are set, no world is generated at all — recordings of
+// hand-built worlds diff hermetically.
+func DiffLogs(ctx context.Context, oldLog, newLog *QueryLog, opts Options) (*Delta, error) {
+	if oldLog == nil || newLog == nil {
+		return nil, errors.New("dnstrust: DiffLogs needs two recorded logs")
+	}
+	if len(opts.Corpus) > 0 && len(opts.Roots) == 0 {
+		// Without roots the replays would descend from a generated
+		// world's root servers, miss on every recorded query, and
+		// produce a meaningless empty delta.
+		return nil, errors.New("dnstrust: Options.Corpus requires Options.Roots (the recorded world's root hints)")
+	}
+	var world *topology.World
+	if len(opts.Corpus) > 0 && len(opts.Roots) > 0 {
+		reg := topology.NewRegistry()
+		if err := reg.Finalize(); err != nil {
+			return nil, err
+		}
+		world = &topology.World{Registry: reg, Corpus: opts.Corpus}
+	} else {
+		// No corpus override (Corpus with Roots took the branch above;
+		// Corpus without Roots already errored): replay the generated
+		// world's own corpus, matching what -record crawled with the
+		// same Seed/Names.
+		w, err := NewWorld(opts)
+		if err != nil {
+			return nil, err
+		}
+		world = w
+	}
+
+	replay := func(lg *QueryLog) (*View, error) {
+		m, err := OpenWorld(ctx, world, Options{
+			Workers:   opts.Workers,
+			Roots:     opts.Roots,
+			ReplayLog: lg,
+			Progress:  opts.Progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		v, addErr := m.Add(ctx, world.Corpus...)
+		closeErr := m.Close()
+		if addErr != nil {
+			return nil, errors.Join(addErr, closeErr)
+		}
+		return v, closeErr
+	}
+
+	older, err := replay(oldLog)
+	if err != nil {
+		return nil, fmt.Errorf("dnstrust: replaying older log: %w", err)
+	}
+	newer, err := replay(newLog)
+	if err != nil {
+		return nil, fmt.Errorf("dnstrust: replaying newer log: %w", err)
+	}
+	d, err := newer.DiffContext(ctx, older)
+	if err != nil {
+		return nil, err
+	}
+	if d.Compared == 0 {
+		// Nothing resolved in either recording: the logs cannot answer
+		// this corpus at all (wrong Seed/Names, or roots from another
+		// world) — an empty delta here would be a silent false negative.
+		return nil, errors.New("dnstrust: no corpus name resolved in either recording — were the logs recorded with the same corpus (Seed/Names) and roots?")
+	}
+	return d, nil
+}
