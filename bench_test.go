@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -520,6 +521,66 @@ func BenchmarkTimelineDiff(b *testing.B) {
 				b.Fatalf("delta saw %d added names, want %d", len(d.NamesAdded), extra)
 			}
 		}
+	})
+}
+
+// BenchmarkSnapshotColdStart backs the restart claim: reopening a
+// monitored survey from a binary epoch-store snapshot versus rebuilding
+// it by re-crawling from a recorded query log (the previous-best offline
+// restart path). Both sub-benchmarks end at the same observable state —
+// a live Monitor serving the committed generation — so their ns/op
+// ratio is the restart speedup; at 100k names (cmd/dnsbench
+// -snapshot-names, recorded in BENCH_6.json) the snapshot path must be
+// ≥50x faster. The snapshot load issues zero transport queries.
+func BenchmarkSnapshotColdStart(b *testing.B) {
+	const scale = 6000
+	world, err := topology.Generate(topology.GenParams{Seed: 7, Names: scale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	qlog := transport.NewLog()
+	snapPath := filepath.Join(b.TempDir(), "bench.snap")
+	m, err := OpenWorld(ctx, world, Options{RecordLog: qlog, SnapshotFile: snapPath})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Add(ctx, world.Corpus...); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // saves the snapshot
+		b.Fatal(err)
+	}
+
+	coldStart := func(b *testing.B, opts Options, crawl bool) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := OpenWorld(ctx, world, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if crawl {
+				if _, err := m.Add(ctx, world.Corpus...); err != nil {
+					b.Fatal(err)
+				}
+			} else if m.Queries() != 0 {
+				b.Fatalf("snapshot cold start issued %d queries", m.Queries())
+			}
+			if got := m.At().NumNames(); got != len(world.Corpus) {
+				b.Fatalf("cold start serves %d of %d names", got, len(world.Corpus))
+			}
+			b.StopTimer()
+			m.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(scale)*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+	}
+	b.Run(fmt.Sprintf("snapshot/names=%d", scale), func(b *testing.B) {
+		coldStart(b, Options{SnapshotFile: snapPath}, false)
+	})
+	b.Run(fmt.Sprintf("replay/names=%d", scale), func(b *testing.B) {
+		coldStart(b, Options{ReplayLog: qlog}, true)
 	})
 }
 

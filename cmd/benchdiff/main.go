@@ -2,10 +2,15 @@
 // output) and fails loudly when a gated hot path regressed. Gated
 // benchmarks are the CPU-bound, per-name-scaled ones: IncrementalBuild
 // (graph-build ns/name), ReplayCrawl (ns/name served from a recorded
-// query log), and TimelineDiff (ns/name to diff two generations after a
+// query log), TimelineDiff (ns/name to diff two generations after a
 // small Add — the chain-id shortcut must keep this near-constant, so a
-// regression here means the diff started scanning the corpus). All
+// regression here means the diff started scanning the corpus), and
+// SnapshotColdStart (ns/name to restore a monitor from a binary
+// snapshot, and the replay-rebuild baseline it is compared against —
+// the snapshot-load gate is what keeps restarts second-scale). All
 // other shared benchmarks are reported for information only.
+// Benchmarks absent from either report are skipped, so adding a new
+// gated benchmark never breaks CI against older baselines.
 //
 // Usage:
 //
@@ -64,7 +69,8 @@ func load(path string) (map[string]Result, error) {
 func gated(name string) bool {
 	return strings.HasPrefix(name, "IncrementalBuild/") ||
 		strings.HasPrefix(name, "ReplayCrawl/") ||
-		strings.HasPrefix(name, "TimelineDiff/")
+		strings.HasPrefix(name, "TimelineDiff/") ||
+		strings.HasPrefix(name, "SnapshotColdStart/")
 }
 
 // buildScale extracts the per-op name count from a gated benchmark name

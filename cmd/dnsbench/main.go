@@ -14,11 +14,13 @@
 // memory so the flat-memory claim is tracked from PR to PR), the
 // Monitor-era benchmarks (incremental epoch adds vs one batch build,
 // view read throughput during a crawl, the chain-memo cold/warm
-// second-pass ratio on a real survey via -memo-names), and the timeline
+// second-pass ratio on a real survey via -memo-names), the timeline
 // benchmarks: the warm generation diff after a small Add on a 100k-name
 // survey (gated) and the retained-generation memory comparison —
 // bytes/generation with the copy-on-write epoch store versus detached
-// full-table epochs.
+// full-table epochs — and the snapshot cold-start benchmark (gated):
+// restoring a 100k-name monitor from a binary epoch-store snapshot
+// versus rebuilding it from a recorded query log, via -snapshot-names.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -63,11 +66,12 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output file")
+	out := flag.String("out", "BENCH_6.json", "output file")
 	names := flag.Int("names", 1200, "benchmark corpus size")
 	seed := flag.Int64("seed", 5, "world generation seed")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-query round-trip for crawl benches")
 	memoNames := flag.Int("memo-names", 20_000, "survey size for the chain-memo second-pass benchmark (0 skips it; BENCH_3.json was recorded at 100000)")
+	snapNames := flag.Int("snapshot-names", 100_000, "survey size for the snapshot cold-start benchmark (0 skips it; the >=50x restart claim is stated at 100000)")
 	flag.Parse()
 
 	world, err := topology.Generate(topology.GenParams{Seed: *seed, Names: *names})
@@ -310,6 +314,73 @@ func main() {
 				memoPass(b, warmMemo)
 			}
 		})
+	}
+
+	// Snapshot cold start: restoring a monitored survey from a binary
+	// epoch-store snapshot versus rebuilding it by re-crawling from a
+	// recorded query log (the previous-best offline restart path). Both
+	// gated by cmd/benchdiff on ns/name; the snapshot/replay ns/op ratio
+	// is the restart speedup the >=50x claim rests on.
+	if *snapNames > 0 {
+		snapWorld, err := topology.Generate(topology.GenParams{Seed: 7, Names: *snapNames})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		qlog := transport.NewLog()
+		snapPath := filepath.Join(os.TempDir(), fmt.Sprintf("dnsbench-%d.snap", os.Getpid()))
+		defer os.Remove(snapPath)
+		ctx := context.Background()
+		fmt.Fprintf(os.Stderr, "crawling %d names for the snapshot cold-start benchmark...\n", *snapNames)
+		m, err := dnstrust.OpenWorld(ctx, snapWorld, dnstrust.Options{RecordLog: qlog, SnapshotFile: snapPath})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := m.Add(ctx, snapWorld.Corpus...); err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := m.Close(); err != nil { // saves the snapshot
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		var snapSize float64
+		if fi, err := os.Stat(snapPath); err == nil {
+			snapSize = float64(fi.Size())
+		}
+		coldStart := func(opts dnstrust.Options, crawl bool) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m, err := dnstrust.OpenWorld(ctx, snapWorld, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if crawl {
+						if _, err := m.Add(ctx, snapWorld.Corpus...); err != nil {
+							b.Fatal(err)
+						}
+					} else if m.Queries() != 0 {
+						b.Fatalf("snapshot cold start issued %d queries", m.Queries())
+					}
+					if got := m.At().NumNames(); got != len(snapWorld.Corpus) {
+						b.Fatalf("cold start serves %d of %d names", got, len(snapWorld.Corpus))
+					}
+					b.StopTimer()
+					m.Close()
+					b.StartTimer()
+				}
+				b.ReportMetric(float64(*snapNames)*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+				if !crawl {
+					b.ReportMetric(snapSize, "snapshot-bytes")
+				}
+			}
+		}
+		run(fmt.Sprintf("SnapshotColdStart/snapshot/names=%d", *snapNames),
+			coldStart(dnstrust.Options{SnapshotFile: snapPath}, false))
+		run(fmt.Sprintf("SnapshotColdStart/replay/names=%d", *snapNames),
+			coldStart(dnstrust.Options{ReplayLog: qlog}, true))
 	}
 
 	run("WalkerContention", func(b *testing.B) {

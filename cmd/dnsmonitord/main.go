@@ -5,7 +5,8 @@
 // Usage:
 //
 //	dnsmonitord [-addr :8053] [-names 20000] [-seed 1] [-workers 0] [-retain 8]
-//	            [-memo-file crawl.memo] [-record crawl.qlog] [-replay crawl.qlog] [-live]
+//	            [-memo-file crawl.memo] [-snapshot session.snap]
+//	            [-record crawl.qlog] [-replay crawl.qlog] [-live]
 //
 // On startup the daemon generates the synthetic world, crawls the
 // initial corpus, and then serves:
@@ -24,6 +25,16 @@
 //	                         past limit total) since generation `since`
 //	POST /add                whitespace-separated names in the body are
 //	                         added incrementally; responds with the delta
+//	POST /snapshot           save the session snapshot now; responds with
+//	                         {generation, bytes, seconds}
+//
+// -snapshot makes the session durable: the epoch store is saved to the
+// file atomically after the initial crawl, after every committed /add,
+// and on SIGTERM; at the next boot the daemon restores the last
+// committed generation from it in load time — skipping the initial
+// crawl entirely, with zero transport queries — and keeps extending it.
+// A kill at any point, mid-save included, leaves the previous complete
+// snapshot in place, never a loadable partial one.
 //
 // Reads are served from immutable views and never block: while an /add
 // crawl is in flight, queries answer from the previous generation.
@@ -49,9 +60,12 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"dnstrust"
@@ -66,13 +80,15 @@ func main() {
 	workers := flag.Int("workers", 0, "crawl parallelism (0 = GOMAXPROCS)")
 	retain := flag.Int("retain", 8, "committed generations kept live for /generations, /diff, /watch")
 	memoFile := flag.String("memo-file", "", "persist the query memo here and resume from it")
+	snapshot := flag.String("snapshot", "", "persist the session snapshot here: restored at boot, saved after each crawl and on SIGTERM")
 	record := flag.String("record", "", "record every transport exchange into this query-log file (saved after each crawl)")
 	replay := flag.String("replay", "", "serve the session from this recorded query log (strict: unrecorded queries fail)")
 	live := flag.Bool("live", false, "boot the world's nameservers on loopback and crawl over real UDP/TCP sockets")
 	flag.Parse()
 
 	ctx := context.Background()
-	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, Retain: *retain, MemoFile: *memoFile}
+	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, Retain: *retain,
+		MemoFile: *memoFile, SnapshotFile: *snapshot}
 	var recLog *dnstrust.QueryLog
 	if *record != "" {
 		recLog = transport.NewLog()
@@ -107,24 +123,63 @@ func main() {
 		log.Printf("booted %d real DNS servers on loopback", lv.NumServers())
 		opts.Source = transport.From(lv)
 	}
+	openStart := time.Now()
 	m, err := dnstrust.OpenWorld(ctx, world, opts)
 	if err != nil {
 		log.Fatalf("dnsmonitord: %v", err)
 	}
 	defer m.Close()
-	srv := &server{m: m, recLog: recLog, recPath: *record}
-	v, err := m.Add(ctx, m.World().Corpus...)
-	if err != nil {
-		m.Close()
-		// A partial recording survives an aborted initial crawl, like
-		// the query memo does.
+	srv := &server{m: m, recLog: recLog, recPath: *record, snapPath: *snapshot}
+	if v := m.At(); v.Generation() > 0 {
+		// The snapshot restored the last committed generation; the
+		// initial crawl is already paid for.
+		var size int64
+		if fi, err := os.Stat(*snapshot); err == nil {
+			size = fi.Size()
+		}
+		log.Printf("snapshot: restored generation %d from %s (%d bytes, %.2fs, 0 transport queries)",
+			v.Generation(), *snapshot, size, time.Since(openStart).Seconds())
+		log.Printf("generation %d ready: %d names, %d nameservers (%.1fs); serving on %s",
+			v.Generation(), v.NumNames(), v.Survey().Graph.NumHosts(), time.Since(start).Seconds(), *addr)
+	} else {
+		v, err := m.Add(ctx, m.World().Corpus...)
+		if err != nil {
+			m.Close()
+			// A partial recording survives an aborted initial crawl, like
+			// the query memo does.
+			srv.saveRecording()
+			log.Fatalf("dnsmonitord: initial crawl: %v", err)
+		}
+		log.Printf("generation %d ready: %d names, %d nameservers (%.1fs); serving on %s",
+			v.Generation(), v.NumNames(), v.Survey().Graph.NumHosts(), time.Since(start).Seconds(), *addr)
 		srv.saveRecording()
-		log.Fatalf("dnsmonitord: initial crawl: %v", err)
+		srv.saveSnapshot()
 	}
-	log.Printf("generation %d ready: %d names, %d nameservers (%.1fs); serving on %s",
-		v.Generation(), v.NumNames(), v.Survey().Graph.NumHosts(), time.Since(start).Seconds(), *addr)
 
-	srv.saveRecording()
+	// SIGTERM/SIGINT: save the snapshot (Close does, when configured)
+	// and exit cleanly. The atomic save means a second signal mid-save
+	// still leaves the previous snapshot loadable.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigc
+		log.Printf("%v: saving session state and shutting down", sig)
+		shutStart := time.Now()
+		if err := m.Close(); err != nil {
+			log.Printf("dnsmonitord: shutdown: %v", err)
+			os.Exit(1)
+		}
+		if *snapshot != "" {
+			var size int64
+			if fi, err := os.Stat(*snapshot); err == nil {
+				size = fi.Size()
+			}
+			log.Printf("snapshot: saved generation %d to %s (%d bytes, %.2fs)",
+				m.Generation(), *snapshot, size, time.Since(shutStart).Seconds())
+		}
+		os.Exit(0)
+	}()
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /summary", srv.summary)
 	mux.HandleFunc("GET /tcb", srv.tcb)
@@ -135,6 +190,7 @@ func main() {
 	mux.HandleFunc("GET /diff", srv.diff)
 	mux.HandleFunc("GET /watch", srv.watch)
 	mux.HandleFunc("POST /add", srv.add)
+	mux.HandleFunc("POST /snapshot", srv.snapshot)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -148,6 +204,12 @@ type server struct {
 	recLog  *dnstrust.QueryLog
 	recPath string
 	recMu   sync.Mutex
+
+	// snapPath persists the session snapshot ("" = off); snapMu
+	// serializes saves so concurrent /add and /snapshot handlers never
+	// race on the same temp file.
+	snapPath string
+	snapMu   sync.Mutex
 }
 
 // saveRecording writes the query log to disk, when recording.
@@ -162,6 +224,24 @@ func (s *server) saveRecording() {
 	} else {
 		log.Printf("recorded %d questions to %s", n, s.recPath)
 	}
+}
+
+// saveSnapshot persists the session snapshot after a committed crawl,
+// when configured, logging generation, size, and timing.
+func (s *server) saveSnapshot() {
+	if s.snapPath == "" {
+		return
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	start := time.Now()
+	n, err := s.m.SaveSnapshot(s.snapPath)
+	if err != nil {
+		log.Printf("dnsmonitord: snapshot not saved: %v", err)
+		return
+	}
+	log.Printf("snapshot: saved generation %d to %s (%d bytes, %.2fs)",
+		s.m.Generation(), s.snapPath, n, time.Since(start).Seconds())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -436,6 +516,7 @@ func (s *server) add(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.saveRecording()
+	s.saveSnapshot()
 	perName := make(map[string]any, len(names))
 	for _, n := range names {
 		if sz := v.Survey().Graph.TCBSize(n); sz >= 0 {
@@ -453,5 +534,30 @@ func (s *server) add(w http.ResponseWriter, r *http.Request) {
 		"transport_queries": s.m.Queries() - prevQueries,
 		"seconds":           time.Since(start).Seconds(),
 		"tcb_sizes":         perName,
+	})
+}
+
+// snapshot saves the session snapshot on demand (POST /snapshot).
+func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapPath == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("daemon started without -snapshot"))
+		return
+	}
+	s.snapMu.Lock()
+	start := time.Now()
+	n, err := s.m.SaveSnapshot(s.snapPath)
+	elapsed := time.Since(start)
+	s.snapMu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	log.Printf("snapshot: saved generation %d to %s (%d bytes, %.2fs)",
+		s.m.Generation(), s.snapPath, n, elapsed.Seconds())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": s.m.Generation(),
+		"bytes":      n,
+		"seconds":    elapsed.Seconds(),
+		"path":       s.snapPath,
 	})
 }

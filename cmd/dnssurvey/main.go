@@ -10,6 +10,7 @@
 //	dnssurvey -replay crawl.qlog          # re-run the survey offline from a recording
 //	dnssurvey -live                       # crawl over real UDP/TCP loopback sockets
 //	dnssurvey -diff old.qlog new.qlog     # drift study: diff two recordings offline
+//	dnssurvey -snapshot-out session.snap  # save the surveyed epoch store as a snapshot
 //
 // With -diff the survey is not crawled at all: the two recorded query
 // logs (crawls of the same corpus at different times — use the same
@@ -61,6 +62,7 @@ func main() {
 	workers := flag.Int("workers", 0, "crawl parallelism (0 = GOMAXPROCS)")
 	markdown := flag.Bool("markdown", false, "emit the comparison table as Markdown (for EXPERIMENTS.md)")
 	memoFile := flag.String("memo-file", "", "persist the query memo here and resume from it on the next run")
+	snapshotOut := flag.String("snapshot-out", "", "save the surveyed epoch store as a binary snapshot here after a successful crawl (a dnsmonitord -snapshot boot restores it in load time)")
 	record := flag.String("record", "", "record every transport exchange into this query-log file")
 	replay := flag.String("replay", "", "serve the crawl from this recorded query log (strict: unrecorded queries fail)")
 	live := flag.Bool("live", false, "boot the world's nameservers on loopback and crawl over real UDP/TCP sockets")
@@ -162,6 +164,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dnssurvey: warning: session teardown: %v\n", err)
 		}
 		saveRecording(recLog, *record, *quiet)
+		saveSnapshot(m, *snapshotOut, *quiet)
 		return
 	}
 
@@ -171,6 +174,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dnssurvey: warning: session teardown: %v\n", err)
 	}
 	saveRecording(recLog, *record, *quiet)
+	saveSnapshot(m, *snapshotOut, *quiet)
 
 	var rows []dnstrust.Comparison
 	if *only != "" {
@@ -353,6 +357,25 @@ func preview(names []string) string {
 		return fmt.Sprintf("%v", names)
 	}
 	return fmt.Sprintf("%v...", names[:show])
+}
+
+// saveSnapshot persists the surveyed epoch store as a binary snapshot
+// (-snapshot-out). A closed session can still be snapshotted: Close only
+// ends the write side.
+func saveSnapshot(m *dnstrust.Monitor, path string, quiet bool) {
+	if path == "" {
+		return
+	}
+	start := time.Now()
+	n, err := m.SaveSnapshot(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnssurvey: snapshot not saved: %v\n", err)
+		return
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "snapshot: generation %d, %d bytes to %s (%.2fs)\n",
+			m.Generation(), n, path, time.Since(start).Seconds())
+	}
 }
 
 // saveRecording persists the session's query log, when one was kept.

@@ -1,0 +1,87 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := os.WriteFile(path, []byte("old content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new content!"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len("new content!")) {
+		t.Fatalf("reported %d bytes, want %d", n, len("new content!"))
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new content!" {
+		t.Fatalf("read %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestWriteFileFailureKeepsOld simulates dying partway through a save (a
+// write error after bytes already flowed): the previous file must be
+// untouched and no partial temp file may remain — the invariant that
+// makes an interrupted snapshot save unloadable rather than corrupt.
+func TestWriteFileFailureKeepsOld(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("interrupted")
+	_, err := WriteFile(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial garbage")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Fatalf("previous content clobbered: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("partial temp file left behind: %v", err)
+	}
+}
+
+func TestWriteFileNoPriorFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.bin")
+	boom := errors.New("interrupted")
+	if _, err := WriteFile(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed write created the target: %v", err)
+	}
+	if _, err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("ok"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "ok" {
+		t.Fatalf("read %q", got)
+	}
+}

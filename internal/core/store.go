@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"dnstrust/internal/snapshot"
+)
 
 // store is the shared, copy-on-write backing of every Graph a Builder
 // produces. One builder owns one store; each FinishEpoch pins a Graph to
@@ -79,6 +83,12 @@ type store struct {
 	// bounded timeline keeps the store's history bounded too.
 	touched      map[int64][]string
 	journalFloor int64
+
+	// snap pins the snapshot file this store was loaded from, when it
+	// was. Hot arrays are views into the file's mapping, so the mapping
+	// must outlive every graph of this store — it is simply never
+	// released for the life of the process.
+	snap *snapshot.File
 }
 
 func newStore(sizeHint int) *store {

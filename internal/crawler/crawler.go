@@ -8,11 +8,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"dnstrust/internal/atomicio"
 	"dnstrust/internal/core"
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/resolver"
@@ -250,27 +252,15 @@ func loadMemoFile(w *resolver.Walker, path string) (int, error) {
 	return n, nil
 }
 
-// saveMemoFile persists the walker's query memo to path atomically
-// (write to a temp file, then rename), so an interrupt during save never
-// corrupts an earlier memo.
+// saveMemoFile persists the walker's query memo to path atomically, so
+// an interrupt during save never corrupts an earlier memo.
 func saveMemoFile(w *resolver.Walker, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	_, err := atomicio.WriteFile(path, func(f io.Writer) error {
+		_, err := w.SaveMemo(f)
+		return err
+	})
 	if err != nil {
-		return fmt.Errorf("crawler: memo file: %w", err)
-	}
-	if _, err := w.SaveMemo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("crawler: memo file %s: %w", tmp, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("crawler: memo file %s: %w", tmp, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("crawler: memo file: %w", err)
+		return fmt.Errorf("crawler: memo file %s: %w", path, err)
 	}
 	return nil
 }

@@ -1,0 +1,149 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"maps"
+	"sort"
+
+	"dnstrust/internal/core"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/snapshot"
+	"dnstrust/internal/vulndb"
+)
+
+// Engine snapshot sections, appended after the core builder's sections
+// in the same container file:
+//
+//	crawler/meta    generation, probed-host prefix, pending late ids
+//	crawler/banner  per-host version.bind banners (sorted host order)
+//
+// Vulnerability tables are not stored: they are a pure function of the
+// banners and the vulnerability matrix (vulndb.DB.VulnsForBanner) and
+// are recomputed on load, so a snapshot restored against an updated
+// matrix is rescored automatically.
+
+// WriteSnapshot serializes the engine's resident state — the graph
+// builder's epoch store plus the engine's generation counter and banner
+// table — as one snapshot file on w. It takes the engine lock, so it
+// runs exactly between Adds; committed views are unaffected. A closed
+// engine can still be snapshotted (Close only ends the write side).
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sw := snapshot.NewWriter(w)
+	if err := e.b.WriteSections(sw); err != nil {
+		return err
+	}
+
+	sw.Begin("crawler/meta")
+	sw.I64(e.gen.Load())
+	sw.I64(int64(e.probed))
+	sw.U64(uint64(len(e.pendingLate)))
+	sw.I32s(e.pendingLate)
+	sw.Pad8()
+
+	sw.Begin("crawler/banner")
+	hosts := make([]string, 0, len(e.banner))
+	for h := range e.banner {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	banners := make([]string, len(hosts))
+	for i, h := range hosts {
+		banners[i] = e.banner[h]
+	}
+	if err := snapshot.WriteStringTable(sw, hosts); err != nil {
+		return err
+	}
+	if err := snapshot.WriteStringTable(sw, banners); err != nil {
+		return err
+	}
+
+	return sw.Finish()
+}
+
+// NewEngineFromSnapshot opens a resident survey engine whose graph,
+// failure tables, banners, and generation counter are restored from a
+// snapshot file instead of crawled: the restart path that reproduces the
+// last committed generation's Survey with zero transport queries. The
+// walker's discovery caches start cold — they refill lazily (and
+// transport-free, when cfg.MemoFile resumes the query memo) as new names
+// are added. The snapshot's mapping stays referenced for the life of the
+// engine's store.
+func NewEngineFromSnapshot(r *resolver.Resolver, probe func(ctx context.Context, host string) (string, error), cfg Config, path string) (*Engine, error) {
+	f, err := snapshot.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: snapshot %s: %w", path, err)
+	}
+	b, err := core.LoadSnapshot(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("crawler: snapshot %s: %w", path, err)
+	}
+
+	md := snapshot.NewSectionReader(f, "crawler/meta")
+	gen := md.I64()
+	probed := md.I64()
+	pendingLate := append([]int32(nil), md.I32s(md.Count(4))...)
+	bd := snapshot.NewSectionReader(f, "crawler/banner")
+	hosts := bd.Strings()
+	banners := bd.Strings()
+	if err := md.Err(); err != nil {
+		return nil, fmt.Errorf("crawler: snapshot %s: %w", path, err)
+	}
+	if err := bd.Err(); err != nil {
+		return nil, fmt.Errorf("crawler: snapshot %s: %w", path, err)
+	}
+	if len(banners) != len(hosts) {
+		return nil, fmt.Errorf("crawler: snapshot %s: %w: %d banners for %d hosts",
+			path, snapshot.ErrCorrupt, len(banners), len(hosts))
+	}
+
+	w := resolver.NewWalker(r)
+	e := &Engine{
+		w:           w,
+		probe:       probe,
+		cfg:         cfg,
+		b:           b,
+		banner:      make(map[string]string, len(hosts)),
+		vulns:       make(map[string][]vulndb.Vuln),
+		db:          vulndb.Default(),
+		probed:      int(probed),
+		pendingLate: pendingLate,
+	}
+	for i, h := range hosts {
+		e.banner[h] = banners[i]
+		if vs := e.db.VulnsForBanner(banners[i]); len(vs) > 0 {
+			e.vulns[h] = vs
+		}
+	}
+	if cfg.MemoFile != "" {
+		n, err := loadMemoFile(w, cfg.MemoFile)
+		if err != nil {
+			return nil, err
+		}
+		e.memoLoaded = n
+	}
+	w.SetObserver(e)
+	e.gen.Store(gen)
+
+	g := b.LastGraph()
+	if g == nil {
+		// The snapshot predates any committed crawl (an engine saved at
+		// generation 0): start from a fresh empty view, like NewEngine.
+		g = core.NewBuilder(0).FinishEpoch()
+	}
+	e.view.Store(&Survey{
+		Graph:  g,
+		Names:  g.Names(),
+		Failed: maps.Clone(b.Failed()),
+		Banner: maps.Clone(e.banner),
+		Vulns:  maps.Clone(e.vulns),
+		DB:     e.db,
+		Stats:  CrawlStats{Generation: gen, MemoLoaded: e.memoLoaded},
+		walker: w,
+	})
+	return e, nil
+}

@@ -1,0 +1,51 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead drives the whole verification path — header, trailer, table
+// decode, section checksums — with arbitrary bytes. The invariant is
+// simple: no input may panic, and any accepted input must index cleanly.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin("seed")
+	w.U64(2)
+	w.I32s([]int32{1, 2})
+	if err := w.Finish(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte(Magic))
+	f.Add(valid[:len(valid)-trailerSize])
+	f.Add([]byte("000000000")) // 8 < len < headerSize, non-magic prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for name := range sf.secs {
+			_ = sf.Section(name)
+		}
+	})
+}
+
+// FuzzParseTable targets the section-table decoder directly with
+// arbitrary table bytes against a fixed file size.
+func FuzzParseTable(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0}, uint64(64))
+	f.Fuzz(func(t *testing.T, table []byte, fileSize uint64) {
+		secs, err := parseTable(table, fileSize)
+		if err != nil {
+			return
+		}
+		for _, s := range secs {
+			if s.off < headerSize || s.off > fileSize || s.len > fileSize-s.off {
+				t.Fatalf("accepted out-of-bounds section %+v for file size %d", s, fileSize)
+			}
+		}
+	})
+}

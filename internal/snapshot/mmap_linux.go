@@ -1,0 +1,22 @@
+//go:build linux
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmap maps the whole file read-only. ok is false when mapping is not
+// possible (empty file, exotic filesystem), sending Open down the
+// read-into-memory fallback.
+func mmap(f *os.File, size int64) (data []byte, unmap func() error, ok bool) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return b, func() error { return syscall.Munmap(b) }, true
+}

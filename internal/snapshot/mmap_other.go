@@ -1,0 +1,12 @@
+//go:build !linux
+
+package snapshot
+
+import "os"
+
+// mmap is unavailable on this platform; Open falls back to reading the
+// file into memory, which behaves identically (just without the shared
+// page cache mapping).
+func mmap(*os.File, int64) (data []byte, unmap func() error, ok bool) {
+	return nil, nil, false
+}

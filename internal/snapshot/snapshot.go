@@ -1,0 +1,131 @@
+// Package snapshot implements the versioned, checksummed binary
+// container the epoch store persists itself into: a flat sequence of
+// named sections laid out for mmap loading. Records are little-endian
+// and fixed-width, every array section starts 8-byte aligned, and ids
+// are position-independent (int32 indices into sibling sections), so a
+// loader can point slices straight into the mapped file with no pointer
+// fixups — restart cost is mapping the file plus rebuilding the hash
+// indexes, not re-crawling or replaying a query log.
+//
+// File layout (all integers little-endian):
+//
+//	header   magic[8] version:u32 reserved:u32
+//	...sections, each padded to an 8-byte boundary...
+//	table    count:u64 then per section
+//	         {off:u64 len:u64 crc:u32 nameLen:u32 name... pad to 8}
+//	trailer  tableOff:u64 tableLen:u64 tableCRC:u32 version:u32 magic[8]
+//
+// The trailer is written last: a file missing or corrupting it is
+// detected as truncated, so a snapshot interrupted mid-write (even one
+// that bypassed the atomic-rename path) can never load. Section payloads
+// and the section table carry CRC-32C checksums, verified on open; a
+// flipped byte anywhere fails closed with ErrChecksum. A file whose
+// header announces a version newer than this package understands fails
+// with *VersionError before anything else is interpreted.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic identifies a snapshot file; it is written at both ends.
+const Magic = "DNSTSNP\x00"
+
+// Version is the current format version. Readers reject files announcing
+// a newer version (fail closed: a future layout must not be guessed at).
+const Version = 1
+
+const (
+	headerSize  = 16
+	trailerSize = 32
+)
+
+// Typed failure modes, distinguishable with errors.Is / errors.As.
+var (
+	// ErrFormat marks a file that is not a snapshot at all (bad magic).
+	ErrFormat = errors.New("snapshot: not a snapshot file")
+	// ErrTruncated marks a snapshot cut short: the trailer is missing or
+	// damaged, or the section table points past the end of the file.
+	ErrTruncated = errors.New("snapshot: truncated file")
+	// ErrChecksum marks payload corruption: a section or the section
+	// table no longer matches its recorded CRC-32C.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrCorrupt marks a structurally invalid section table (overlapping
+	// or out-of-order entries, impossible lengths) whose checksums
+	// nevertheless pass — fails closed rather than guessing.
+	ErrCorrupt = errors.New("snapshot: corrupt section table")
+)
+
+// VersionError reports a snapshot written by a future format version.
+type VersionError struct {
+	Got  uint32
+	Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: file version %d newer than supported version %d", e.Got, e.Want)
+}
+
+// castagnoli is the CRC-32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// le is the file byte order.
+var le = binary.LittleEndian
+
+// section is one parsed section-table entry.
+type section struct {
+	name string
+	off  uint64
+	len  uint64
+	crc  uint32
+}
+
+// pad8 returns the bytes needed to advance n to an 8-byte boundary.
+func pad8(n uint64) uint64 { return (8 - n%8) % 8 }
+
+// parseTable decodes and validates a section table (already
+// CRC-verified) against the total file size. It is the decoder the fuzz
+// target drives: every offset and length is bounds-checked before use.
+func parseTable(table []byte, fileSize uint64) ([]section, error) {
+	if len(table) < 8 {
+		return nil, fmt.Errorf("%w: table shorter than its count", ErrCorrupt)
+	}
+	count := le.Uint64(table)
+	table = table[8:]
+	// Each entry is at least 24 bytes; a count implying more than the
+	// remaining table bytes is corrupt, and also guards the allocation.
+	if count > uint64(len(table))/24 {
+		return nil, fmt.Errorf("%w: %d sections in a %d-byte table", ErrCorrupt, count, len(table)+8)
+	}
+	secs := make([]section, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(table) < 24 {
+			return nil, fmt.Errorf("%w: table ends inside entry %d", ErrCorrupt, i)
+		}
+		s := section{
+			off: le.Uint64(table),
+			len: le.Uint64(table[8:]),
+			crc: le.Uint32(table[16:]),
+		}
+		nameLen := uint64(le.Uint32(table[20:]))
+		table = table[24:]
+		if nameLen == 0 || nameLen > 255 || nameLen > uint64(len(table)) {
+			return nil, fmt.Errorf("%w: entry %d has name length %d", ErrCorrupt, i, nameLen)
+		}
+		s.name = string(table[:nameLen])
+		skip := nameLen + pad8(24+nameLen)
+		if skip > uint64(len(table)) {
+			return nil, fmt.Errorf("%w: table ends inside entry %d padding", ErrCorrupt, i)
+		}
+		table = table[skip:]
+		if s.off < headerSize || s.off%8 != 0 || s.off > fileSize || s.len > fileSize-s.off {
+			return nil, fmt.Errorf("%w: section %q spans [%d, %d) of a %d-byte file",
+				ErrTruncated, s.name, s.off, s.off+s.len, fileSize)
+		}
+		secs = append(secs, s)
+	}
+	return secs, nil
+}

@@ -1,0 +1,173 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildValid writes a small multi-section snapshot and returns its bytes.
+func buildValid(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin("alpha")
+	w.U64(3)
+	w.I32s([]int32{10, -20, 30})
+	w.Begin("beta/strings")
+	w.Write([]byte("hello world"))
+	w.Pad8()
+	w.I64s([]int64{1 << 40, -9})
+	w.Begin("gamma")
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := buildValid(t)
+	f, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Section("alpha")
+	if a == nil {
+		t.Fatal("missing section alpha")
+	}
+	if got := le.Uint64(a); got != 3 {
+		t.Fatalf("alpha count = %d", got)
+	}
+	ids := I32View(a[8:])
+	if len(ids) != 3 || ids[0] != 10 || ids[1] != -20 || ids[2] != 30 {
+		t.Fatalf("alpha ids = %v", ids)
+	}
+	b := f.Section("beta/strings")
+	if string(b[:11]) != "hello world" {
+		t.Fatalf("beta prefix = %q", b[:11])
+	}
+	v := I64View(b[16:])
+	if len(v) != 2 || v[0] != 1<<40 || v[1] != -9 {
+		t.Fatalf("beta i64s = %v", v)
+	}
+	if g := f.Section("gamma"); g == nil || len(g) != 0 {
+		t.Fatalf("gamma = %v", g)
+	}
+	if f.Section("nope") != nil {
+		t.Fatal("unknown section returned data")
+	}
+}
+
+func TestOpenMmapMatchesRead(t *testing.T) {
+	data := buildValid(t)
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Size() != int64(len(data)) {
+		t.Fatalf("size %d, want %d", f.Size(), len(data))
+	}
+	ids := I32View(f.Section("alpha")[8:])
+	if len(ids) != 3 || ids[2] != 30 {
+		t.Fatalf("alpha ids via Open = %v", ids)
+	}
+}
+
+// TestCorruption is the fail-closed matrix: a truncated file, a flipped
+// byte, and a future-version header must each return their typed error —
+// never a panic, never a silently wrong load.
+func TestCorruption(t *testing.T) {
+	valid := buildValid(t)
+	mangle := func(fn func([]byte) []byte) []byte {
+		return fn(append([]byte(nil), valid...))
+	}
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty file", nil, ErrFormat},
+		{"not a snapshot", []byte("GIF89a totally unrelated bytes here"), ErrFormat},
+		{"magic prefix only", mangle(func(d []byte) []byte { return d[:5] }), ErrTruncated},
+		{"header only", mangle(func(d []byte) []byte { return d[:headerSize] }), ErrTruncated},
+		{"missing trailer", mangle(func(d []byte) []byte { return d[:len(d)-trailerSize] }), ErrTruncated},
+		{"cut mid-section", mangle(func(d []byte) []byte { return d[:headerSize+10] }), ErrTruncated},
+		{"cut mid-trailer", mangle(func(d []byte) []byte { return d[:len(d)-7] }), ErrTruncated},
+		{"flipped section byte", mangle(func(d []byte) []byte {
+			d[headerSize+2] ^= 0x40 // inside section "alpha"
+			return d
+		}), ErrChecksum},
+		{"flipped table byte", mangle(func(d []byte) []byte {
+			tableOff := le.Uint64(d[len(d)-trailerSize:])
+			d[tableOff+9] ^= 0x01
+			return d
+		}), ErrChecksum},
+		{"future version header", mangle(func(d []byte) []byte {
+			le.PutUint32(d[8:], Version+1)
+			return d
+		}), &VersionError{}},
+		{"future version trailer", mangle(func(d []byte) []byte {
+			le.PutUint32(d[len(d)-trailerSize+20:], Version+7)
+			return d
+		}), &VersionError{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Read(bytes.NewReader(tt.data))
+			if err == nil {
+				t.Fatal("corrupt snapshot loaded without error")
+			}
+			var ve *VersionError
+			if errors.As(tt.want, &ve) {
+				var got *VersionError
+				if !errors.As(err, &got) {
+					t.Fatalf("err = %v, want *VersionError", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+			// The same bytes must fail identically through the file path.
+			path := filepath.Join(t.TempDir(), "bad.bin")
+			if werr := os.WriteFile(path, tt.data, 0o644); werr != nil {
+				t.Fatal(werr)
+			}
+			if _, oerr := Open(path); !errors.Is(oerr, tt.want) {
+				t.Fatalf("Open err = %v, want %v", oerr, tt.want)
+			}
+		})
+	}
+}
+
+func TestWriterRejectsBadSections(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("Write outside a section succeeded")
+	}
+	w = NewWriter(&bytes.Buffer{})
+	w.Begin("")
+	if w.Finish() == nil {
+		t.Fatal("empty section name accepted")
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	w.Begin("s")
+	w.U64(1)
+	if err := w.Finish(); err == nil {
+		t.Fatal("write failure not surfaced by Finish")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }

@@ -1,0 +1,194 @@
+package snapshot
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"unsafe"
+)
+
+// Writer streams a snapshot file section by section. Usage:
+//
+//	w := snapshot.NewWriter(dst)
+//	w.Begin("core/hosts")
+//	w.U64(uint64(n))
+//	w.I32s(ids)
+//	w.Begin("core/zones")
+//	...
+//	err := w.Finish()
+//
+// Errors are sticky: any failed write poisons the Writer and Finish
+// reports the first one, so encoding code can stay assignment-shaped.
+type Writer struct {
+	w   io.Writer
+	off uint64
+	err error
+
+	secs []section
+	cur  int    // index into secs of the open section, -1 when none
+	crc  uint32 // running CRC of the open section
+}
+
+// NewWriter starts a snapshot stream on w, writing the header
+// immediately.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: w, cur: -1}
+	var hdr [headerSize]byte
+	copy(hdr[:], Magic)
+	le.PutUint32(hdr[8:], Version)
+	sw.raw(hdr[:])
+	return sw
+}
+
+// raw writes p, tracking the global offset.
+func (w *Writer) raw(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(p)
+	w.off += uint64(n)
+	w.err = err
+}
+
+var zeros [8]byte
+
+// align8 pads the stream to an 8-byte boundary.
+func (w *Writer) align8() {
+	if p := pad8(w.off); p > 0 {
+		w.raw(zeros[:p])
+	}
+}
+
+// endSection records the open section's final length.
+func (w *Writer) endSection() {
+	if w.cur >= 0 {
+		s := &w.secs[w.cur]
+		s.len = w.off - s.off
+		s.crc = w.crc
+		w.cur = -1
+	}
+}
+
+// Begin closes the current section (if any) and opens a new one. Section
+// names must be unique, non-empty, and at most 255 bytes.
+func (w *Writer) Begin(name string) {
+	w.endSection()
+	if w.err == nil && (name == "" || len(name) > 255) {
+		w.err = fmt.Errorf("snapshot: invalid section name %q", name)
+		return
+	}
+	w.align8()
+	w.secs = append(w.secs, section{name: name, off: w.off})
+	w.cur = len(w.secs) - 1
+	w.crc = 0
+}
+
+// Write appends raw bytes to the open section (io.Writer).
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.cur < 0 {
+		w.err = fmt.Errorf("snapshot: Write outside a section")
+		return 0, w.err
+	}
+	w.crc = crc32.Update(w.crc, castagnoli, p)
+	w.raw(p)
+	if w.err != nil {
+		return 0, w.err
+	}
+	return len(p), nil
+}
+
+// Pad8 pads the open section so the next write starts 8-byte aligned
+// relative to the file (sections themselves always start aligned).
+func (w *Writer) Pad8() {
+	if p := pad8(w.off); p > 0 {
+		w.Write(zeros[:p])
+	}
+}
+
+// U32 writes one little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	var b [4]byte
+	le.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+// U64 writes one little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	le.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+// I64 writes one little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// I32 writes one little-endian int32.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// I32s writes a flat little-endian int32 array.
+func (w *Writer) I32s(v []int32) {
+	if len(v) == 0 {
+		return
+	}
+	if nativeLE {
+		w.Write(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)))
+		return
+	}
+	for _, x := range v {
+		w.I32(x)
+	}
+}
+
+// I64s writes a flat little-endian int64 array.
+func (w *Writer) I64s(v []int64) {
+	if len(v) == 0 {
+		return
+	}
+	if nativeLE {
+		w.Write(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v)))
+		return
+	}
+	for _, x := range v {
+		w.I64(x)
+	}
+}
+
+// Err reports the sticky error, letting encoders bail out early.
+func (w *Writer) Err() error { return w.err }
+
+// Finish closes the last section and writes the section table and
+// trailer. The Writer must not be used afterwards.
+func (w *Writer) Finish() error {
+	w.endSection()
+	w.align8()
+	tableOff := w.off
+
+	// Encode the table into one buffer so it can be CRC'd as a unit.
+	var table []byte
+	var n8 [8]byte
+	le.PutUint64(n8[:], uint64(len(w.secs)))
+	table = append(table, n8[:]...)
+	for _, s := range w.secs {
+		var ent [24]byte
+		le.PutUint64(ent[0:], s.off)
+		le.PutUint64(ent[8:], s.len)
+		le.PutUint32(ent[16:], s.crc)
+		le.PutUint32(ent[20:], uint32(len(s.name)))
+		table = append(table, ent[:]...)
+		table = append(table, s.name...)
+		table = append(table, zeros[:pad8(24+uint64(len(s.name)))]...)
+	}
+	w.raw(table)
+
+	var tr [trailerSize]byte
+	le.PutUint64(tr[0:], tableOff)
+	le.PutUint64(tr[8:], uint64(len(table)))
+	le.PutUint32(tr[16:], crc32.Checksum(table, castagnoli))
+	le.PutUint32(tr[20:], Version)
+	copy(tr[24:], Magic)
+	w.raw(tr[:])
+	return w.err
+}

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 
 	"dnstrust/internal/analysis"
+	"dnstrust/internal/atomicio"
 	"dnstrust/internal/audit"
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/delta"
@@ -51,6 +54,9 @@ type Monitor struct {
 	world *topology.World
 	eng   *crawler.Engine
 	memo  *analysis.ChainMemo
+	// snapshotFile is Options.SnapshotFile: the default target of
+	// Snapshot() and the save-on-Close path ("" = snapshots off).
+	snapshotFile string
 
 	mu   sync.Mutex // serializes Add (and its view commit) and Close
 	view atomic.Pointer[View]
@@ -132,16 +138,34 @@ func OpenWorld(_ context.Context, world *topology.World, opts Options) (*Monitor
 		// open must not leak it (live sockets, notably).
 		return nil, errors.Join(err, src.Close())
 	}
-	eng, err := crawler.NewEngine(r, world.Registry.ProbeFunc(src), crawler.Config{
+	cfg := crawler.Config{
 		Workers:  opts.Workers,
 		MemoFile: opts.MemoFile,
 		Progress: opts.Progress,
 		Source:   src,
-	})
+	}
+	var eng *crawler.Engine
+	if opts.SnapshotFile != "" {
+		if _, serr := os.Stat(opts.SnapshotFile); serr == nil {
+			eng, err = crawler.NewEngineFromSnapshot(r, world.Registry.ProbeFunc(src), cfg, opts.SnapshotFile)
+		} else if !os.IsNotExist(serr) {
+			err = serr
+		}
+		// A missing snapshot file is a fresh start, exactly like a
+		// missing memo file; corrupt or future-version files fail the
+		// open instead (they are never silently discarded).
+	}
 	if err != nil {
 		return nil, errors.Join(err, src.Close())
 	}
-	m := &Monitor{world: world, eng: eng, memo: analysis.NewChainMemo(), retain: max(opts.Retain, 1)}
+	if eng == nil {
+		eng, err = crawler.NewEngine(r, world.Registry.ProbeFunc(src), cfg)
+		if err != nil {
+			return nil, errors.Join(err, src.Close())
+		}
+	}
+	m := &Monitor{world: world, eng: eng, memo: analysis.NewChainMemo(),
+		snapshotFile: opts.SnapshotFile, retain: max(opts.Retain, 1)}
 	v := m.newView(eng.View())
 	m.view.Store(v)
 	m.timeline = []*View{v}
@@ -257,13 +281,48 @@ func (m *Monitor) Generation() int64 { return m.view.Load().Generation() }
 // Adds — the counter behind the memoization guarantee.
 func (m *Monitor) Queries() int { return m.eng.Queries() }
 
-// Close ends the session's write side: the query memo is persisted
-// (when Options.MemoFile is set) and released, and further Adds fail.
-// Every committed View remains fully queryable.
+// WriteSnapshot serializes the session's resident state — the epoch
+// store behind every committed generation, plus banners and the
+// generation counter — as one binary snapshot on w. It runs exactly
+// between Adds (the engine serializes internally); reads are never
+// blocked. Prefer Snapshot/SaveSnapshot for files: they write
+// atomically, so an interrupt mid-save never leaves a loadable partial
+// snapshot.
+func (m *Monitor) WriteSnapshot(w io.Writer) error {
+	return m.eng.WriteSnapshot(w)
+}
+
+// SaveSnapshot atomically writes the session snapshot to path
+// (write-to-temp, fsync, rename — a kill mid-save leaves the previous
+// file intact) and returns its size in bytes. A session reopened with
+// Options.SnapshotFile naming this file resumes at the saved generation
+// with zero transport queries.
+func (m *Monitor) SaveSnapshot(path string) (int64, error) {
+	return atomicio.WriteFile(path, m.WriteSnapshot)
+}
+
+// Snapshot saves the session snapshot to Options.SnapshotFile and
+// returns its size in bytes. It errors when the session was opened
+// without a snapshot file; use SaveSnapshot to name an explicit path.
+func (m *Monitor) Snapshot() (int64, error) {
+	if m.snapshotFile == "" {
+		return 0, errors.New("dnstrust: Snapshot: no Options.SnapshotFile configured")
+	}
+	return m.SaveSnapshot(m.snapshotFile)
+}
+
+// Close ends the session's write side: the session snapshot is saved
+// (when Options.SnapshotFile is set), the query memo is persisted (when
+// Options.MemoFile is set) and released, and further Adds fail. Every
+// committed View remains fully queryable.
 func (m *Monitor) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.eng.Close()
+	var snapErr error
+	if m.snapshotFile != "" {
+		_, snapErr = m.SaveSnapshot(m.snapshotFile)
+	}
+	return errors.Join(snapErr, m.eng.Close())
 }
 
 func (m *Monitor) newView(s *crawler.Survey) *View {

@@ -1,0 +1,129 @@
+package dnstrust
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestMonitorSnapshotColdStart is the headline restart property: a
+// session reopened from a snapshot file reproduces the saved
+// generation's Summary byte-for-byte with zero transport queries, and
+// then keeps crawling incrementally.
+func TestMonitorSnapshotColdStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.snap")
+	opts := Options{Seed: 11, Names: 400, SnapshotFile: path}
+
+	m := openTestMonitor(t, opts)
+	ctx := context.Background()
+	corpus := m.World().Corpus
+	v1, err := m.Add(ctx, corpus...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.Snapshot(); err != nil || n == 0 {
+		t.Fatalf("Snapshot() = %d bytes, %v", n, err)
+	}
+	wantSum, err := json.Marshal(v1.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := v1.Names()
+
+	m2 := openTestMonitor(t, opts)
+	if got := m2.Queries(); got != 0 {
+		t.Fatalf("cold start issued %d transport queries, want 0", got)
+	}
+	if m2.Generation() != v1.Generation() {
+		t.Fatalf("restored generation = %d, want %d", m2.Generation(), v1.Generation())
+	}
+	v2 := m2.At()
+	if !reflect.DeepEqual(v2.Names(), wantNames) {
+		t.Fatal("restored names differ")
+	}
+	gotSum, err := json.Marshal(v2.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotSum) != string(wantSum) {
+		t.Fatalf("restored summary differs:\n got %s\nwant %s", gotSum, wantSum)
+	}
+	if got := m2.Queries(); got != 0 {
+		t.Fatalf("restored Summary touched the transport: %d queries", got)
+	}
+	for _, n := range wantNames[:10] {
+		w1, err1 := v1.Bottleneck(n)
+		w2, err2 := v2.Bottleneck(n)
+		if err1 != nil || err2 != nil || !reflect.DeepEqual(w1, w2) {
+			t.Fatalf("min-cut for %q differs after restore (%v, %v)", n, err1, err2)
+		}
+	}
+
+	// The restored session is live: a new Add commits the next generation.
+	v3, err := m2.Add(ctx, "www.fresh.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Generation() != v1.Generation()+1 {
+		t.Fatalf("post-restore Add committed generation %d, want %d",
+			v3.Generation(), v1.Generation()+1)
+	}
+}
+
+// TestMonitorSnapshotSavedOnClose checks the durable-session loop with
+// no explicit Snapshot call at all: Close saves, the next Open restores.
+func TestMonitorSnapshotSavedOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.snap")
+	opts := Options{Seed: 13, Names: 150, SnapshotFile: path}
+	m := openTestMonitor(t, opts)
+	if _, err := m.Add(context.Background(), m.World().Corpus...); err != nil {
+		t.Fatal(err)
+	}
+	queried := m.Queries()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("Close did not save the snapshot: %v", err)
+	}
+	if queried == 0 {
+		t.Fatal("first session issued no queries")
+	}
+
+	m2 := openTestMonitor(t, opts)
+	if m2.Generation() != 1 || m2.Queries() != 0 {
+		t.Fatalf("restored session: generation %d, %d queries", m2.Generation(), m2.Queries())
+	}
+	if m2.At().NumNames() != len(m2.World().Corpus) {
+		t.Fatalf("restored %d names, want %d", m2.At().NumNames(), len(m2.World().Corpus))
+	}
+}
+
+// TestMonitorSnapshotUnconfigured: Snapshot without a configured file is
+// an error; SaveSnapshot with an explicit path still works.
+func TestMonitorSnapshotUnconfigured(t *testing.T) {
+	m := openTestMonitor(t, Options{Seed: 7, Names: 60})
+	if _, err := m.Snapshot(); err == nil {
+		t.Fatal("Snapshot without Options.SnapshotFile must fail")
+	}
+	path := filepath.Join(t.TempDir(), "explicit.snap")
+	if n, err := m.SaveSnapshot(path); err != nil || n == 0 {
+		t.Fatalf("SaveSnapshot = %d, %v", n, err)
+	}
+}
+
+// TestMonitorSnapshotCorruptFailsClosed: a corrupt snapshot file must
+// fail the open loudly, never silently start fresh over it.
+func TestMonitorSnapshotCorruptFailsClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(path, []byte("DNSTSNP\x00 not actually a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(context.Background(), Options{Seed: 7, Names: 60, SnapshotFile: path})
+	if err == nil {
+		t.Fatal("corrupt snapshot must fail the open")
+	}
+}

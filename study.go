@@ -69,6 +69,17 @@ type Options struct {
 	// and reloads it on the next run, resuming an interrupted survey
 	// without re-asking answered questions.
 	MemoFile string
+	// SnapshotFile, when non-empty, makes session state durable as a
+	// binary epoch-store snapshot: OpenWorld restores the last committed
+	// generation from the file when it exists (missing is a fresh start),
+	// Monitor.Snapshot saves the current generation back to it, and Close
+	// saves it one last time. Restoring reproduces the saved generation's
+	// entire read surface — graph, banners, vulnerability scoring,
+	// Summary — with zero transport queries, in load time rather than
+	// re-crawl time. Unlike MemoFile (a query-level memo that still
+	// replays the walk) the snapshot is the walked result itself; see the
+	// README's "Snapshots vs. memo files vs. query logs".
+	SnapshotFile string
 	// Progress receives crawl progress callbacks when non-nil.
 	Progress func(done, total int)
 
