@@ -7,17 +7,26 @@
 // regression here means the diff started scanning the corpus), and
 // SnapshotColdStart (ns/name to restore a monitor from a binary
 // snapshot, and the replay-rebuild baseline it is compared against —
-// the snapshot-load gate is what keeps restarts second-scale). All
-// other shared benchmarks are reported for information only.
-// Benchmarks absent from either report are skipped, so adding a new
-// gated benchmark never breaks CI against older baselines.
+// the snapshot-load gate is what keeps restarts second-scale),
+// VerdictLookup (ns/name of the serving-path verdict cache hit under
+// generation churn), and ProxyServe (ns/name of the full proxy handler:
+// verdict plus iterative upstream resolution). All other shared
+// benchmarks are reported for information only. Benchmarks absent from
+// either report are skipped, so adding a new gated benchmark never
+// breaks CI against older baselines.
+//
+// Beyond the relative gate, the new report alone is held to absolute
+// floors: VerdictLookup must sustain -min-verdict-qps lookups/s
+// (default 100000 — the serving-path acceptance claim), even when the
+// old baseline predates the benchmark.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_2.json -new /tmp/bench-ci.json [-max-regress 0.25]
+//	          [-min-verdict-qps 100000]
 //
 // Exit status: 0 when every gated benchmark is within the allowed
-// regression, 1 otherwise, 2 on usage/IO errors.
+// regression and every floor holds, 1 otherwise, 2 on usage/IO errors.
 package main
 
 import (
@@ -70,7 +79,9 @@ func gated(name string) bool {
 	return strings.HasPrefix(name, "IncrementalBuild/") ||
 		strings.HasPrefix(name, "ReplayCrawl/") ||
 		strings.HasPrefix(name, "TimelineDiff/") ||
-		strings.HasPrefix(name, "SnapshotColdStart/")
+		strings.HasPrefix(name, "SnapshotColdStart/") ||
+		strings.HasPrefix(name, "VerdictLookup/") ||
+		strings.HasPrefix(name, "ProxyServe/")
 }
 
 // buildScale extracts the per-op name count from a gated benchmark name
@@ -91,6 +102,7 @@ func main() {
 	oldPath := flag.String("old", "", "previous BENCH_N.json (the committed baseline)")
 	newPath := flag.String("new", "", "fresh BENCH json to check")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional regression in build ns/name")
+	minVerdictQPS := flag.Float64("min-verdict-qps", 100_000, "absolute floor on VerdictLookup lookups/s in the new report (0 disables)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
@@ -144,12 +156,34 @@ func main() {
 		}
 		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", b.Name, o.NsPerOp, b.NsPerOp, 100*delta, mark)
 	}
-	if gatedSeen == 0 {
+	// Absolute floors run over the new report alone, so they hold even
+	// when the committed baseline predates the benchmark (the skip rule
+	// above only covers the relative gate).
+	floors := 0
+	if *minVerdictQPS > 0 {
+		for _, name := range names {
+			if !strings.HasPrefix(name, "VerdictLookup/") {
+				continue
+			}
+			floors++
+			qps := newB[name].Extra["lookups/s"]
+			if qps < *minVerdictQPS {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchdiff: %s below floor: %.0f lookups/s, need >= %.0f\n",
+					name, qps, *minVerdictQPS)
+			} else {
+				fmt.Printf("floor passed: %s sustained %.0f lookups/s (floor %.0f)\n",
+					name, qps, *minVerdictQPS)
+			}
+		}
+	}
+	if gatedSeen == 0 && floors == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no gated benchmarks shared between the reports — nothing gated")
 		os.Exit(1)
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("gate passed: %d gated benchmark(s) within +%.0f%% ns/name\n", gatedSeen, 100**maxRegress)
+	fmt.Printf("gate passed: %d gated benchmark(s) within +%.0f%% ns/name, %d floor(s) held\n",
+		gatedSeen, 100**maxRegress, floors)
 }

@@ -18,9 +18,12 @@
 // benchmarks: the warm generation diff after a small Add on a 100k-name
 // survey (gated) and the retained-generation memory comparison —
 // bytes/generation with the copy-on-write epoch store versus detached
-// full-table epochs — and the snapshot cold-start benchmark (gated):
+// full-table epochs — the snapshot cold-start benchmark (gated):
 // restoring a 100k-name monitor from a binary epoch-store snapshot
-// versus rebuilding it from a recorded query log, via -snapshot-names.
+// versus rebuilding it from a recorded query log, via -snapshot-names —
+// and the serving-path benchmarks (gated): the verdict cache hit path
+// under concurrent generation commits (held to an absolute >=100k
+// lookups/s floor by cmd/benchdiff) and the proxy handler end to end.
 package main
 
 import (
@@ -40,9 +43,12 @@ import (
 	"dnstrust/internal/core"
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/delta"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/proxy"
 	"dnstrust/internal/resolver"
 	"dnstrust/internal/topology"
 	"dnstrust/internal/transport"
+	"dnstrust/internal/verdict"
 )
 
 // Result is one benchmark's machine-readable outcome.
@@ -66,7 +72,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output file")
+	out := flag.String("out", "BENCH_7.json", "output file")
 	names := flag.Int("names", 1200, "benchmark corpus size")
 	seed := flag.Int64("seed", 5, "world generation seed")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-query round-trip for crawl benches")
@@ -381,6 +387,112 @@ func main() {
 			coldStart(dnstrust.Options{SnapshotFile: snapPath}, false))
 		run(fmt.Sprintf("SnapshotColdStart/replay/names=%d", *snapNames),
 			coldStart(dnstrust.Options{ReplayLog: qlog}, true))
+	}
+
+	// Serving-path benchmarks: the verdict cache under generation churn
+	// (gated by cmd/benchdiff on ns/op and on the absolute >=100k
+	// lookups/s floor) and the proxy handler end to end (gated on ns/op).
+	{
+		ctx := context.Background()
+		m, err := dnstrust.OpenWorld(ctx, world, dnstrust.Options{Workers: 4})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		cache, err := verdict.NewCache(m.At().Survey(), verdict.Config{TTL: time.Hour})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		m.OnCommit(func(v *dnstrust.View) { cache.Advance(v.Survey()) })
+		if _, err := m.Add(ctx, world.Corpus...); err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		vnames := m.At().Names()
+		for _, n := range vnames {
+			cache.Lookup(n)
+		}
+		run(fmt.Sprintf("VerdictLookup/names=%d", len(world.Corpus)), func(b *testing.B) {
+			stop := make(chan struct{})
+			type churnResult struct {
+				commits uint64
+				err     error
+			}
+			churned := make(chan churnResult, 1)
+			go func() {
+				var res churnResult
+				defer func() { churned <- res }()
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					lo := (i * 25) % len(vnames)
+					hi := lo + 25
+					if hi > len(vnames) {
+						hi = len(vnames)
+					}
+					if _, err := m.Add(ctx, vnames[lo:hi]...); err != nil {
+						res.err = err
+						return
+					}
+					res.commits++
+					i++
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if cache.Lookup(vnames[i%len(vnames)]) == nil {
+						panic("nil verdict")
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			res := <-churned
+			if res.err != nil {
+				b.Fatal(res.err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+			b.ReportMetric(float64(res.commits), "commits")
+		})
+
+		src := world.Registry.Source()
+		r, err := resolver.New(src, resolver.Config{Roots: world.Registry.RootServers()})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		p, err := proxy.New(proxy.Config{Resolver: r, Cache: cache})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+			os.Exit(1)
+		}
+		run(fmt.Sprintf("ProxyServe/names=%d", len(world.Corpus)), func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					name := vnames[i%len(vnames)]
+					i++
+					resp := p.ServeDNS(ctx, dnswire.NewQuery(uint16(i), name, dnswire.TypeA, dnswire.ClassINET))
+					if resp == nil || resp.RCode == dnswire.RCodeServFail {
+						panic(fmt.Sprintf("proxy failed on %s: %v", name, resp))
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+		src.Close()
+		cache.Close()
+		m.Close()
 	}
 
 	run("WalkerContention", func(b *testing.B) {

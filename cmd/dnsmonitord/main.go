@@ -15,6 +15,11 @@
 //	GET  /tcb?name=N         trusted computing base of a surveyed name
 //	GET  /bottleneck?name=N  §3.2 min-cut analysis of a name
 //	GET  /audit?name=N       §5 trust-audit findings for a name
+//	GET  /verdict?name=N     serving-path policy verdict (allow / flag /
+//	                         refuse) from the same lock-free cache
+//	                         dnstrustd consults per query; a never-seen
+//	                         name answers provisionally and is queued
+//	                         for a background crawl
 //	GET  /stats              crawl-engine counters and generation
 //	GET  /generations        the retained timeline (-retain bounds it)
 //	GET  /diff?from=&to=     typed trust delta between two retained
@@ -71,6 +76,7 @@ import (
 	"dnstrust"
 	"dnstrust/internal/topology"
 	"dnstrust/internal/transport"
+	"dnstrust/internal/verdict"
 )
 
 func main() {
@@ -84,6 +90,10 @@ func main() {
 	record := flag.String("record", "", "record every transport exchange into this query-log file (saved after each crawl)")
 	replay := flag.String("replay", "", "serve the session from this recorded query log (strict: unrecorded queries fail)")
 	live := flag.Bool("live", false, "boot the world's nameservers on loopback and crawl over real UDP/TCP sockets")
+	maxTCB := flag.Int("max-tcb", 100, "/verdict flags names whose trusted computing base exceeds this many servers (-1 disables)")
+	narrowCut := flag.Int("narrow-cut", 1, "/verdict flags names whose minimum delegation cut is at most this many servers (-1 disables)")
+	flagOnly := flag.Bool("flag-only", false, "/verdict downgrades refusals to flags")
+	verdictTTL := flag.Duration("verdict-ttl", time.Minute, "verdict cache TTL (generation commits invalidate changed names immediately)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -130,6 +140,28 @@ func main() {
 	}
 	defer m.Close()
 	srv := &server{m: m, recLog: recLog, recPath: *record, snapPath: *snapshot}
+	// The verdict cache is the same structure dnstrustd consults on its
+	// serving hot path; here it backs /verdict. Commits advance it in
+	// place (evicting only changed names), and /verdict on a never-seen
+	// name queues a background crawl whose commit is persisted exactly
+	// like a /add.
+	cache, err := verdict.NewCache(m.At().Survey(), verdict.Config{
+		Policy: verdict.Policy{MaxTCB: *maxTCB, NarrowCut: *narrowCut, FlagOnly: *flagOnly},
+		TTL:    *verdictTTL,
+		Add: func(ctx context.Context, names ...string) error {
+			if _, err := m.Add(ctx, names...); err != nil {
+				return err
+			}
+			srv.saveRecording()
+			srv.saveSnapshot()
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatalf("dnsmonitord: %v", err)
+	}
+	m.OnCommit(func(v *dnstrust.View) { cache.Advance(v.Survey()) })
+	srv.cache = cache
 	if v := m.At(); v.Generation() > 0 {
 		// The snapshot restored the last committed generation; the
 		// initial crawl is already paid for.
@@ -165,6 +197,7 @@ func main() {
 		sig := <-sigc
 		log.Printf("%v: saving session state and shutting down", sig)
 		shutStart := time.Now()
+		cache.Close()
 		if err := m.Close(); err != nil {
 			log.Printf("dnsmonitord: shutdown: %v", err)
 			os.Exit(1)
@@ -185,6 +218,7 @@ func main() {
 	mux.HandleFunc("GET /tcb", srv.tcb)
 	mux.HandleFunc("GET /bottleneck", srv.bottleneck)
 	mux.HandleFunc("GET /audit", srv.audit)
+	mux.HandleFunc("GET /verdict", srv.verdict)
 	mux.HandleFunc("GET /stats", srv.stats)
 	mux.HandleFunc("GET /generations", srv.generations)
 	mux.HandleFunc("GET /diff", srv.diff)
@@ -198,6 +232,9 @@ func main() {
 // view; /add serializes through the Monitor itself.
 type server struct {
 	m *dnstrust.Monitor
+
+	// cache serves /verdict; Monitor.OnCommit keeps it advancing.
+	cache *verdict.Cache
 
 	// recLog/recPath persist the session's query recording; recMu
 	// serializes saves from concurrent /add handlers.
@@ -349,6 +386,28 @@ func (s *server) audit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// verdict serves the per-name policy verdict from the shared cache. A
+// hit costs two atomic loads; a never-seen name answers provisionally
+// (flagged) and queues a background crawl — poll again after it commits
+// for the real verdict.
+func (s *server) verdict(w http.ResponseWriter, r *http.Request) {
+	name, ok := nameParam(w, r)
+	if !ok {
+		return
+	}
+	v := s.cache.Lookup(name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":        v.Name,
+		"level":       v.Level.String(),
+		"reasons":     v.Reasons.Strings(),
+		"generation":  v.Generation,
+		"tcb_size":    v.TCBSize,
+		"cut":         v.Cut,
+		"safe_in_cut": v.SafeInCut,
+		"provisional": v.Provisional,
+	})
+}
+
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	v := s.m.At()
 	st := v.Survey().Stats
@@ -363,7 +422,24 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"shared_walks":      st.Walker.SharedWalks,
 		"walk_seconds":      st.WalkTime.Seconds(),
 		"build_seconds":     st.BuildTime.Seconds(),
+		"verdict_cache":     verdictStats(s.cache.Stats()),
 	})
+}
+
+// verdictStats flattens cache counters for the /stats payload.
+func verdictStats(cs verdict.Stats) map[string]any {
+	return map[string]any{
+		"size":        cs.Size,
+		"generation":  cs.Generation,
+		"hits":        cs.Hits,
+		"misses":      cs.Misses,
+		"provisional": cs.Provisional,
+		"evicted":     cs.Evicted,
+		"flushes":     cs.Flushes,
+		"stale_skips": cs.StaleSkips,
+		"enqueued":    cs.Enqueued,
+		"dropped":     cs.Dropped,
+	}
 }
 
 // genParam parses an int64 query parameter, with a default when absent.

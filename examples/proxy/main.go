@@ -1,0 +1,146 @@
+// Serving-path walkthrough: the paper's §3.2 measurement turned into an
+// answer-path decision. A monitored survey condemns www.fbi.gov (its
+// delegation chain passes through a hijackable BIND 8.2.4 server), and
+// a trust-aware resolving proxy serves real UDP clients accordingly:
+// REFUSED for the condemned chain without ever contacting upstream,
+// NOERROR for a clean chain, answered-but-logged for a narrow one.
+//
+//	go run ./examples/proxy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dnstrust"
+	"dnstrust/internal/dnsclient"
+	"dnstrust/internal/dnsserver"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/proxy"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+	"dnstrust/internal/verdict"
+)
+
+// servingWorld is the FBI case study plus two contrasting chains: a
+// clean two-server zone (allow) and a single-server zone (flag:
+// narrow cut).
+func servingWorld() *topology.World {
+	b := topology.NewWorld()
+	gov := []string{"a.gov-servers.net", "b.gov-servers.net"}
+	gtld := []string{"a.gtld-servers.net", "b.gtld-servers.net", "c.gtld-servers.net"}
+	b.Zone("com", gtld...)
+	b.Zone("net", gtld...)
+	b.Zone("gov", gov...)
+	b.Zone("gov-servers.net", gov...)
+	b.Zone("gtld-servers.net", gtld...)
+
+	b.Zone("fbi.gov", "dns.sprintip.com", "dns2.sprintip.com")
+	b.Zone("sprintip.com",
+		"reston-ns1.telemail.net", "reston-ns2.telemail.net", "reston-ns3.telemail.net")
+	b.Zone("telemail.net",
+		"reston-ns1.telemail.net", "reston-ns2.telemail.net", "reston-ns3.telemail.net")
+	b.SetBanner("dns.sprintip.com", "BIND 9.2.2")
+	b.SetBanner("dns2.sprintip.com", "BIND 9.2.2")
+	b.SetBanner("reston-ns1.telemail.net", "BIND 9.2.3")
+	b.SetBanner("reston-ns2.telemail.net", "BIND 8.2.4") // hijackable
+	b.Host("www.fbi.gov")
+
+	b.Zone("example.com", "ns1.example.com", "ns2.example.com")
+	b.SetBanner("ns1.example.com", "BIND 9.2.3")
+	b.SetBanner("ns2.example.com", "BIND 9.2.3")
+	b.Host("www.example.com")
+
+	b.Zone("solo.com", "ns1.solo.com")
+	b.SetBanner("ns1.solo.com", "BIND 9.2.3")
+	b.Host("www.solo.com")
+
+	return &topology.World{
+		Registry: b.Finalize(),
+		Corpus:   []string{"www.fbi.gov", "www.example.com", "www.solo.com"},
+	}
+}
+
+func main() {
+	ctx := context.Background()
+	world := servingWorld()
+
+	// The monitor surveys the corpus; the verdict cache rides its
+	// commits (OnCommit fires inside every Add), evicting exactly the
+	// names whose chains each generation changed.
+	m, err := dnstrust.OpenWorld(ctx, world, dnstrust.Options{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	cache, err := verdict.NewCache(m.At().Survey(), verdict.Config{
+		TTL: time.Hour,
+		Add: func(ctx context.Context, names ...string) error {
+			_, err := m.Add(ctx, names...)
+			return err
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
+	m.OnCommit(func(v *dnstrust.View) { cache.Advance(v.Survey()) })
+	if _, err := m.Add(ctx, world.Corpus...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("surveyed %d names (generation %d)\n\n", m.At().NumNames(), m.Generation())
+
+	for _, n := range world.Corpus {
+		v := cache.Lookup(n)
+		fmt.Printf("%-16s -> %-6s %s (tcb=%d cut=%d)\n", n, v.Level, v.Reasons, v.TCBSize, v.Cut)
+	}
+
+	// The proxy: verdict first, then iterative resolution upstream.
+	src := world.Registry.Source()
+	defer src.Close()
+	r, err := resolver.New(src, resolver.Config{Roots: world.Registry.RootServers()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := proxy.New(proxy.Config{Resolver: r, Cache: cache, Logger: log.New(os.Stdout, "policy: ", 0)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := dnsserver.Start(ctx, "127.0.0.1:0", dnsserver.Config{Handler: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	fmt.Printf("\nproxy serving on %s\n\n", addr)
+
+	c := dnsclient.New(dnsclient.Config{Timeout: 2 * time.Second})
+	for _, n := range []string{"www.fbi.gov", "www.example.com", "www.solo.com", "www.new-name.gov"} {
+		resp, err := c.Query(ctx, addr, n, dnswire.TypeA, dnswire.ClassINET)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %-16s -> %v, %d answer(s)\n", n, resp.RCode, len(resp.Answers))
+	}
+
+	// www.new-name.gov was answered provisionally and queued; once the
+	// background crawl commits, the verdict is real.
+	for cache.Lookup("www.new-name.gov").Provisional {
+		time.Sleep(5 * time.Millisecond)
+	}
+	v := cache.Lookup("www.new-name.gov")
+	fmt.Printf("\nafter background crawl (generation %d): www.new-name.gov -> %s (%s)\n",
+		v.Generation, v.Level, v.Reasons)
+
+	// Drain in-flight queries before closing (bounded by the context).
+	sdCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		log.Fatal(err)
+	}
+	st := p.Stats()
+	fmt.Printf("proxy stats: served=%d refused=%d flagged=%d failed=%d\n",
+		st.Served, st.Refused, st.Flagged, st.Failed)
+}

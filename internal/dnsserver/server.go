@@ -21,10 +21,32 @@ import (
 	"dnstrust/internal/dnszone"
 )
 
+// Handler computes the response to one parsed DNS request. Returning nil
+// drops the request. The context is the server's lifetime context: it is
+// cancelled on abrupt Close, but stays live through a graceful Shutdown so
+// in-flight handlers can finish and their responses still reach the wire.
+// Handlers run concurrently and must be safe for concurrent use.
+type Handler interface {
+	ServeDNS(ctx context.Context, req *dnswire.Message) *dnswire.Message
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, req *dnswire.Message) *dnswire.Message
+
+// ServeDNS implements Handler.
+func (f HandlerFunc) ServeDNS(ctx context.Context, req *dnswire.Message) *dnswire.Message {
+	return f(ctx, req)
+}
+
 // Config configures a Server.
 type Config struct {
 	// Zones lists the zones this server answers for authoritatively.
 	Zones []*dnszone.Zone
+	// Handler, when non-nil, answers all well-formed queries instead of
+	// the authoritative zone logic. This turns the listener into a
+	// general DNS frontend (the trust-aware proxy runs this way); Zones
+	// may then be empty.
+	Handler Handler
 	// VersionBanner is returned for CH TXT version.bind queries.
 	// Empty means the probe is REFUSED (a "hidden" server).
 	VersionBanner string
@@ -43,9 +65,14 @@ type Server struct {
 	udp *net.UDPConn
 	tcp *net.TCPListener
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
 }
 
 // ZoneSet indexes zones for longest-suffix matching.
@@ -103,7 +130,8 @@ func Start(ctx context.Context, addr string, cfg Config) (*Server, error) {
 	if cfg.ReadTimeout == 0 {
 		cfg.ReadTimeout = 5 * time.Second
 	}
-	s := &Server{cfg: cfg, zones: zs}
+	s := &Server{cfg: cfg, zones: zs, conns: make(map[net.Conn]struct{})}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 
 	tcpL, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -134,7 +162,9 @@ func Start(ctx context.Context, addr string, cfg Config) (*Server, error) {
 // Addr returns the bound address (identical for UDP and TCP).
 func (s *Server) Addr() net.Addr { return s.udp.LocalAddr() }
 
-// Close stops the listeners and waits for in-flight requests.
+// Close stops the listeners abruptly and waits for goroutines to exit.
+// In-flight UDP responses race the socket close and may be lost; callers
+// that need every accepted query answered should use Shutdown instead.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -142,17 +172,97 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
+	s.cancel()
 	s.udp.Close()
 	s.tcp.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return nil
+}
+
+// Shutdown gracefully stops the server: it stops reading new queries but
+// keeps both sockets open until every in-flight query has been answered,
+// so no accepted query loses its response (Close, by contrast, races the
+// handler against the socket close). New TCP sessions are rejected and
+// idle ones unblocked; a connection mid-request finishes its exchange.
+// If ctx expires before the drain completes, Shutdown falls back to an
+// abrupt Close and returns ctx.Err(). Shutdown is idempotent and safe to
+// race with Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if !s.draining {
+		s.draining = true
+		// Kick the UDP read loop out of its blocking read without
+		// closing the socket: responses still need it.
+		s.udp.SetReadDeadline(time.Now())
+		// Stop accepting; established connections drain below.
+		s.tcp.Close()
+		for c := range s.conns {
+			// Unblocks idle connections; one mid-request still gets
+			// its response written before the loop exits.
+			c.SetReadDeadline(time.Now())
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.Close() // nothing in flight; release the sockets
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
 }
 
 func (s *Server) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closed
+}
+
+func (s *Server) isStopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || s.draining
+}
+
+// track registers a TCP connection for shutdown accounting. It reports
+// false when the server is already closed (the connection should be
+// dropped); during a drain the connection is admitted but has its read
+// deadline slammed so it cannot start another exchange.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	if s.draining {
+		conn.SetReadDeadline(time.Now())
+	}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -167,7 +277,7 @@ func (s *Server) serveUDP() {
 	for {
 		n, peer, err := s.udp.ReadFromUDP(buf)
 		if err != nil {
-			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+			if s.isStopping() || errors.Is(err, net.ErrClosed) {
 				return
 			}
 			s.logf("udp read: %v", err)
@@ -194,15 +304,20 @@ func (s *Server) serveTCP() {
 	for {
 		conn, err := s.tcp.Accept()
 		if err != nil {
-			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+			if s.isStopping() || errors.Is(err, net.ErrClosed) {
 				return
 			}
 			s.logf("tcp accept: %v", err)
 			continue
 		}
+		if !s.track(conn) {
+			conn.Close()
+			continue
+		}
 		s.wg.Add(1)
 		go func(conn net.Conn) {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.serveTCPConn(conn)
 		}(conn)
@@ -213,6 +328,11 @@ func (s *Server) serveTCP() {
 // (RFC 1035 §4.2.2), allowing multiple queries per connection.
 func (s *Server) serveTCPConn(conn net.Conn) {
 	for {
+		if s.isStopping() {
+			// Do not refresh the read deadline Shutdown slammed: the
+			// finished exchange was the connection's last.
+			return
+		}
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return
 		}
@@ -256,6 +376,9 @@ func (s *Server) handle(pkt []byte, udp bool) []byte {
 		return nil
 	}
 	resp := s.respond(req)
+	if resp == nil {
+		return nil
+	}
 	out, err := resp.Pack()
 	if err != nil {
 		s.logf("pack response: %v", err)
@@ -274,8 +397,12 @@ func (s *Server) handle(pkt []byte, udp bool) []byte {
 	return out
 }
 
-// respond builds the full response message for a single-question query.
+// respond builds the full response message for a single-question query,
+// dispatching to the configured Handler when one is set.
 func (s *Server) respond(req *dnswire.Message) *dnswire.Message {
+	if s.cfg.Handler != nil {
+		return s.cfg.Handler.ServeDNS(s.ctx, req)
+	}
 	return Respond(s.zones, s.cfg.VersionBanner, req)
 }
 

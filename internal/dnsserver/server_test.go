@@ -2,6 +2,8 @@ package dnsserver
 
 import (
 	"context"
+	"errors"
+	"io"
 	"net"
 	"net/netip"
 	"strings"
@@ -303,5 +305,167 @@ func TestZoneSetRootZone(t *testing.T) {
 	}
 	if z := zs.Match("anything.at.all"); z != root {
 		t.Error("root zone must match every name")
+	}
+}
+
+// slowEcho is a Handler that sleeps before answering, long enough for a
+// test to start a shutdown while the query is in flight.
+type slowEcho struct {
+	delay time.Duration
+	text  string
+}
+
+func (h *slowEcho) ServeDNS(ctx context.Context, req *dnswire.Message) *dnswire.Message {
+	select {
+	case <-time.After(h.delay):
+	case <-ctx.Done():
+		return nil
+	}
+	resp := req.Reply()
+	resp.Authoritative = true
+	resp.Answers = []dnswire.RR{{
+		Name: req.Questions[0].Name, Class: dnswire.ClassINET, TTL: 0,
+		Data: dnswire.TXT{Text: []string{h.text}},
+	}}
+	return resp
+}
+
+func TestHandlerServesQueries(t *testing.T) {
+	_, addr := startServer(t, Config{Handler: &slowEcho{text: "hello"}})
+	c := dnsclient.New(dnsclient.Config{Timeout: time.Second})
+	resp, err := c.Query(context.Background(), addr, "any.example.com", dnswire.TypeTXT, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("unexpected response: %s", resp)
+	}
+	if got := resp.Answers[0].Data.(dnswire.TXT).Text[0]; got != "hello" {
+		t.Errorf("answer = %q", got)
+	}
+}
+
+// TestShutdownDrainsInFlightUDP is the regression test for the old
+// Close race: a query whose handler is still running when the stop
+// begins must still get its response. Close slams the UDP socket, so
+// the response was silently lost; Shutdown keeps the socket open until
+// the handler finishes.
+func TestShutdownDrainsInFlightUDP(t *testing.T) {
+	s, addr := startServer(t, Config{Handler: &slowEcho{delay: 150 * time.Millisecond, text: "drained"}})
+	c := dnsclient.New(dnsclient.Config{Timeout: 2 * time.Second})
+
+	type result struct {
+		resp *dnswire.Message
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := c.Query(context.Background(), addr, "slow.example.com", dnswire.TypeTXT, dnswire.ClassINET)
+		ch <- result{resp, err}
+	}()
+
+	time.Sleep(40 * time.Millisecond) // let the query reach the handler
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("in-flight query lost its response across Shutdown: %v", r.err)
+	}
+	if got := r.resp.Answers[0].Data.(dnswire.TXT).Text[0]; got != "drained" {
+		t.Errorf("answer = %q", got)
+	}
+
+	// The sockets are released: new queries fail fast.
+	c2 := dnsclient.New(dnsclient.Config{Timeout: 200 * time.Millisecond})
+	if _, err := c2.Query(context.Background(), addr, "late.example.com", dnswire.TypeTXT, dnswire.ClassINET); err == nil {
+		t.Error("query after Shutdown should not be answered")
+	}
+}
+
+// TestShutdownDrainsInFlightTCP covers the same drain guarantee for a
+// connection mid-exchange: the response is written before the server
+// stops, and the connection is then closed instead of being reused.
+func TestShutdownDrainsInFlightTCP(t *testing.T) {
+	s, addr := startServer(t, Config{Handler: &slowEcho{delay: 150 * time.Millisecond, text: "tcp-drained"}})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(7, "slow.example.com", dnswire.TypeTXT, dnswire.ClassINET)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed := append([]byte{byte(len(pkt) >> 8), byte(len(pkt))}, pkt...)
+	if _, err := conn.Write(framed); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(40 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	var lenbuf [2]byte
+	if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+		t.Fatalf("in-flight TCP query lost its response across Shutdown: %v", err)
+	}
+	body := make([]byte, int(lenbuf[0])<<8|int(lenbuf[1]))
+	if _, err := io.ReadFull(conn, body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Answers[0].Data.(dnswire.TXT).Text[0]; got != "tcp-drained" {
+		t.Errorf("answer = %q", got)
+	}
+	// The server hung up after the drained exchange.
+	if _, err := io.ReadFull(conn, lenbuf[:]); err == nil {
+		t.Error("connection should be closed after a drained exchange")
+	}
+}
+
+func TestShutdownTimeoutFallsBackToClose(t *testing.T) {
+	s, addr := startServer(t, Config{Handler: &slowEcho{delay: 5 * time.Second, text: "never"}})
+	c := dnsclient.New(dnsclient.Config{Timeout: 100 * time.Millisecond})
+	go c.Query(context.Background(), addr, "stuck.example.com", dnswire.TypeTXT, dnswire.ClassINET)
+	time.Sleep(30 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(ctx)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timed-out Shutdown must not wait for the handler")
+	}
+	// Idempotent: a second Shutdown after Close is a no-op.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown = %v", err)
+	}
+}
+
+func TestShutdownQuiescentServer(t *testing.T) {
+	s, _ := startServer(t, Config{Zones: []*dnszone.Zone{testZone(t)}})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown of idle server: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close after Shutdown = %v", err)
 	}
 }

@@ -1,0 +1,257 @@
+package proxy_test
+
+import (
+	"context"
+	"log"
+	"testing"
+	"time"
+
+	"dnstrust"
+	"dnstrust/internal/dnsclient"
+	"dnstrust/internal/dnsserver"
+	"dnstrust/internal/dnswire"
+	"dnstrust/internal/proxy"
+	"dnstrust/internal/resolver"
+	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
+	"dnstrust/internal/verdict"
+)
+
+// policyWorld builds the serving-path scenario: www.fbi.gov rides the
+// paper's §3.2 chain through a hijackable BIND 8.2.4 server (refuse),
+// www.example.com has a clean chain (allow), and www.solo.com sits on a
+// single-server zone (flag: narrow cut).
+func policyWorld(t *testing.T) *topology.World {
+	t.Helper()
+	b := topology.NewWorld()
+	gov := []string{"a.gov-servers.net", "b.gov-servers.net"}
+	gtld := []string{"a.gtld-servers.net", "b.gtld-servers.net", "c.gtld-servers.net"}
+	b.Zone("com", gtld...)
+	b.Zone("net", gtld...)
+	b.Zone("gov", gov...)
+	b.Zone("gov-servers.net", gov...)
+	b.Zone("gtld-servers.net", gtld...)
+
+	b.Zone("fbi.gov", "dns.sprintip.com", "dns2.sprintip.com")
+	b.Zone("sprintip.com",
+		"reston-ns1.telemail.net", "reston-ns2.telemail.net", "reston-ns3.telemail.net")
+	b.Zone("telemail.net",
+		"reston-ns1.telemail.net", "reston-ns2.telemail.net", "reston-ns3.telemail.net")
+	b.SetBanner("dns.sprintip.com", "BIND 9.2.2")
+	b.SetBanner("dns2.sprintip.com", "BIND 9.2.2")
+	b.SetBanner("reston-ns1.telemail.net", "BIND 9.2.3")
+	b.SetBanner("reston-ns2.telemail.net", "BIND 8.2.4") // hijackable
+	b.Host("www.fbi.gov")
+
+	b.Zone("example.com", "ns1.example.com", "ns2.example.com")
+	b.SetBanner("ns1.example.com", "BIND 9.2.3")
+	b.SetBanner("ns2.example.com", "BIND 9.2.3")
+	b.Host("www.example.com")
+
+	b.Zone("solo.com", "ns1.solo.com")
+	b.SetBanner("ns1.solo.com", "BIND 9.2.3")
+	b.Host("www.solo.com")
+
+	return &topology.World{
+		Registry: b.Finalize(),
+		Corpus:   []string{"www.fbi.gov", "www.example.com", "www.solo.com"},
+	}
+}
+
+// TestProxyEndToEndReplay is the serving-path acceptance test: a world
+// is crawled and resolved once against the in-memory registry with a
+// Record middleware; the proxy then serves real UDP clients entirely
+// from that recording — the monitor rebuilds from the replay log, the
+// upstream resolver reads from it, and a counter on the direct terminal
+// proves zero terminal queries. A name whose chain contains the
+// hijackable server comes back REFUSED (with no upstream resolution at
+// all); a clean name resolves NOERROR with its address; a narrow-cut
+// name is answered but flagged.
+func TestProxyEndToEndReplay(t *testing.T) {
+	ctx := context.Background()
+	qlog := transport.NewLog()
+
+	// Record phase: crawl the corpus and resolve the servable names
+	// through one recorded chain.
+	world := policyWorld(t)
+	rec := transport.Chain(world.Registry.Source(), transport.Record(qlog))
+	m, err := dnstrust.OpenWorld(ctx, world, dnstrust.Options{Workers: 4, Source: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(ctx, world.Corpus...); err != nil {
+		t.Fatal(err)
+	}
+	r, err := resolver.New(rec, resolver.Config{Roots: world.Registry.RootServers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"www.example.com", "www.solo.com"} {
+		if _, err := r.Resolve(ctx, n, dnswire.TypeA); err != nil {
+			t.Fatalf("record-phase resolve %s: %v", n, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if qlog.Len() == 0 {
+		t.Fatal("recording captured nothing")
+	}
+
+	// Replay phase: the log is the only Internet. The counter sits on
+	// the direct terminal beneath the replay fallthrough, so any query
+	// the log cannot answer is counted — the test demands zero. The
+	// same world supplies the root addresses (hand-built worlds assign
+	// server addresses at Finalize, so a rebuilt world would not share
+	// the recorded addressing).
+	world2 := world
+	m2, err := dnstrust.OpenWorld(ctx, world2, dnstrust.Options{Workers: 4, ReplayLog: qlog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	cache, err := verdict.NewCache(m2.At().Survey(), verdict.Config{TTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	m2.OnCommit(func(v *dnstrust.View) { cache.Advance(v.Survey()) })
+	if _, err := m2.Add(ctx, world2.Corpus...); err != nil {
+		t.Fatal(err)
+	}
+
+	counter := transport.NewCounter()
+	upstream := transport.ReplayThrough(qlog,
+		transport.Chain(world2.Registry.Source(), counter.Middleware()))
+	defer upstream.Close()
+	r2, err := resolver.New(upstream, resolver.Config{Roots: world2.Registry.RootServers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proxy.New(proxy.Config{Resolver: r2, Cache: cache, Logger: log.New(testWriter{t}, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dnsserver.Start(ctx, "127.0.0.1:0", dnsserver.Config{Handler: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := dnsclient.New(dnsclient.Config{Timeout: 2 * time.Second})
+	addr := srv.Addr().String()
+
+	// The condemned chain: REFUSED, no answers, no upstream walk.
+	resp, err := c.Query(ctx, addr, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeRefused || len(resp.Answers) != 0 {
+		t.Fatalf("www.fbi.gov: %s, want REFUSED with no answers", resp)
+	}
+
+	// The clean chain: NOERROR with the host's address.
+	resp, err = c.Query(ctx, addr, "www.example.com", dnswire.TypeA, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
+		t.Fatalf("www.example.com: %s, want NOERROR with answers", resp)
+	}
+	if !resp.RecursionAvailable {
+		t.Error("proxy answers must set RA")
+	}
+
+	// The narrow-cut chain: answered, but flagged.
+	resp, err = c.Query(ctx, addr, "www.solo.com", dnswire.TypeA, dnswire.ClassINET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
+		t.Fatalf("www.solo.com: %s, want NOERROR with answers", resp)
+	}
+
+	if got := counter.Queries(); got != 0 {
+		t.Errorf("terminal queries = %d, want 0 (everything from the recording)", got)
+	}
+	st := p.Stats()
+	if st.Served != 3 || st.Refused != 1 || st.Flagged != 1 || st.Failed != 0 {
+		t.Errorf("proxy stats = %+v, want served=3 refused=1 flagged=1 failed=0", st)
+	}
+
+	ctxSD, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctxSD); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestProxyUnknownNameProvisional checks the serving behavior for a name
+// the monitor has never surveyed: the proxy answers immediately (flagged,
+// provisional) and the queued crawl turns the verdict real.
+func TestProxyUnknownNameProvisional(t *testing.T) {
+	ctx := context.Background()
+	world := policyWorld(t)
+	m, err := dnstrust.OpenWorld(ctx, world, dnstrust.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	cache, err := verdict.NewCache(m.At().Survey(), verdict.Config{
+		TTL:       time.Hour,
+		AddLinger: time.Millisecond,
+		Add: func(ctx context.Context, names ...string) error {
+			_, err := m.Add(ctx, names...)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	m.OnCommit(func(v *dnstrust.View) { cache.Advance(v.Survey()) })
+	if _, err := m.Add(ctx, "www.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+
+	src := world.Registry.Source()
+	defer src.Close()
+	r, err := resolver.New(src, resolver.Config{Roots: world.Registry.RootServers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proxy.New(proxy.Config{Resolver: r, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := dnswire.NewQuery(1, "www.example.com", dnswire.TypeA, dnswire.ClassINET)
+	resp := p.ServeDNS(ctx, req)
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
+		t.Fatalf("unknown name first answer: %s, want NOERROR with answers", resp)
+	}
+	if st := p.Stats(); st.Flagged != 1 {
+		t.Errorf("first answer should be flagged (provisional), stats %+v", st)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for cache.Lookup("www.example.com").Provisional {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued crawl never landed: %+v", cache.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp = p.ServeDNS(ctx, dnswire.NewQuery(2, "www.example.com", dnswire.TypeA, dnswire.ClassINET))
+	if resp.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("post-crawl answer: %s", resp)
+	}
+	if st := p.Stats(); st.Flagged != 1 {
+		t.Errorf("post-crawl answer must not be flagged: %+v", st)
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) { w.t.Logf("%s", p); return len(p), nil }

@@ -98,11 +98,17 @@ func (l *Log) Len() int {
 	return len(l.m)
 }
 
-// record stores resp for the exchange: server-agnostic for INET (the
-// answer is a deterministic function of the question; the answering
-// server is schedule noise), per-server otherwise (CHAOS banners).
-// Responses are packed with the ID normalized to zero so recorded logs
-// are byte-stable across runs regardless of the client's ID sequence.
+// record stores resp for the exchange. Every class keeps a per-server
+// exact recording: the same INET question gets different answers at
+// different delegation levels (the root refers a leaf query to the TLD,
+// the TLD to the zone), so an iterative resolver replaying a log needs
+// the per-server answer, and CHAOS version.bind banners differ per box.
+// INET additionally keeps a server-agnostic fallback — the first
+// recording — so a replay whose retry schedule lands on a server the
+// recording never asked still gets the deterministic answer to the
+// question. Responses are packed with the ID normalized to zero so
+// recorded logs are byte-stable across runs regardless of the client's
+// ID sequence.
 func (l *Log) record(server netip.Addr, name string, qtype dnswire.Type, class dnswire.Class, resp *dnswire.Message) {
 	norm := *resp
 	norm.ID = 0
@@ -119,13 +125,17 @@ func (l *Log) record(server netip.Addr, name string, qtype dnswire.Type, class d
 		e = &logEntry{byServer: make(map[netip.Addr][]byte)}
 		l.m[key] = e
 	}
+	// A bad INET RCode is schedule noise (the retry against another
+	// server finds the real answer) — keep it out of the per-server
+	// map so it cannot shadow that answer on replay.
+	if _, ok := e.byServer[server]; !ok && !(class == dnswire.ClassINET && badRCode(resp.RCode)) {
+		e.byServer[server] = pkt
+	}
 	if class == dnswire.ClassINET {
 		if e.wild == nil || (e.wildBad && !badRCode(resp.RCode)) {
 			e.wild = pkt
 			e.wildBad = badRCode(resp.RCode)
 		}
-	} else if _, ok := e.byServer[server]; !ok {
-		e.byServer[server] = pkt
 	}
 	l.mu.Unlock()
 }

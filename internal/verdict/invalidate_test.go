@@ -1,0 +1,108 @@
+package verdict_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnstrust/internal/topology"
+	"dnstrust/internal/verdict"
+)
+
+// TestPostCommitLookupNeverStale is the invalidation property test: run
+// it under -race. While readers hammer Lookup across the corpus, a
+// writer commits generations batch by batch; after every commit (Add +
+// Advance), a lookup for any name the delta journal marked changed must
+// return a verdict stamped with the post-commit generation — never one
+// computed from the chain the journal said changed. Untouched warm names
+// must meanwhile survive by pointer identity, proving the eviction was
+// precise rather than a flush.
+func TestPostCommitLookupNeverStale(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 77, Names: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := openEngine(t, world)
+	ctx := context.Background()
+
+	half := len(world.Corpus) / 2
+	s, err := e.Add(ctx, world.Corpus[:half]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCache(t, s, verdict.Config{TTL: 24 * time.Hour}) // no TTL aging within the test
+	for _, n := range world.Corpus {
+		c.Lookup(n) // warm, including provisional entries for the unadded half
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	var reads atomic.Uint64
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := g; ; i += 7 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v := c.Lookup(world.Corpus[i%len(world.Corpus)]); v == nil {
+					t.Error("nil verdict")
+					return
+				}
+				reads.Add(1)
+			}
+		}(g)
+	}
+
+	const batch = 25
+	commits := 0
+	for i := half; i < len(world.Corpus); i += batch {
+		end := i + batch
+		if end > len(world.Corpus) {
+			end = len(world.Corpus)
+		}
+		prevEpoch := c.Survey().Graph.Epoch()
+		next, err := e.Add(ctx, world.Corpus[i:end]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Advance(next)
+		commits++
+
+		// The property: every name the journal marked changed gets a
+		// post-commit verdict from a post-commit lookup.
+		changed := next.Graph.NamesTouchedSince(prevEpoch)
+		for _, cid := range next.Graph.ChainsChangedSince(prevEpoch) {
+			changed = append(changed, next.Graph.NamesOnChain(cid)...)
+		}
+		if len(changed) == 0 {
+			t.Fatalf("commit %d touched no names — the property is vacuous", commits)
+		}
+		for _, n := range changed {
+			v := c.Lookup(n)
+			if v.Generation != next.Stats.Generation {
+				t.Fatalf("commit %d: post-commit lookup of changed name %q served generation %d, want %d",
+					commits, n, v.Generation, next.Stats.Generation)
+			}
+			if v.Provisional {
+				t.Fatalf("commit %d: changed name %q still provisional after its crawl landed", commits, n)
+			}
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	st := c.Stats()
+	if st.Flushes != 0 {
+		t.Errorf("flushes = %d, want 0: every commit shares the store and has a complete journal", st.Flushes)
+	}
+	if st.Evicted == 0 {
+		t.Error("no evictions across commits — invalidation never ran")
+	}
+	t.Logf("commits=%d reads=%d stats=%+v", commits, reads.Load(), st)
+}

@@ -61,6 +61,11 @@ type Monitor struct {
 	mu   sync.Mutex // serializes Add (and its view commit) and Close
 	view atomic.Pointer[View]
 
+	// hookMu guards hooks; OnCommit may be called while an Add is in
+	// flight without deadlocking against it.
+	hookMu sync.Mutex
+	hooks  []func(*View)
+
 	// tlMu guards the retained timeline. It is separate from mu so
 	// Timeline/Between never block behind an in-flight crawl.
 	tlMu     sync.Mutex
@@ -212,7 +217,27 @@ func (m *Monitor) Add(ctx context.Context, names ...string) (*View, error) {
 		// the by-name diff path — correct, just not the shortcut.
 		m.eng.PruneJournal(oldest.survey.Graph.Epoch())
 	}
+	m.hookMu.Lock()
+	hooks := m.hooks
+	m.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(v)
+	}
 	return v, nil
+}
+
+// OnCommit registers fn to run synchronously after every generation
+// commit, with the freshly committed View, in registration order and
+// still inside Add's critical section — when Add returns, every hook
+// has observed the generation it committed. Hooks must not call Add or
+// Close (they would deadlock) and should be quick: the serving-side
+// verdict cache wires its invalidation here. OnCommit may be called at
+// any time; it does not fire for generations committed before
+// registration.
+func (m *Monitor) OnCommit(fn func(*View)) {
+	m.hookMu.Lock()
+	m.hooks = append(m.hooks, fn)
+	m.hookMu.Unlock()
 }
 
 // Timeline returns the retained committed generations, oldest to newest

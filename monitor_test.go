@@ -289,3 +289,44 @@ func TestRunAllHonorsCancellation(t *testing.T) {
 		}
 	}
 }
+
+func TestMonitorOnCommit(t *testing.T) {
+	m := openTestMonitor(t, Options{Seed: 11, Names: 120, Workers: 4})
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	var gens []int64
+	m.OnCommit(func(v *View) {
+		mu.Lock()
+		gens = append(gens, v.Generation())
+		mu.Unlock()
+	})
+	// Hooks see the commit before Add returns, in order, once each.
+	corpus := m.World().Corpus
+	half := len(corpus) / 2
+	v1, err := m.Add(ctx, corpus[:half]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := m.Add(ctx, corpus[half:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := append([]int64(nil), gens...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != v1.Generation() || got[1] != v2.Generation() {
+		t.Fatalf("hook saw generations %v, want [%d %d]", got, v1.Generation(), v2.Generation())
+	}
+
+	// An empty Add commits nothing and fires no hook.
+	if _, err := m.Add(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := len(gens)
+	mu.Unlock()
+	if n != 2 {
+		t.Errorf("empty Add fired a hook (%d commits recorded)", n)
+	}
+}
