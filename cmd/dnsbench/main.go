@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -40,6 +41,7 @@ import (
 
 	"dnstrust"
 	"dnstrust/internal/analysis"
+	"dnstrust/internal/atomicio"
 	"dnstrust/internal/core"
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/delta"
@@ -607,7 +609,13 @@ func measureRetention() Result {
 
 func writeReport(out string, data []byte, n int) {
 	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
+	// Atomic replace: benchdiff may read the previous report while a
+	// new run is still writing (and a crashed run must not leave half a
+	// JSON report for CI to trip over).
+	if _, err := atomicio.WriteFile(out, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
 		os.Exit(1)
 	}

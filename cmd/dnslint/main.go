@@ -1,0 +1,86 @@
+// Command dnslint runs the project's static-analysis suite
+// (internal/lint) over the given package patterns and reports every
+// finding as file:line:col: message (analyzer).
+//
+//	go run ./cmd/dnslint ./...
+//
+// Exit status: 0 when the tree is clean, 1 when there are findings, 2
+// when the load itself failed. Findings are suppressed per line with
+// //lint:allow <analyzer> <reason>; the reason is mandatory. See the
+// README's "Static analysis" section for what each analyzer guards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dnstrust/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := flag.String("C", ".", "directory to resolve patterns from (must be inside the module)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dnslint [flags] [packages]\n\nRuns the dnstrust analyzer suite (default patterns: ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dnslint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := lint.ModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnslint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnslint:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Check(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnslint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "dnslint: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -132,7 +132,7 @@ func (c *Client) Exchange(ctx context.Context, addr string, msg *dnswire.Message
 	if lastErr == nil {
 		lastErr = ErrTimeout
 	}
-	return nil, fmt.Errorf("%w (after %d attempts): %v", ErrTimeout, c.cfg.Retries, lastErr)
+	return nil, fmt.Errorf("%w (after %d attempts): %w", ErrTimeout, c.cfg.Retries, lastErr)
 }
 
 // watchCancel interrupts conn's blocked reads/writes when ctx is

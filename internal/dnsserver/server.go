@@ -131,6 +131,12 @@ func Start(ctx context.Context, addr string, cfg Config) (*Server, error) {
 		cfg.ReadTimeout = 5 * time.Second
 	}
 	s := &Server{cfg: cfg, zones: zs, conns: make(map[net.Conn]struct{})}
+	// The server's lifetime is bound to Close/Shutdown, not to the Start
+	// ctx: callers hand in request-scoped contexts, and tying s.ctx to
+	// one would tear down every accepted connection when it expires. The
+	// Start ctx still stops the server — via the watcher goroutine below
+	// that calls Close on ctx.Done().
+	//lint:allow ctxflow server lifecycle is Close/Shutdown-driven; the Start ctx only triggers Close via the watcher goroutine
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
 	tcpL, err := net.Listen("tcp", addr)

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//lint:allow cowsafety reason for why this mutation is safe
+//	//lint:allow determinism,ctxflow shared reason
+//
+// The analyzer list is comma-separated with no spaces; everything after
+// it is the mandatory reason. A suppression covers findings on its own
+// line (trailing comment) and on the line directly below it (the
+// comment standing alone above the flagged statement).
+const allowPrefix = "lint:allow"
+
+// allowSite is one parsed //lint:allow comment.
+type allowSite struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+// suppress applies //lint:allow comments to diags and appends
+// diagnostics for malformed allow comments (missing reason, unknown
+// analyzer name). Malformed comments never suppress anything.
+func suppress(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	// An allow comment may name any analyzer in the suite, not only the
+	// ones selected for this run (a dnslint -only invocation must not
+	// misreport the other analyzers' allows as unknown).
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	// allowed[file][line] -> set of analyzer names suppressed there.
+	allowed := make(map[string]map[int]map[string]bool)
+	mark := func(file string, line int, name string) {
+		if allowed[file] == nil {
+			allowed[file] = make(map[int]map[string]bool)
+		}
+		if allowed[file][line] == nil {
+			allowed[file][line] = make(map[string]bool)
+		}
+		allowed[file][line][name] = true
+	}
+
+	var malformed []Diagnostic
+	bad := func(pos token.Position, msg string) {
+		malformed = append(malformed, Diagnostic{Analyzer: "lint", Pos: pos, Message: msg})
+	}
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				if names == "" {
+					bad(pos, "lint:allow without an analyzer name")
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					bad(pos, "lint:allow needs a non-empty reason after the analyzer list")
+					continue
+				}
+				ok := true
+				for _, name := range strings.Split(names, ",") {
+					if !known[name] {
+						bad(pos, "lint:allow names unknown analyzer "+strconv.Quote(name))
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					// The comment's own line, and the next line when the
+					// comment stands alone above the flagged statement.
+					mark(pos.Filename, pos.Line, name)
+					mark(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, malformed...)
+}

@@ -1,0 +1,62 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestAllowSuppresses: a fixture full of atomicwrite violations, each
+// carrying a well-formed //lint:allow, produces no diagnostics.
+func TestAllowSuppresses(t *testing.T) {
+	linttest.Run(t, lint.AtomicWrite, "testdata/allow/clean")
+}
+
+// TestAllowMalformed: an allow comment with no reason, or naming an
+// unknown analyzer, is reported and does not suppress the finding.
+func TestAllowMalformed(t *testing.T) {
+	pkg, err := lint.LoadDir(moduleRoot(t), "testdata/allow/malformed", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Check(pkg, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"lint:allow needs a non-empty reason",
+		`lint:allow names unknown analyzer "nosuchcheck"`,
+		"os.WriteFile truncates in place", // under the reason-less allow
+		"os.WriteFile truncates in place", // under the unknown-analyzer allow
+	}
+	var unmatched []lint.Diagnostic
+	remaining := append([]lint.Diagnostic(nil), diags...)
+	for _, want := range wantSubstrings {
+		found := false
+		for i, d := range remaining {
+			if strings.Contains(d.Message, want) {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic containing %q", want)
+		}
+	}
+	unmatched = remaining
+	for _, d := range unmatched {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,12 @@
+package lint
+
+// All returns the project's analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicWrite,
+		CowSafety,
+		CtxFlow,
+		Determinism,
+		ErrWrapped,
+	}
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicWrite keeps every persisted artifact on the crash-safe path PR
+// 6 introduced: internal/atomicio writes to a temporary sibling, fsyncs,
+// and renames into place, so an interrupted save never leaves a
+// loadable partial snapshot, memo, or query log. Outside that package
+// the analyzer reports direct calls to:
+//
+//   - os.WriteFile and os.Create (truncate-in-place: a crash mid-write
+//     leaves a short file that may still parse)
+//   - os.Rename (the rename half of the idiom re-implemented locally)
+//   - os.OpenFile with an O_CREATE flag in its argument list
+//
+// A call whose destination-path argument lexically mentions a
+// tmp/temp-named identifier (os.TempDir, t.TempDir, tmpPath, ...) is
+// exempt: scratch files have no durability contract. Everything else
+// either switches to atomicio.WriteFile or carries a //lint:allow
+// atomicwrite with the reason the artifact may be torn.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "direct os.WriteFile/os.Create/os.Rename for a durable path outside internal/atomicio (use atomicio.WriteFile: tmp+fsync+rename)",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/atomicio") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pass.isPkgFunc(call, "os", "WriteFile"):
+				if len(call.Args) > 0 && !mentionsTemp(call.Args[0]) {
+					pass.Reportf(call.Pos(), "os.WriteFile truncates in place; a crash mid-write leaves a partial file — use atomicio.WriteFile (tmp+fsync+rename)")
+				}
+			case pass.isPkgFunc(call, "os", "Create"):
+				if len(call.Args) > 0 && !mentionsTemp(call.Args[0]) {
+					pass.Reportf(call.Pos(), "os.Create truncates in place; a crash mid-write leaves a partial file — use atomicio.WriteFile (tmp+fsync+rename)")
+				}
+			case pass.isPkgFunc(call, "os", "Rename"):
+				if len(call.Args) > 1 && !mentionsTemp(call.Args[0]) && !mentionsTemp(call.Args[1]) {
+					pass.Reportf(call.Pos(), "bare os.Rename re-implements half of the atomic-write idiom without the fsync; use atomicio.WriteFile")
+				}
+			case pass.isPkgFunc(call, "os", "OpenFile"):
+				if callMentionsCreateFlag(call) && len(call.Args) > 0 && !mentionsTemp(call.Args[0]) {
+					pass.Reportf(call.Pos(), "os.OpenFile with O_CREATE writes a durable path directly; use atomicio.WriteFile (tmp+fsync+rename)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mentionsTemp reports whether the expression tree contains an
+// identifier or selector whose name suggests a temporary path
+// (tmp/temp, any case). This is a lexical heuristic, but a
+// deterministic and reviewable one: scratch paths in this codebase are
+// consistently named, and a miss fails safe (a finding, answered with
+// an allow comment).
+func mentionsTemp(e ast.Expr) bool {
+	temp := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		low := strings.ToLower(id.Name)
+		if strings.Contains(low, "tmp") || strings.Contains(low, "temp") {
+			temp = true
+			return false
+		}
+		return true
+	})
+	return temp
+}
+
+// callMentionsCreateFlag reports whether any argument references
+// os.O_CREATE.
+func callMentionsCreateFlag(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		found := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "O_CREATE" {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

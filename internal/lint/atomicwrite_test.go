@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func TestAtomicWriteSeededViolations(t *testing.T) {
+	linttest.Run(t, lint.AtomicWrite, "testdata/atomicwrite/bad")
+}
+
+func TestAtomicWriteConformingCode(t *testing.T) {
+	linttest.Run(t, lint.AtomicWrite, "testdata/atomicwrite/good")
+}
+
+// TestAtomicWriteExemptsAtomicio proves the package implementing the
+// idiom may use the raw primitives: the bad fixture, loaded under the
+// atomicio import path, produces no findings.
+func TestAtomicWriteExemptsAtomicio(t *testing.T) {
+	pkg, err := lint.LoadDir(moduleRoot(t), "testdata/atomicwrite/bad", "dnstrust/internal/atomicio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Check(pkg, []*lint.Analyzer{lint.AtomicWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic inside atomicio scope: %s", d)
+	}
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func TestCowSafetySeededViolations(t *testing.T) {
+	linttest.Run(t, lint.CowSafety, "testdata/cowsafety/bad")
+}
+
+func TestCowSafetyConformingCode(t *testing.T) {
+	linttest.Run(t, lint.CowSafety, "testdata/cowsafety/good")
+}

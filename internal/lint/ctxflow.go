@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow protects the cancellation paths built in PRs 3 and 7
+// (mid-crawl cancellation, dnsserver.Shutdown's deadline-slam drain,
+// the proxy's SIGTERM sequence): a function that accepts a
+// context.Context and then hands context.Background() or context.TODO()
+// to a callee has silently cut its caller out of the cancellation tree —
+// the operation keeps running after the caller gave up.
+//
+// Only the statements of the ctx-taking function itself are checked;
+// nested function literals are analyzed on their own (a background
+// goroutine that deliberately outlives the request builds its lifecycle
+// context in a function that does not take one, which this analyzer
+// correctly ignores). Deliberate detachment in a ctx-taking function is
+// declared with //lint:allow ctxflow and the lifecycle reason.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "function receives a context.Context but passes context.Background()/TODO() onward, severing cancellation",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && hasCtxParam(pass, fn.Type) {
+					checkCtxBody(pass, fn.Name.Name, fn.Body)
+				}
+			case *ast.FuncLit:
+				if hasCtxParam(pass, fn.Type) {
+					checkCtxBody(pass, "function literal", fn.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function type declares a parameter of
+// type context.Context.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypesInfo.Types[field.Type].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxBody flags calls in body (excluding nested function literals)
+// that pass a fresh Background/TODO context as an argument.
+func checkCtxBody(pass *Pass, fname string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed independently; see Doc
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			argCall, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			var which string
+			switch {
+			case pass.isPkgFunc(argCall, "context", "Background"):
+				which = "context.Background()"
+			case pass.isPkgFunc(argCall, "context", "TODO"):
+				which = "context.TODO()"
+			default:
+				continue
+			}
+			pass.Reportf(arg.Pos(), "%s receives a context.Context but passes %s to %s; thread the ctx so cancellation propagates (or //lint:allow ctxflow with the lifecycle reason)", fname, which, calleeName(call))
+		}
+		return true
+	})
+}
+
+// calleeName renders the called function for the message, best-effort.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "the callee"
+}

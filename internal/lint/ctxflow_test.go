@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func TestCtxFlowSeededViolations(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "testdata/ctxflow/bad")
+}
+
+func TestCtxFlowConformingCode(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "testdata/ctxflow/good")
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicPackages are the packages whose behavior must be a pure
+// function of their inputs so that recorded query logs replay
+// byte-stably and DiffLogs compares like with like (PR 4 established
+// the recording/replay contract, PR 5 the delta equivalence, PR 6 the
+// byte-identical snapshot round-trip). Matched by import-path suffix so
+// linttest fixtures can opt in by declaring themselves under one of
+// these paths.
+var deterministicPackages = []string{
+	"internal/transport",
+	"internal/delta",
+	"internal/snapshot",
+}
+
+// Determinism keeps the replay-deterministic packages schedule- and
+// environment-independent. In those packages it reports:
+//
+//   - any use of time.Now (call or function value): clocks must be
+//     injected so replay and fault schedules do not depend on wall time
+//   - package-level math/rand functions (Intn, Shuffle, ...), which
+//     draw from the process-global, auto-seeded source; randomness must
+//     flow from an explicit rand.New(rand.NewSource(seed))
+//   - emitting output from inside a range over a map (Write/Fprint
+//     calls in the loop body): map iteration order would leak into
+//     bytes that are contractually stable — collect, sort, then emit
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "wall clocks, global rand, or map-iteration-order output in a replay-deterministic package",
+	Run:  runDeterminism,
+}
+
+func isDeterministicPackage(path string) bool {
+	for _, suffix := range deterministicPackages {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded sources and generators, which are exactly what deterministic
+// code should use.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !isDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" {
+				pass.Reportf(id.Pos(), "time.Now in replay-deterministic package %s; inject a clock (see transport.RateLimit's now/sleep seams)", pass.Pkg.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !randConstructors[fn.Name()] {
+				pass.Reportf(id.Pos(), "package-level rand.%s uses the process-global source; use an explicitly seeded rand.New(rand.NewSource(seed)) so schedules replay", fn.Name())
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if emit := findEmit(pass, rng.Body); emit != nil {
+				pass.Reportf(rng.Pos(), "emits output from inside a range over a map (%s in the loop body); iteration order is random — collect into a slice, sort, then emit", emit.name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type emitCall struct{ name string }
+
+// findEmit looks for a call in body that writes output directly: an
+// fmt print function or a Write* method. The collect-append-sort-emit
+// idiom (e.g. transport.Log.Save) has no such call inside the range and
+// passes untouched.
+func findEmit(pass *Pass, body *ast.BlockStmt) *emitCall {
+	var found *emitCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if fn, ok := pass.objectOf(sel.Sel).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			if strings.Contains(name, "print") || strings.Contains(name, "Print") {
+				found = &emitCall{name: "fmt." + name}
+				return false
+			}
+		}
+		// A method call named Write/WriteString/WriteByte/... on
+		// anything (io.Writer, bufio.Writer, strings.Builder).
+		if strings.HasPrefix(name, "Write") {
+			found = &emitCall{name: name}
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func TestDeterminismSeededViolations(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "testdata/determinism/bad",
+		linttest.AsPackage("dnstrust/internal/transport"))
+}
+
+func TestDeterminismConformingCode(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "testdata/determinism/good",
+		linttest.AsPackage("dnstrust/internal/transport"))
+}
+
+// TestDeterminismOutOfScope proves the analyzer is package-scoped: the
+// same wall-clock and global-rand constructs are fine outside the
+// replay-deterministic packages.
+func TestDeterminismOutOfScope(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "testdata/determinism/outofscope")
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrWrapped guards the fail-closed typed-error contracts: PR 6's
+// snapshot loader promises errors.Is(err, snapshot.ErrTruncated/
+// ErrChecksum/...) through every wrapping layer, and the resolver/
+// transport sentinels (ErrLameDelegation, ErrInjectedTimeout, ...) are
+// matched the same way by retry logic and tests. Formatting an error
+// operand with %v, %s, or %q in fmt.Errorf flattens it to text: the
+// sentinel survives as prose but vanishes from the errors.Is/errors.As
+// chain, so a fail-closed check silently stops matching. The analyzer
+// reports every fmt.Errorf argument whose static type implements error
+// and whose verb stringifies instead of wrapping with %w.
+var ErrWrapped = &Analyzer{
+	Name: "errwrapped",
+	Doc:  "fmt.Errorf stringifies an error operand with %v/%s/%q instead of wrapping with %w, hiding it from errors.Is",
+	Run:  runErrWrapped,
+}
+
+func runErrWrapped(pass *Pass) error {
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !pass.isPkgFunc(call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			tv := pass.TypesInfo.Types[call.Args[0]]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			format := constant.StringVal(tv.Value)
+			for _, v := range parseVerbs(format) {
+				if v.verb != 'v' && v.verb != 's' && v.verb != 'q' {
+					continue
+				}
+				argIdx := 1 + v.arg
+				if argIdx < 1 || argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				t := pass.TypesInfo.Types[arg].Type
+				if t == nil || !types.Implements(t, errorType) {
+					continue
+				}
+				pass.Reportf(arg.Pos(), "%%%c stringifies this error: it stays visible as text but disappears from errors.Is/errors.As; wrap it with %%w", v.verb)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// verb is one formatting directive: its verb character and the
+// zero-based operand index it consumes.
+type verb struct {
+	verb byte
+	arg  int
+}
+
+// parseVerbs extracts the directives of a fmt format string, tracking
+// operand indices through flags, *-widths and precisions, and explicit
+// [n] argument indexes. It is intentionally tolerant: anything it
+// cannot follow precisely it skips rather than misattribute.
+func parseVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags.
+		for i < len(format) {
+			switch format[i] {
+			case '+', '-', '#', ' ', '0':
+				i++
+				continue
+			}
+			break
+		}
+		consume := func() {
+			// * reads its width/precision from the next operand.
+			arg++
+		}
+		// Width.
+		if i < len(format) && format[i] == '*' {
+			consume()
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				consume()
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// Explicit argument index: %[n]v.
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		c := format[i]
+		if c == '%' {
+			continue // literal percent, consumes nothing
+		}
+		out = append(out, verb{verb: c, arg: arg})
+		arg++
+	}
+	return out
+}

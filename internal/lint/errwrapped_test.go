@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func TestErrWrappedSeededViolations(t *testing.T) {
+	linttest.Run(t, lint.ErrWrapped, "testdata/errwrapped/bad")
+}
+
+func TestErrWrappedConformingCode(t *testing.T) {
+	linttest.Run(t, lint.ErrWrapped, "testdata/errwrapped/good")
+}

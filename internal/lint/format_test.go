@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseVerbs pins the operand-index bookkeeping of the errwrapped
+// format scanner: flags, widths, *-operands, %%, and explicit [n]
+// indexes all shift (or pin) which argument a verb consumes.
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verb
+	}{
+		{"", nil},
+		{"plain text", nil},
+		{"%v", []verb{{'v', 0}}},
+		{"%s=%d", []verb{{'s', 0}, {'d', 1}}},
+		{"%w: %v", []verb{{'w', 0}, {'v', 1}}},
+		{"100%% done: %v", []verb{{'v', 0}}},
+		{"%+v %#x %-8s", []verb{{'v', 0}, {'x', 1}, {'s', 2}}},
+		{"%6.2f %v", []verb{{'f', 0}, {'v', 1}}},
+		{"%*d %v", []verb{{'d', 1}, {'v', 2}}},    // * consumes the width operand
+		{"%.*f %v", []verb{{'f', 1}, {'v', 2}}},   // * consumes the precision operand
+		{"%[2]v %v", []verb{{'v', 1}, {'v', 2}}},  // explicit index, then sequential
+		{"%[1]v + %[1]v", []verb{{'v', 0}, {'v', 0}}},
+		{"%q trailing %", []verb{{'q', 0}}},
+	}
+	for _, tc := range cases {
+		got := parseVerbs(tc.format)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseVerbs(%q) = %v, want %v", tc.format, got, tc.want)
+		}
+	}
+}

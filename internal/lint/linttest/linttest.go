@@ -1,0 +1,123 @@
+// Package linttest runs lint analyzers against fixture directories in
+// the style of golang.org/x/tools/go/analysis/analysistest (which is
+// not available offline): each fixture is a directory of Go files under
+// testdata, fully type-checked, where a comment of the form
+//
+//	code() // want `regexp` [`regexp` ...]
+//
+// asserts that the analyzer reports a diagnostic on that line matching
+// each regexp. Lines without a want comment must produce no
+// diagnostics, so a fixture with no want comments asserts the analyzer
+// stays silent (the conforming-code case).
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dnstrust/internal/lint"
+)
+
+type config struct {
+	path string
+}
+
+// An Option adjusts how a fixture is loaded.
+type Option func(*config)
+
+// AsPackage sets the import path the fixture is type-checked under.
+// Package-scoped analyzers (determinism, atomicwrite) key off the path,
+// so a fixture opts into their scope by declaring itself under, say,
+// "dnstrust/internal/transport".
+func AsPackage(path string) Option {
+	return func(c *config) { c.path = path }
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory, runs the analyzer, and compares the
+// resulting diagnostics against the // want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string, opts ...Option) {
+	t.Helper()
+	cfg := config{path: "a"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.LoadDir(root, abs, cfg.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Check(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		ws := wants[key]
+		ok := false
+		for _, w := range ws {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", key, d.Message, d.Analyzer)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s: want match for %q", key, w.re)
+			}
+		}
+	}
+}
+
+// collectWants extracts the want expectations, keyed by file:line.
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				ms := wantRe.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: want comment without a `regexp`: %s", key, c.Text)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+)
+
+// TestRepositoryIsLintClean is the dogfood gate: the entire module must
+// pass its own analyzer suite (real findings were fixed, deliberate
+// exceptions carry reasoned //lint:allow comments). It is the same
+// check CI runs as `go run ./cmd/dnslint ./...`, exercised here so
+// `go test ./internal/lint/...` proves it without network access —
+// dependency resolution reads build-cache export data only.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles every package in the module; skipped in -short")
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from %s; pattern ./... should cover the whole module", len(pkgs), root)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.Check(pkg, lint.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

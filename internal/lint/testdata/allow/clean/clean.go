@@ -1,0 +1,20 @@
+// Well-formed //lint:allow suppressions: both placements (standalone
+// above the statement and trailing it) silence the finding, so this
+// fixture must produce no diagnostics.
+package a
+
+import "os"
+
+func standalone(path string, data []byte) error {
+	//lint:allow atomicwrite this artifact is advisory; a torn write is acceptable
+	return os.WriteFile(path, data, 0o644)
+}
+
+func trailing(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) //lint:allow atomicwrite torn writes acceptable here
+}
+
+func multi(path string, data []byte) error {
+	//lint:allow atomicwrite,errwrapped one reason covering two analyzers
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,16 @@
+// Malformed //lint:allow comments: a missing reason or an unknown
+// analyzer name is itself reported, and the suppression does not apply
+// — the underlying finding surfaces too.
+package a
+
+import "os"
+
+func missingReason(path string, data []byte) error {
+	//lint:allow atomicwrite
+	return os.WriteFile(path, data, 0o644)
+}
+
+func unknownAnalyzer(path string, data []byte) error {
+	//lint:allow nosuchcheck because reasons
+	return os.WriteFile(path, data, 0o644)
+}

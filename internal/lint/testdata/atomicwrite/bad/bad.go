@@ -1,0 +1,21 @@
+// Seeded durability violations: every call here can leave a partial
+// artifact at a durable path if the process dies mid-write.
+package a
+
+import "os"
+
+func saveBad(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile truncates in place`
+}
+
+func createBad(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create truncates in place`
+}
+
+func renameBad(from, to string) error {
+	return os.Rename(from, to) // want `bare os.Rename re-implements half of the atomic-write idiom`
+}
+
+func openBad(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644) // want `os.OpenFile with O_CREATE`
+}

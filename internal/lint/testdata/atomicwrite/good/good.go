@@ -1,0 +1,36 @@
+// Conforming persistence: scratch paths are exempt, read-only opens are
+// fine, and the real artifact path goes through internal/atomicio.
+package a
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"dnstrust/internal/atomicio"
+)
+
+// saveAtomic is the sanctioned durable-write path.
+func saveAtomic(path string, data []byte) error {
+	_, err := atomicio.WriteFile(path, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	return err
+}
+
+// scratch writes under a temp directory: no durability contract.
+func scratch(data []byte) error {
+	tmp := filepath.Join(os.TempDir(), "scratch.bin")
+	return os.WriteFile(tmp, data, 0o600)
+}
+
+// createTemp names its destination for what it is.
+func createTemp(tmpPath string) (*os.File, error) {
+	return os.Create(tmpPath)
+}
+
+// openRead has no O_CREATE: it cannot leave a partial file.
+func openRead(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}

@@ -1,0 +1,82 @@
+// Seeded violations of the copy-on-write discipline: every mutation
+// here writes a structure that lock-free readers may be traversing.
+package a
+
+import "sync/atomic"
+
+type counts = map[string]int
+
+type store struct {
+	ptr atomic.Pointer[counts]
+}
+
+func badIndexWrite(s *store) {
+	m := *s.ptr.Load()
+	m["k"] = 1 // want `writes element of a map reached from atomic.Pointer.Load`
+}
+
+func badDirectWrite(s *store) {
+	(*s.ptr.Load())["k"] = 1 // want `writes element of a map reached from atomic.Pointer.Load`
+}
+
+func badDelete(s *store) {
+	delete(*s.ptr.Load(), "k") // want `delete\(\) on a map reached from atomic.Pointer.Load`
+}
+
+func badIncrement(s *store) {
+	m := *s.ptr.Load()
+	m["k"]++ // want `increments element of a map reached from atomic.Pointer.Load`
+}
+
+type state struct {
+	n int
+}
+
+type holder struct {
+	p atomic.Pointer[state]
+}
+
+func badFieldWrite(h *holder) {
+	st := h.p.Load()
+	st.n = 7 // want `writes field n of a value reached from atomic.Pointer.Load`
+}
+
+type entry struct {
+	hits int
+}
+
+type entries = map[string]*entry
+
+type estore struct {
+	p atomic.Pointer[entries]
+}
+
+func badRangeElemWrite(s *estore) {
+	for _, e := range *s.p.Load() {
+		e.hits = 0 // want `writes field hits of a value reached from atomic.Pointer.Load`
+	}
+}
+
+type ints = []int
+
+type lstore struct {
+	p atomic.Pointer[ints]
+}
+
+func badSliceWrite(l *lstore) {
+	sl := *l.p.Load()
+	sl[0] = 1 // want `writes element of a slice reached from atomic.Pointer.Load`
+}
+
+func badAppend(l *lstore) []int {
+	sl := *l.p.Load()
+	return append(sl, 1) // want `append\(\) to a slice reached from atomic.Pointer.Load`
+}
+
+type sink struct {
+	alias counts
+}
+
+func badEscape(s *store, k *sink) {
+	k.alias = *s.ptr.Load() // want `stores a map reached from atomic.Pointer.Load into a longer-lived structure`
+}

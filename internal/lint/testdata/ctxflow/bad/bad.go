@@ -1,0 +1,30 @@
+// Seeded cancellation-severing: ctx-taking functions that hand a fresh
+// root context onward, cutting their caller out of the cancellation
+// tree.
+package a
+
+import "context"
+
+func lookup(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+func sever(ctx context.Context, name string) error {
+	return lookup(context.Background(), name) // want `sever receives a context.Context but passes context.Background\(\) to lookup`
+}
+
+func severTODO(ctx context.Context) {
+	ctx2, cancel := context.WithTimeout(context.TODO(), 0) // want `severTODO receives a context.Context but passes context.TODO\(\) to context.WithTimeout`
+	defer cancel()
+	_ = ctx2
+	_ = ctx
+}
+
+func severInLiteral() {
+	fn := func(ctx context.Context) error {
+		return lookup(context.Background(), "x") // want `function literal receives a context.Context but passes context.Background\(\) to lookup`
+	}
+	_ = fn
+}

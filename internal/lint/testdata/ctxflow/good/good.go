@@ -1,0 +1,40 @@
+// Conforming context flow: ctx threaded through, root contexts built
+// only where no caller context exists.
+package a
+
+import "context"
+
+func lookup(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+// threaded passes its ctx on.
+func threaded(ctx context.Context, name string) error {
+	return lookup(ctx, name)
+}
+
+// derived narrows the caller's ctx instead of replacing it.
+func derived(ctx context.Context, name string) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return lookup(sub, name)
+}
+
+// noCtx has no caller context to thread; a root context is all it can
+// build.
+func noCtx(name string) error {
+	return lookup(context.Background(), name)
+}
+
+// detachedWorker spawns a background goroutine whose literal takes no
+// ctx: building its own lifecycle context there is the deliberate
+// detach pattern (verdict.Cache.runAdder), which stays unflagged.
+func detachedWorker(ctx context.Context, done chan struct{}) error {
+	go func() {
+		_ = lookup(context.Background(), "background")
+		close(done)
+	}()
+	return lookup(ctx, "foreground")
+}

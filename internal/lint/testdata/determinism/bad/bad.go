@@ -1,0 +1,43 @@
+// Seeded determinism violations. The linttest suite loads this fixture
+// under the import path dnstrust/internal/transport, putting it in the
+// replay-deterministic scope.
+package transport
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now in replay-deterministic package`
+}
+
+func clockValue() func() time.Time {
+	return time.Now // want `time.Now in replay-deterministic package`
+}
+
+func jitter() int {
+	return rand.Intn(10) // want `package-level rand.Intn uses the process-global source`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `package-level rand.Shuffle uses the process-global source`
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `emits output from inside a range over a map`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+type sb interface {
+	WriteString(string) (int, error)
+}
+
+func dumpBuilder(b sb, m map[string]bool) {
+	for k := range m { // want `emits output from inside a range over a map`
+		b.WriteString(k)
+	}
+}

@@ -1,0 +1,42 @@
+// Conforming code for the replay-deterministic scope: seeded sources,
+// injected clocks, and the collect-sort-emit idiom.
+package transport
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seeded uses an explicitly seeded generator, the sanctioned form.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// injectedClock receives time as a value instead of reading the wall.
+func injectedClock(now func() time.Time) time.Time {
+	return now()
+}
+
+// dumpSorted is the collect-sort-emit idiom: the range over the map
+// only collects; every write happens in key order.
+func dumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// sliceEmit ranges over a slice, whose order is deterministic.
+func sliceEmit(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

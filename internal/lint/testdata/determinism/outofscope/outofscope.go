@@ -1,0 +1,17 @@
+// The same constructs that the bad fixture seeds, but loaded under a
+// package path outside the replay-deterministic set: the analyzer must
+// stay silent here (daemons and examples may read wall clocks freely).
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func jitter() int {
+	return rand.Intn(10)
+}

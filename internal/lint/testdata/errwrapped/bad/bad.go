@@ -1,0 +1,30 @@
+// Seeded sentinel-stringification: each fmt.Errorf here keeps the
+// sentinel's text but breaks errors.Is matching on it.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func stringifyV(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want `%v stringifies this error`
+}
+
+func stringifyS(err error) error {
+	return fmt.Errorf("load failed: %s", err) // want `%s stringifies this error`
+}
+
+func stringifyQ(name string, err error) error {
+	return fmt.Errorf("%w: %q while loading %s", errSentinel, err, name) // want `%q stringifies this error`
+}
+
+func stringifySentinel(path string) error {
+	return fmt.Errorf("%s: %v", path, errSentinel) // want `%v stringifies this error`
+}
+
+func stringifyIndexed(err error) error {
+	return fmt.Errorf("twice: %[1]v and %[1]v", err) // want `%v stringifies this error` `%v stringifies this error`
+}

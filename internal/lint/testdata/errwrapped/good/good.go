@@ -1,0 +1,27 @@
+// Conforming error construction: sentinels wrapped with %w (including
+// multiple per Errorf), non-error operands formatted freely.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func wrap(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func wrapBoth(err error) error {
+	return fmt.Errorf("%w: %w", errSentinel, err)
+}
+
+func textOnly(path string, n int) error {
+	return fmt.Errorf("%s: short read of %d bytes (want %d%%)", path, n, 100)
+}
+
+func stringified(err error) string {
+	// Sprintf has no wrapping contract; only Errorf is checked.
+	return fmt.Sprintf("log line: %v", err)
+}

@@ -377,7 +377,7 @@ func (r *Resolver) followReferral(ctx context.Context, resp *dnswire.Message, tr
 	}
 	if len(out) == 0 {
 		if lastErr != nil {
-			return child, nil, fmt.Errorf("%w: %v", ErrLameDelegation, lastErr)
+			return child, nil, fmt.Errorf("%w: %w", ErrLameDelegation, lastErr)
 		}
 		return child, nil, ErrLameDelegation
 	}

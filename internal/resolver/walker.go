@@ -630,7 +630,7 @@ func (w *Walker) enterZoneReferral(ctx context.Context, parent, child string, re
 		if lastErr == nil {
 			lastErr = ErrNoServers
 		}
-		return nil, fmt.Errorf("%w: zone %q unreachable: %v", ErrLameDelegation, child, lastErr)
+		return nil, fmt.Errorf("%w: zone %q unreachable: %w", ErrLameDelegation, child, lastErr)
 	}
 	w.storeServers(child, out)
 	return out, nil
@@ -676,7 +676,7 @@ func (w *Walker) enterZoneAnswer(ctx context.Context, parent, child string, host
 		if lastErr == nil {
 			lastErr = ErrNoServers
 		}
-		return nil, fmt.Errorf("%w: zone %q unreachable: %v", ErrLameDelegation, child, lastErr)
+		return nil, fmt.Errorf("%w: zone %q unreachable: %w", ErrLameDelegation, child, lastErr)
 	}
 	w.storeServers(child, out)
 	return out, nil

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dnstrust/internal/atomicio"
 	"dnstrust/internal/dnsname"
 	"dnstrust/internal/dnswire"
 )
@@ -253,17 +254,21 @@ func (l *Log) Save(dst io.Writer) (int, error) {
 
 // SaveFile writes the log to path, returning how many records were
 // written. It is the one shared persistence path for every tool that
-// keeps recordings (dnssurvey -record, dnsmonitord).
+// keeps recordings (dnssurvey -record, dnsmonitord). The write is
+// atomic (tmp+fsync+rename via atomicio): a crash or SIGTERM mid-save
+// leaves the previous recording intact, never a partial log that still
+// parses up to the truncation point.
 func (l *Log) SaveFile(path string) (int, error) {
-	f, err := os.Create(path)
+	n := 0
+	_, err := atomicio.WriteFile(path, func(w io.Writer) error {
+		var serr error
+		n, serr = l.Save(w)
+		return serr
+	})
 	if err != nil {
 		return 0, err
 	}
-	n, err := l.Save(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return n, err
+	return n, nil
 }
 
 // LoadFile reads a query-log (or walker memo) file into the log,

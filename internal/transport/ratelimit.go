@@ -100,7 +100,9 @@ func newRateLimiter(rate float64, burst int, now func() time.Time, sleep func(co
 		burst = 1
 	}
 	if now == nil {
-		now = time.Now
+		// This is the injectable-clock seam itself: replay and fault
+		// tests hand in a fake clock above, live crawls fall back here.
+		now = time.Now //lint:allow determinism the default arm of the injected-clock seam; deterministic paths always inject
 	}
 	if sleep == nil {
 		sleep = sleepCtx
