@@ -4,10 +4,14 @@
 //
 //	go run ./cmd/dnslint ./...
 //
-// Exit status: 0 when the tree is clean, 1 when there are findings, 2
-// when the load itself failed. Findings are suppressed per line with
-// //lint:allow <analyzer> <reason>; the reason is mandatory. See the
-// README's "Static analysis" section for what each analyzer guards.
+// -json emits the findings as a JSON array (analyzer, file, line, col,
+// message; paths module-root-relative) for tooling; -github emits
+// GitHub Actions ::error workflow commands so CI findings annotate the
+// pull-request diff inline. Exit status: 0 when the tree is clean, 1
+// when there are findings, 2 when the load itself failed. Findings are
+// suppressed per line with //lint:allow <analyzer> <reason>; the reason
+// is mandatory. See the README's "Static analysis" section for what
+// each analyzer guards.
 package main
 
 import (
@@ -23,6 +27,8 @@ func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	dir := flag.String("C", ".", "directory to resolve patterns from (must be inside the module)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array (module-root-relative paths)")
+	asGitHub := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: dnslint [flags] [packages]\n\nRuns the dnstrust analyzer suite (default patterns: ./...).\n\n")
 		flag.PrintDefaults()
@@ -67,20 +73,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := 0
+	var findings []lint.Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := lint.Check(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dnslint:", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
+		findings = append(findings, diags...)
+	}
+
+	switch {
+	case *asJSON && *asGitHub:
+		fmt.Fprintln(os.Stderr, "dnslint: -json and -github are mutually exclusive")
+		os.Exit(2)
+	case *asJSON:
+		err = lint.WriteJSON(os.Stdout, root, findings)
+	case *asGitHub:
+		err = lint.WriteGitHub(os.Stdout, root, findings)
+	default:
+		for _, d := range findings {
 			fmt.Println(d)
-			findings++
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "dnslint: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnslint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dnslint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
 		os.Exit(1)
 	}
 }

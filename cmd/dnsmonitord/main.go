@@ -256,6 +256,7 @@ func (s *server) saveRecording() {
 	}
 	s.recMu.Lock()
 	defer s.recMu.Unlock()
+	//lint:allow locksafety recMu serializes concurrent saves of the same file; the query path never takes it
 	if n, err := s.recLog.SaveFile(s.recPath); err != nil {
 		log.Printf("dnsmonitord: recording not saved: %v", err)
 	} else {
@@ -272,6 +273,7 @@ func (s *server) saveSnapshot() {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	start := time.Now()
+	//lint:allow locksafety snapMu exists solely to serialize snapshot writers to one file; no reader ever takes it
 	n, err := s.m.SaveSnapshot(s.snapPath)
 	if err != nil {
 		log.Printf("dnsmonitord: snapshot not saved: %v", err)
@@ -621,6 +623,7 @@ func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	s.snapMu.Lock()
 	start := time.Now()
+	//lint:allow locksafety snapMu exists solely to serialize snapshot writers to one file; no reader ever takes it
 	n, err := s.m.SaveSnapshot(s.snapPath)
 	elapsed := time.Since(start)
 	s.snapMu.Unlock()

@@ -180,13 +180,24 @@ func main() {
 	log.Printf("serving DNS on %s (udp+tcp); policy: max-tcb=%d narrow-cut=%d flag-only=%v",
 		srv.Addr(), *maxTCB, *narrowCut, *flagOnly)
 
+	// The stats reporter gets an explicit stop edge (a time.Tick range
+	// never terminates and would outlive the drain below, racing the
+	// final stats line).
+	statsStop := make(chan struct{})
 	if *statsEvery > 0 {
+		tick := time.NewTicker(*statsEvery)
 		go func() {
-			for range time.Tick(*statsEvery) {
-				ps, cs := p.Stats(), cache.Stats()
-				log.Printf("stats: served=%d refused=%d flagged=%d failed=%d | cache gen=%d size=%d hits=%d misses=%d evicted=%d queued=%d",
-					ps.Served, ps.Refused, ps.Flagged, ps.Failed,
-					cs.Generation, cs.Size, cs.Hits, cs.Misses, cs.Evicted, cs.Enqueued)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					ps, cs := p.Stats(), cache.Stats()
+					log.Printf("stats: served=%d refused=%d flagged=%d failed=%d | cache gen=%d size=%d hits=%d misses=%d evicted=%d queued=%d",
+						ps.Served, ps.Refused, ps.Flagged, ps.Failed,
+						cs.Generation, cs.Size, cs.Hits, cs.Misses, cs.Evicted, cs.Enqueued)
+				case <-statsStop:
+					return
+				}
 			}
 		}()
 	}
@@ -197,6 +208,7 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	sig := <-sigc
 	log.Printf("%v: draining and shutting down", sig)
+	close(statsStop)
 	sdCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sdCtx); err != nil {

@@ -34,7 +34,10 @@ import (
 // one committed epoch. Build one incrementally with a Builder (or from a
 // snapshot with Build); it is immutable (and safe for concurrent use)
 // afterwards — later epochs of the same builder share its storage
-// copy-on-write instead of mutating it.
+// copy-on-write instead of mutating it. Accessors deliberately share
+// the append-only interned tables instead of copying (shared-returns).
+//
+//lint:immutable shared-returns
 type Graph struct {
 	// st is the shared epoch store; epoch selects which writes are
 	// visible to this graph.

@@ -205,6 +205,7 @@ func (e *Engine) Add(ctx context.Context, names ...string) (*Survey, error) {
 	// shared graph's intern tables as they stream in.
 	walkStart := time.Now()
 	total := e.b.Done() + len(names)
+	//lint:allow locksafety e.mu makes Add the single assembler; draining the bounded worker stream under it is the design (workers close events when done, so this terminates)
 	for ev := range events {
 		switch ev.kind {
 		case evZone:

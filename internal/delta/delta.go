@@ -36,6 +36,8 @@ import (
 
 // Delta is the typed trust drift between two survey generations. All
 // slices are sorted (by name, apex, or host) and nil when empty.
+//
+//lint:immutable
 type Delta struct {
 	// FromGen and ToGen identify the compared generations.
 	FromGen int64 `json:"from_gen"`
@@ -303,6 +305,8 @@ func (e *evaluator) assess(ctx context.Context, name string, oldCid, newCid int3
 // journal names every added/removed/re-chained name, and chain stamps
 // bound the set of chains whose dependency structure moved — everything
 // else is shared storage and diffs to nothing without being read.
+//
+//lint:hotpath
 func computeIncremental(ctx context.Context, e *evaluator, d *Delta) error {
 	og, ng := e.old.Graph, e.new.Graph
 	oldEpoch := og.Epoch()
@@ -316,8 +320,8 @@ func computeIncremental(ctx context.Context, e *evaluator, d *Delta) error {
 
 	touched := ng.NamesTouchedSince(oldEpoch)
 	touchedSet := make(map[string]bool, len(touched))
-	newlyLive := map[int32]bool{}
-	ceasedLive := map[int32]bool{}
+	newlyLive := make(map[int32]bool, len(touched))
+	ceasedLive := make(map[int32]bool, len(touched))
 	for _, name := range touched {
 		touchedSet[name] = true
 		oldCid, oldOK := og.NameChainID(name)

@@ -339,3 +339,33 @@ func TestGrewFilter(t *testing.T) {
 		t.Errorf("Grew(0) = %+v, want b and c (minimum growth clamps to 1)", got)
 	}
 }
+
+// TestIncrementalNoChangeAllocGate is the runtime complement of the
+// //lint:hotpath annotation on computeIncremental: diffing a generation
+// against itself — the steady-state monitor case where nothing drifted —
+// must cost a bounded handful of allocations (the evaluator's and
+// delta's own headers plus three empty tracking maps), independent of
+// how large the survey is.
+//
+// alloc-gate: dnstrust/internal/delta.computeIncremental
+func TestIncrementalNoChangeAllocGate(t *testing.T) {
+	w := newRandWorld(7)
+	var s *crawler.Survey
+	for e := 0; e < 4; e++ {
+		s = w.epoch(t)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		d := &Delta{FromGen: genOf(s), ToGen: genOf(s)}
+		e := &evaluator{old: s, new: s,
+			cuts: make(map[cutKey]*mincut.Result), tcbs: make(map[[2]int32]tcbDiff)}
+		if err := computeIncremental(context.Background(), e, d); err != nil {
+			t.Fatal(err)
+		}
+		if d.Compared != 0 && len(d.Changed) != 0 {
+			t.Fatal("self-diff reported drift")
+		}
+	})
+	if allocs > 10 {
+		t.Errorf("no-change incremental diff allocates %.1f objects, want <= 10 (size-independent)", allocs)
+	}
+}

@@ -1,6 +1,8 @@
 package lint
 
-// All returns the project's analyzer suite in stable order.
+// All returns the project's analyzer suite in stable order. The first
+// five are the statement-level analyzers from PR 8; the last four ride
+// the CFG/dataflow engine (PR 9) and are flow-sensitive.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicWrite,
@@ -8,5 +10,9 @@ func All() []*Analyzer {
 		CtxFlow,
 		Determinism,
 		ErrWrapped,
+		GoroutineLeak,
+		HotPathAlloc,
+		LockSafety,
+		ViewImmutable,
 	}
 }

@@ -1,0 +1,570 @@
+package lint
+
+// Intra-procedural control-flow graphs for the flow-sensitive analyzers
+// (locksafety, goroutineleak, viewimmutable). The builder is pure
+// go/ast — no type information — so it can be exercised on parsed
+// snippets in tests; analyzers layer go/types on top when they walk
+// block nodes.
+//
+// Granularity: a Block holds the statements (and branch-condition
+// expressions) that execute unconditionally once the block is entered.
+// Compound statements are never stored whole; instead the block
+// receives their "head" parts:
+//
+//   - if/for:        the condition expression
+//   - switch:        the tag expression
+//   - type switch:   the assign statement
+//   - range:         the *ast.RangeStmt itself (X, Key, Value matter;
+//     the body is in successor blocks — analyzers must treat the node
+//     shallowly, see shallowParts)
+//   - select:        the *ast.SelectStmt itself (shallow: its presence
+//     marks a potential blocking point; each comm statement is the
+//     first node of its clause's block and is recorded in
+//     CFG.SelectComm so analyzers can tell it apart from a bare
+//     channel operation)
+//
+// defer and go statements are ordinary nodes: they do not alter
+// intra-procedural control flow (defers run at function exit whatever
+// path is taken; analyzers that care — locksafety — interpret them
+// semantically). Function literals are opaque: control never flows
+// into them at the point of creation.
+//
+// Calls that provably never return (panic, os.Exit, log.Fatal*,
+// log.Panic*, runtime.Goexit) terminate their block with an edge
+// straight to Exit, which is what lets locksafety demand "Unlock on
+// all exit paths *including panics* unless deferred" and lets
+// goroutineleak treat a guaranteed os.Exit as termination.
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// A Block is a basic block: nodes execute in order, then control moves
+// to one of Succs. A block with no successors that is not the Exit
+// block diverges (e.g. `select {}` or a call chain into panic-free
+// infinite loops keeps no such block; an empty Succs means "control
+// never leaves").
+type Block struct {
+	Index int
+	Kind  string // entry, exit, body, if.then, for.head, select.case, ...
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// A CFG is the control-flow graph of one function body. Entry and Exit
+// are synthetic: Entry has no nodes and one successor; every return
+// path (explicit return, fall off the end, no-return call) has an edge
+// to Exit.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block // in creation order; Blocks[0] == Entry, Blocks[1] == Exit
+
+	// SelectComm marks statements that appear as the communication
+	// clause of a select case. Channel operations inside them never
+	// block on their own — the select head is the blocking point (and
+	// a select with a default clause does not block at all).
+	SelectComm map[ast.Stmt]bool
+
+	// RangeExit maps a range statement to the block control reaches
+	// when the range terminates structurally (iterator exhausted /
+	// channel closed). Analyzers that know a ranged channel never
+	// closes (time.Tick) can treat that edge as dead.
+	RangeExit map[*ast.RangeStmt]*Block
+}
+
+// BuildCFG constructs the CFG of one function body. It accepts the
+// *ast.BlockStmt of a FuncDecl or FuncLit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg: &CFG{
+			SelectComm: make(map[ast.Stmt]bool),
+			RangeExit:  make(map[*ast.RangeStmt]*Block),
+		},
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	first := b.newBlock("body")
+	b.link(b.cfg.Entry, first)
+	b.cur = first
+	b.stmts(body.List)
+	b.jump(b.cfg.Exit) // falling off the end reaches Exit
+	return b.cfg
+}
+
+type loopCtx struct {
+	label    string
+	brk      *Block // break target (loop/switch/select join)
+	cont     *Block // continue target (loop head or post), nil for switch/select
+	fallthru *Block // next case body inside a switch, nil elsewhere
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil when the current point is unreachable
+	stack  []loopCtx
+	labels map[string]*Block // goto / labeled-statement targets
+	pend   string            // label awaiting its loop/switch/select statement
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, materializing a dead block
+// for statements that follow a terminator (so their nodes still exist
+// for position lookups, while staying unreachable from Entry).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump wires the current block to target and leaves the current point
+// unreachable; a no-op when the current point already is.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.link(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// moveTo is jump followed by continuing construction inside target.
+func (b *cfgBuilder) moveTo(target *Block) {
+	b.jump(target)
+	b.cur = target
+}
+
+// takeLabel consumes the pending label set by a LabeledStmt wrapping
+// this loop/switch/select.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pend
+	b.pend = ""
+	return l
+}
+
+// findCtx locates the loop/switch context a break or continue targets.
+func (b *cfgBuilder) findCtx(label string, needCont bool) *loopCtx {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		c := &b.stack[i]
+		if needCont && c.cont == nil {
+			continue // break-only contexts (switch/select) are invisible to continue
+		}
+		if label == "" || c.label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// labelBlock returns (creating on demand) the block a label names, for
+// goto and labeled statements.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.moveTo(lb)
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pend = s.Label.Name
+		}
+		b.stmt(s.Stmt)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if callNeverReturns(s.X) {
+			b.jump(b.cfg.Exit)
+		}
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, s)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	default:
+		// Assign, Decl, Send, IncDec, Defer, Go, Empty: plain nodes.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		if c := b.findCtx(label, false); c != nil {
+			b.add(s)
+			b.jump(c.brk)
+		}
+	case "continue":
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		if c := b.findCtx(label, true); c != nil {
+			b.add(s)
+			b.jump(c.cont)
+		}
+	case "goto":
+		b.add(s)
+		b.jump(b.labelBlock(s.Label.Name))
+	case "fallthrough":
+		if c := b.findCtx("", false); c != nil && c.fallthru != nil {
+			b.jump(c.fallthru)
+		}
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+		b.cur = head
+	}
+	join := b.newBlock("if.join")
+
+	then := b.newBlock("if.then")
+	b.link(head, then)
+	b.cur = then
+	b.stmt(s.Body)
+	b.jump(join)
+
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.link(head, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.jump(join)
+	} else {
+		b.link(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.moveTo(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	join := b.newBlock("for.join")
+	body := b.newBlock("for.body")
+	b.link(head, body)
+	if s.Cond != nil {
+		b.link(head, join) // `for {}` has no structural exit
+	}
+
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		cont = post
+	}
+	b.stack = append(b.stack, loopCtx{label: label, brk: join, cont: cont})
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(cont)
+	b.stack = b.stack[:len(b.stack)-1]
+
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.jump(head)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	b.moveTo(head)
+	b.add(s) // shallow: X/Key/Value; body lives in successor blocks
+	join := b.newBlock("range.join")
+	body := b.newBlock("range.body")
+	b.link(head, body)
+	b.link(head, join) // iterator exhausted / channel closed
+	b.cfg.RangeExit[s] = join
+
+	b.stack = append(b.stack, loopCtx{label: label, brk: join, cont: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(head)
+	b.stack = b.stack[:len(b.stack)-1]
+	b.cur = join
+}
+
+// switchStmt handles both expression and type switches: exactly one of
+// tag (expression switch) and assign (type switch) is non-nil.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, _ ast.Stmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+		b.cur = head
+	}
+	join := b.newBlock("switch.join")
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		clauses = append(clauses, cs.(*ast.CaseClause))
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		bodies[i] = b.newBlock("case")
+		b.link(head, bodies[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.link(head, join) // no case matches
+	}
+
+	for i, cc := range clauses {
+		var next *Block
+		if i+1 < len(bodies) {
+			next = bodies[i+1]
+		}
+		b.stack = append(b.stack, loopCtx{label: label, brk: join, fallthru: next})
+		b.cur = bodies[i]
+		b.stmts(cc.Body)
+		b.jump(join)
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	b.add(s) // shallow: marks the (potential) blocking point
+	head := b.cur
+	join := b.newBlock("select.join")
+
+	if len(s.Body.List) == 0 {
+		// select {} blocks forever: no successors.
+		b.cur = join // unreachable from entry; kept for symmetry
+		return
+	}
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		blk := b.newBlock("select.case")
+		b.link(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.cfg.SelectComm[cc.Comm] = true
+			b.stmt(cc.Comm)
+		}
+		b.stack = append(b.stack, loopCtx{label: label, brk: join})
+		b.stmts(cc.Body)
+		b.jump(join)
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+	b.cur = join
+}
+
+// callNeverReturns reports whether expr is a call that terminates the
+// goroutine or process: panic, os.Exit, runtime.Goexit, log.Fatal*,
+// log.Panic*. Matching is syntactic (the builder has no types); local
+// shadows of those names would be misread, which the codebase does not
+// do and the fixture suites pin.
+func callNeverReturns(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit",
+			"log.Fatal", "log.Fatalf", "log.Fatalln",
+			"log.Panic", "log.Panicf", "log.Panicln":
+			return true
+		}
+	}
+	return false
+}
+
+// shallowParts returns the sub-nodes of a block node that belong to the
+// block itself, excluding any sub-statements that live in successor
+// blocks. Analyzers iterate block nodes through this helper so compound
+// heads (range, select) are not walked twice.
+func shallowParts(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		parts := []ast.Node{n.X}
+		if n.Key != nil {
+			parts = append(parts, n.Key)
+		}
+		if n.Value != nil {
+			parts = append(parts, n.Value)
+		}
+		return parts
+	case *ast.SelectStmt:
+		return nil // the node itself is the signal; comms live in clause blocks
+	default:
+		return []ast.Node{n}
+	}
+}
+
+// Reachable returns the set of blocks reachable from g.Entry.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// String renders the CFG compactly for tests and debugging:
+//
+//	0 entry -> 2
+//	1 exit
+//	2 body [assign, if-cond] -> 3 4
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%d %s", blk.Index, blk.Kind)
+		if len(blk.Nodes) > 0 {
+			var kinds []string
+			for _, n := range blk.Nodes {
+				kinds = append(kinds, nodeKind(n))
+			}
+			fmt.Fprintf(&sb, " [%s]", strings.Join(kinds, " "))
+		}
+		if len(blk.Succs) > 0 {
+			idx := make([]int, len(blk.Succs))
+			for i, s := range blk.Succs {
+				idx[i] = s.Index
+			}
+			sort.Ints(idx)
+			sb.WriteString(" ->")
+			for _, i := range idx {
+				fmt.Fprintf(&sb, " %d", i)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func nodeKind(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.ExprStmt:
+		return "expr"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.GoStmt:
+		return "go"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.BranchStmt:
+		return n.Tok.String()
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.SelectStmt:
+		return "select"
+	case ast.Expr:
+		return "cond"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}

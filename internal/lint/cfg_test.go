@@ -1,0 +1,418 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func parseFuncBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no function in fixture")
+	return nil
+}
+
+// TestBuildCFGShapes pins the block/edge structure the builder produces
+// for each control-flow shape the analyzers rely on. The rendering is
+// CFG.String: "index kind [node-kinds] -> sorted-successors".
+func TestBuildCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "if-else-chain",
+			src: `func f(a, b bool) int {
+				if a {
+					return 1
+				} else if b {
+					return 2
+				}
+				return 3
+			}`,
+			want: `
+0 entry -> 2
+1 exit
+2 body [cond] -> 4 5
+3 if.join [return] -> 1
+4 if.then [return] -> 1
+5 if.else [cond] -> 6 7
+6 if.join -> 3
+7 if.then [return] -> 1
+`,
+		},
+		{
+			name: "for-with-break-continue",
+			src: `func f(n int) int {
+				s := 0
+				for i := 0; i < n; i++ {
+					if i == 3 {
+						continue
+					}
+					if i == 7 {
+						break
+					}
+					s += i
+				}
+				return s
+			}`,
+			want: `
+0 entry -> 2
+1 exit
+2 body [assign assign] -> 3
+3 for.head [cond] -> 4 5
+4 for.join [return] -> 1
+5 for.body [cond] -> 7 8
+6 for.post [incdec] -> 3
+7 if.join [cond] -> 9 10
+8 if.then [continue] -> 6
+9 if.join [assign] -> 6
+10 if.then [break] -> 4
+`,
+		},
+		{
+			name: "range-with-defer-in-loop",
+			src: `func f(ch chan int) {
+				for v := range ch {
+					defer println(v)
+				}
+			}`,
+			want: `
+0 entry -> 2
+1 exit
+2 body -> 3
+3 range.head [range] -> 4 5
+4 range.join -> 1
+5 range.body [defer] -> 3
+`,
+		},
+		{
+			name: "switch-with-fallthrough",
+			src: `func f(x int) int {
+				switch x {
+				case 1:
+					x++
+					fallthrough
+				case 2:
+					return 2
+				default:
+					x--
+				}
+				return x
+			}`,
+			want: `
+0 entry -> 2
+1 exit
+2 body [cond] -> 4 5 6
+3 switch.join [return] -> 1
+4 case [incdec] -> 5
+5 case [return] -> 1
+6 case [incdec] -> 3
+`,
+		},
+		{
+			name: "select-in-labeled-loop",
+			src: `func f(a, b chan int) {
+			L:
+				for {
+					select {
+					case v := <-a:
+						_ = v
+					case b <- 1:
+						break L
+					default:
+						return
+					}
+				}
+			}`,
+			want: `
+0 entry -> 2
+1 exit
+2 body -> 3
+3 label.L -> 4
+4 for.head -> 6
+5 for.join -> 1
+6 for.body [select] -> 8 9 10
+7 select.join -> 4
+8 select.case [assign assign] -> 7
+9 select.case [send break] -> 5
+10 select.case [return] -> 1
+`,
+		},
+		{
+			name: "labeled-goto-and-panic",
+			src: `func f(x int) int {
+				defer func() {
+					recover()
+				}()
+				i := 0
+			loop:
+				if i < x {
+					i++
+					goto loop
+				}
+				if x < 0 {
+					panic("neg")
+				}
+				return i
+			}`,
+			want: `
+0 entry -> 2
+1 exit
+2 body [defer assign] -> 3
+3 label.loop [cond] -> 4 5
+4 if.join [cond] -> 6 7
+5 if.then [incdec goto] -> 3
+6 if.join [return] -> 1
+7 if.then [expr] -> 1
+`,
+		},
+		{
+			name: "infinite-for-is-a-black-hole",
+			src: `func f() {
+				for {
+					work()
+				}
+			}`,
+			want: `
+0 entry -> 2
+1 exit
+2 body -> 3
+3 for.head -> 5
+4 for.join -> 1
+5 for.body [expr] -> 3
+`,
+		},
+		{
+			name: "empty-select-has-no-successors",
+			src: `func f() {
+				select {}
+			}`,
+			want: `
+0 entry -> 2
+1 exit
+2 body [select]
+3 select.join -> 1
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := BuildCFG(parseFuncBody(t, tc.src))
+			got := strings.TrimSpace(g.String())
+			want := strings.TrimSpace(tc.want)
+			if got != want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// assignedNames is the forward may-analysis used to pin dataflow
+// fixpoints: the set of variable names possibly assigned on some path
+// to a point.
+func assignedNames() FlowProblem[map[string]bool] {
+	union := func(a, b map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(a)+len(b))
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	equal := func(a, b map[string]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	return FlowProblem[map[string]bool]{
+		Init:  map[string]bool{},
+		Join:  union,
+		Equal: equal,
+		Transfer: func(b *Block, in map[string]bool) map[string]bool {
+			out := union(in, nil)
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+							out[id.Name] = true
+						}
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+func sortedKeys(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " ")
+}
+
+func TestForwardFlowFixpoint(t *testing.T) {
+	// The loop body assigns y; the back edge must re-trigger the head
+	// so the head's in-fact converges to {x y}, not the first-visit {x}.
+	g := BuildCFG(parseFuncBody(t, `func g() {
+		x := 0
+		for x < 10 {
+			y := x
+			x = y + 1
+		}
+		z := x
+		_ = z
+	}`))
+	in, out := ForwardFlow(g, assignedNames())
+
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no for.head block in\n%s", g)
+	}
+	if got := sortedKeys(in[head]); got != "x y" {
+		t.Errorf("in[for.head] = {%s}, want {x y} (back edge not propagated)", got)
+	}
+	if got := sortedKeys(in[g.Exit]); got != "x y z" {
+		t.Errorf("in[exit] = {%s}, want {x y z}", got)
+	}
+	_ = out
+}
+
+func TestForwardFlowJoinsBranches(t *testing.T) {
+	// The else branch returns early, so its facts reach Exit but not
+	// the statements after the if.
+	g := BuildCFG(parseFuncBody(t, `func f(c bool) {
+		a := 1
+		if c {
+			b := 2
+			_ = b
+		} else {
+			e := 5
+			_ = e
+			return
+		}
+		d := 3
+		_, _ = a, d
+	}`))
+	in, _ := ForwardFlow(g, assignedNames())
+
+	var join *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "if.join" {
+			join = b
+		}
+	}
+	if got := sortedKeys(in[join]); got != "a b" {
+		t.Errorf("in[if.join] = {%s}, want {a b} (early return must not leak e)", got)
+	}
+	if got := sortedKeys(in[g.Exit]); got != "a b d e" {
+		t.Errorf("in[exit] = {%s}, want {a b d e}", got)
+	}
+}
+
+func TestBackwardFlow(t *testing.T) {
+	// Backward union of identifiers mentioned downstream: the branch
+	// facts {a} and {b} must both reach the head block.
+	g := BuildCFG(parseFuncBody(t, `func h(c bool) int {
+		a := 1
+		b := 2
+		if c {
+			return a
+		}
+		return b
+	}`))
+	idents := FlowProblem[map[string]bool]{
+		Init: map[string]bool{},
+		Join: func(a, b map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(a)+len(b))
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(blk *Block, in map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(in))
+			for k := range in {
+				out[k] = true
+			}
+			for _, n := range blk.Nodes {
+				for _, part := range shallowParts(n) {
+					ast.Inspect(part, func(n ast.Node) bool {
+						if id, ok := n.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+	_, out := BackwardFlow(g, idents)
+	var body *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "body" {
+			body = b
+		}
+	}
+	if got := sortedKeys(out[body]); got != "a b c" {
+		t.Errorf("backward out[body] = {%s}, want {a b c}", got)
+	}
+}
+
+func TestCFGReachable(t *testing.T) {
+	g := BuildCFG(parseFuncBody(t, `func f() {
+		return
+		println("dead")
+	}`))
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		dead := b.Kind == "dead"
+		if dead == reach[b] {
+			t.Errorf("block %d %s: reachable=%v", b.Index, b.Kind, reach[b])
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package lint
+
+// Generic worklist dataflow over a CFG. Analyzers describe a lattice
+// (Join/Equal) and a per-block Transfer; the solver iterates to a
+// fixpoint. Facts must be treated as immutable: Transfer and Join
+// return fresh values rather than mutating their arguments, so a fact
+// can safely flow into several successors.
+
+// A FlowProblem describes one dataflow analysis over fact type F.
+type FlowProblem[F any] struct {
+	// Init is the fact at the boundary: Entry for forward problems,
+	// Exit for backward ones.
+	Init F
+	// Join combines facts arriving over multiple edges (lattice join).
+	Join func(F, F) F
+	// Equal detects the fixpoint.
+	Equal func(F, F) bool
+	// Transfer pushes a fact through one block's nodes.
+	Transfer func(*Block, F) F
+}
+
+// ForwardFlow solves p over g in execution order and returns the fact
+// at block entry (in) and block exit (out) for every block reachable
+// from Entry. Joins only consider predecessors whose out-fact has been
+// computed, so facts that hold on every path so far are not weakened
+// by edges that have not yet contributed (back edges re-trigger their
+// targets when they do).
+func ForwardFlow[F any](g *CFG, p FlowProblem[F]) (in, out map[*Block]F) {
+	return solve(g, p, false)
+}
+
+// BackwardFlow solves p over g against execution order: in holds the
+// fact at block exit, out the fact at block entry (the naming follows
+// the direction of propagation).
+func BackwardFlow[F any](g *CFG, p FlowProblem[F]) (in, out map[*Block]F) {
+	return solve(g, p, true)
+}
+
+func solve[F any](g *CFG, p FlowProblem[F], backward bool) (in, out map[*Block]F) {
+	next := func(b *Block) []*Block { return b.Succs }
+	prev := func(b *Block) []*Block { return b.Preds }
+	start := g.Entry
+	if backward {
+		next, prev = prev, next
+		start = g.Exit
+	}
+
+	in = make(map[*Block]F)
+	out = make(map[*Block]F)
+	seen := make(map[*Block]bool)
+
+	queue := []*Block{start}
+	queued := map[*Block]bool{start: true}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+
+		var fact F
+		if b == start {
+			fact = p.Init
+		} else {
+			first := true
+			for _, pr := range prev(b) {
+				o, ok := out[pr]
+				if !ok {
+					continue // not yet computed; its edge re-triggers us later
+				}
+				if first {
+					fact = o
+					first = false
+				} else {
+					fact = p.Join(fact, o)
+				}
+			}
+			if first {
+				continue // unreachable in this direction
+			}
+		}
+
+		if old, ok := in[b]; ok && seen[b] && p.Equal(old, fact) {
+			continue
+		}
+		seen[b] = true
+		in[b] = fact
+		out[b] = p.Transfer(b, fact)
+		for _, s := range next(b) {
+			if !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return in, out
+}

@@ -21,9 +21,9 @@ func TestParseVerbs(t *testing.T) {
 		{"100%% done: %v", []verb{{'v', 0}}},
 		{"%+v %#x %-8s", []verb{{'v', 0}, {'x', 1}, {'s', 2}}},
 		{"%6.2f %v", []verb{{'f', 0}, {'v', 1}}},
-		{"%*d %v", []verb{{'d', 1}, {'v', 2}}},    // * consumes the width operand
-		{"%.*f %v", []verb{{'f', 1}, {'v', 2}}},   // * consumes the precision operand
-		{"%[2]v %v", []verb{{'v', 1}, {'v', 2}}},  // explicit index, then sequential
+		{"%*d %v", []verb{{'d', 1}, {'v', 2}}},   // * consumes the width operand
+		{"%.*f %v", []verb{{'f', 1}, {'v', 2}}},  // * consumes the precision operand
+		{"%[2]v %v", []verb{{'v', 1}, {'v', 2}}}, // explicit index, then sequential
 		{"%[1]v + %[1]v", []verb{{'v', 0}, {'v', 0}}},
 		{"%q trailing %", []verb{{'q', 0}}},
 	}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak demands that every `go` statement starts a goroutine
+// that can terminate: from the spawned function's entry, the CFG exit
+// must be reachable from every reachable point. A goroutine parked in
+// `for { select { case <-ctx.Done(): return; ... } }` passes (the
+// Done case reaches exit); `for range time.Tick(d)` and bare `for {}`
+// loops fail — they are black holes that outlive every generation
+// commit of a long-running daemon. Ranging over a channel normally has
+// a structural exit (the channel closes), but channels that provably
+// never close — time.Tick results and time.Ticker.C — do not, so a
+// ticker range needs a break/return inside the body or a select on a
+// stop channel.
+//
+// The check follows `go` calls to function literals and to same-package
+// named functions (transitively: a goroutine that calls a diverging
+// helper diverges too). Goroutines handed functions from other
+// packages or through function values are not analyzable here and are
+// skipped. A goroutine that is *meant* to live for the whole process
+// carries a reasoned //lint:allow goroutineleak.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc: "every go statement must be able to terminate: a ctx/done/stop exit " +
+		"reachable on all paths, no for-range over never-closing channels",
+	Run: runGoroutineLeak,
+}
+
+type leakResult struct {
+	diverges bool
+	pos      token.Pos // representative divergence point
+	why      string
+}
+
+type leakChecker struct {
+	pass       *Pass
+	declOf     map[*types.Func]*ast.FuncDecl
+	memo       map[*ast.BlockStmt]leakResult
+	inProgress map[*ast.BlockStmt]bool
+}
+
+func runGoroutineLeak(pass *Pass) error {
+	lc := &leakChecker{
+		pass:       pass,
+		declOf:     make(map[*types.Func]*ast.FuncDecl),
+		memo:       make(map[*ast.BlockStmt]leakResult),
+		inProgress: make(map[*ast.BlockStmt]bool),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					lc.declOf[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := lc.resolve(gs.Call)
+			if body == nil {
+				return true
+			}
+			if res := lc.analyze(body); res.diverges {
+				pass.Reportf(gs.Pos(),
+					"goroutine can never terminate: %s at %s is unable to reach the function's exit; give it a ctx/done/stop path",
+					res.why, pass.Fset.Position(res.pos))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resolve finds the body the go statement runs: a literal, or a
+// same-package named function.
+func (lc *leakChecker) resolve(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := lc.pass.objectOf(fun).(*types.Func); ok {
+			if fd := lc.declOf[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := lc.pass.objectOf(fun.Sel).(*types.Func); ok {
+			if fd := lc.declOf[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+func (lc *leakChecker) analyze(body *ast.BlockStmt) leakResult {
+	if res, ok := lc.memo[body]; ok {
+		return res
+	}
+	if lc.inProgress[body] {
+		// Recursive cycle: assume termination rather than looping; a
+		// divergence inside the cycle still surfaces at its own blocks.
+		return leakResult{}
+	}
+	lc.inProgress[body] = true
+	defer delete(lc.inProgress, body)
+
+	g := BuildCFG(body)
+
+	// Sever the structural exit edge of ranges over never-closing
+	// channels: their loops only terminate via an explicit break or
+	// return in the body.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			r, ok := n.(*ast.RangeStmt)
+			if !ok || !lc.neverCloses(r.X) {
+				continue
+			}
+			if join := g.RangeExit[r]; join != nil {
+				removeEdge(b, join)
+			}
+		}
+	}
+
+	reach := g.Reachable()
+	canExit := make(map[*Block]bool)
+	var walkBack func(*Block)
+	walkBack = func(b *Block) {
+		if canExit[b] {
+			return
+		}
+		canExit[b] = true
+		for _, p := range b.Preds {
+			walkBack(p)
+		}
+	}
+	walkBack(g.Exit)
+
+	res := leakResult{}
+	for _, b := range g.Blocks {
+		if !reach[b] || canExit[b] {
+			continue
+		}
+		// Blocks are in creation order; the first hit is representative.
+		res = leakResult{diverges: true, pos: blockPos(body, b), why: "this point"}
+		break
+	}
+
+	// A structurally sound function still diverges if some reachable
+	// statement calls a same-package function that diverges.
+	if !res.diverges {
+		for _, b := range g.Blocks {
+			if !reach[b] || res.diverges {
+				continue
+			}
+			for _, n := range b.Nodes {
+				for _, part := range shallowParts(n) {
+					ast.Inspect(part, func(n ast.Node) bool {
+						if res.diverges {
+							return false
+						}
+						switch n := n.(type) {
+						case *ast.FuncLit:
+							return false
+						case *ast.GoStmt:
+							return false // separate goroutine, reported at its own go stmt
+						case *ast.CallExpr:
+							if callee := lc.calleeBody(n); callee != nil {
+								if sub := lc.analyze(callee); sub.diverges {
+									res = leakResult{diverges: true, pos: n.Pos(), why: "the called function"}
+									return false
+								}
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+
+	lc.memo[body] = res
+	return res
+}
+
+func (lc *leakChecker) calleeBody(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := lc.pass.objectOf(fun).(*types.Func); ok {
+			return lc.declBody(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := lc.pass.objectOf(fun.Sel).(*types.Func); ok {
+			return lc.declBody(fn)
+		}
+	}
+	return nil
+}
+
+func (lc *leakChecker) declBody(fn *types.Func) *ast.BlockStmt {
+	if fd := lc.declOf[fn]; fd != nil {
+		return fd.Body
+	}
+	return nil
+}
+
+// neverCloses reports whether a ranged channel expression provably
+// never closes: the result of time.Tick, or the C field of a
+// time.Ticker (Ticker.Stop does not close C).
+func (lc *leakChecker) neverCloses(x ast.Expr) bool {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.CallExpr:
+		return lc.pass.isPkgFunc(x, "time", "Tick")
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "C" {
+			return false
+		}
+		tv, ok := lc.pass.TypesInfo.Types[x.X]
+		if !ok {
+			return false
+		}
+		named := namedOf(tv.Type)
+		return named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Ticker"
+	}
+	return false
+}
+
+func removeEdge(from, to *Block) {
+	for i, s := range from.Succs {
+		if s == to {
+			from.Succs = append(from.Succs[:i], from.Succs[i+1:]...)
+			break
+		}
+	}
+	for i, p := range to.Preds {
+		if p == from {
+			to.Preds = append(to.Preds[:i], to.Preds[i+1:]...)
+			break
+		}
+	}
+}
+
+// blockPos picks a position representing a block: its first node, or
+// the body's closing brace for synthetic blocks.
+func blockPos(body *ast.BlockStmt, b *Block) token.Pos {
+	if len(b.Nodes) > 0 {
+		return b.Nodes[0].Pos()
+	}
+	return body.Rbrace
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func TestGoroutineLeakSeededViolations(t *testing.T) {
+	linttest.Run(t, lint.GoroutineLeak, "testdata/goroutineleak/bad")
+}
+
+func TestGoroutineLeakConformingCode(t *testing.T) {
+	linttest.Run(t, lint.GoroutineLeak, "testdata/goroutineleak/good")
+}

@@ -1,0 +1,98 @@
+package lint_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dnstrust/internal/lint"
+)
+
+// allocGateMarker ties a runtime AllocsPerRun test to the hotpath
+// function it gates. The comment sits in the gating test's doc comment:
+//
+//	// alloc-gate: dnstrust/internal/verdict.(*Cache).Lookup
+const allocGateMarker = "// alloc-gate: "
+
+// TestHotpathAnnotationsMatchAllocGates proves the static and runtime
+// halves of the hot-path contract cover the same set of functions:
+// every //lint:hotpath-annotated function has an AllocsPerRun-gated
+// test carrying its alloc-gate marker, and every marker names an
+// annotated function. An annotation without a gate is an unenforced
+// claim (the static check cannot see allocations hidden in callees); a
+// gate without an annotation will rot silently when someone adds a
+// fmt.Sprintf to a branch the benchmark never executes.
+func TestHotpathAnnotationsMatchAllocGates(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	annotated := map[string]bool{}
+	dirs := map[string]bool{}
+	for _, pkg := range pkgs {
+		dirs[pkg.Dir] = true
+		for _, fn := range lint.HotpathFuncs(pkg) {
+			annotated[fn] = true
+		}
+	}
+	if len(annotated) == 0 {
+		t.Fatal("no //lint:hotpath annotations found in the module")
+	}
+
+	gated := map[string]bool{}
+	for dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if name, ok := strings.CutPrefix(line, allocGateMarker); ok {
+					gated[strings.TrimSpace(name)] = true
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+
+	var missing, orphaned []string
+	for fn := range annotated {
+		if !gated[fn] {
+			missing = append(missing, fn)
+		}
+	}
+	for fn := range gated {
+		if !annotated[fn] {
+			orphaned = append(orphaned, fn)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(orphaned)
+	for _, fn := range missing {
+		t.Errorf("%s is //lint:hotpath but no test carries %q%s", fn, allocGateMarker+fn,
+			" (add an AllocsPerRun gate)")
+	}
+	for _, fn := range orphaned {
+		t.Errorf("a test carries %q but %s has no //lint:hotpath annotation", allocGateMarker+fn, fn)
+	}
+}

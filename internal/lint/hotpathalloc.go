@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc statically audits functions annotated //lint:hotpath in
+// their doc comment — the verdict-cache Lookup hit path, the proxy
+// ServeDNS refuse path, the incremental delta diff — for constructs
+// that allocate:
+//
+//   - any fmt or log call (Sprintf in a hit path is the classic smuggle)
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions
+//   - function literals that capture local variables (the closure
+//     environment escapes)
+//   - interface boxing: passing, assigning, or returning a concrete
+//     non-pointer-shaped value where an interface is expected
+//   - map and slice composite literals
+//   - starting a goroutine
+//
+// Explicit make/new/append calls are deliberately not flagged: a sized
+// make is a visible, intentional allocation, reviewed at the call site
+// and caught by the runtime AllocsPerRun gates this check complements
+// (the static check catches what a benchmark's happy path never
+// executes, e.g. an error branch that formats).
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions annotated //lint:hotpath must not use fmt/log, string " +
+		"concat/conversion, capturing closures, interface boxing, map/slice " +
+		"literals, or go statements",
+	Run: runHotPathAlloc,
+}
+
+// hotpathMarker in a function's doc comment opts it into the check.
+const hotpathMarker = "lint:hotpath"
+
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// HotpathFuncs returns the qualified names of the functions annotated
+// //lint:hotpath in pkg, e.g. "dnstrust/internal/verdict.(*Cache).Lookup".
+// The annotation-vs-alloc-gate matching test uses it to prove every
+// annotated function has a runtime AllocsPerRun gate and vice versa.
+func HotpathFuncs(pkg *Package) []string {
+	var out []string
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !hasMarker(fd.Doc, hotpathMarker) {
+				continue
+			}
+			out = append(out, qualifiedFuncName(pkg.Path, fd))
+		}
+	}
+	return out
+}
+
+func qualifiedFuncName(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkgPath + "." + fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	name := ""
+	switch t := ast.Unparen(recv).(type) {
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(t.X).(*ast.Ident); ok {
+			name = "(*" + id.Name + ")"
+		}
+	case *ast.Ident:
+		name = "(" + t.Name + ")"
+	}
+	return pkgPath + "." + name + "." + fd.Name.Name
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc, hotpathMarker) {
+				continue
+			}
+			hc := &hotChecker{pass: pass, fd: fd}
+			hc.checkBody(fd.Body)
+		}
+	}
+	return nil
+}
+
+type hotChecker struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+}
+
+func (hc *hotChecker) checkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			hc.checkClosure(n)
+			return false // the literal's own body runs elsewhere
+		case *ast.CallExpr:
+			hc.checkCall(n)
+		case *ast.BinaryExpr:
+			hc.checkConcat(n)
+		case *ast.CompositeLit:
+			hc.checkCompositeLit(n)
+		case *ast.GoStmt:
+			hc.pass.Reportf(n.Pos(), "hotpath %s starts a goroutine (allocates a stack)", hc.fd.Name.Name)
+		case *ast.AssignStmt:
+			hc.checkAssign(n)
+		case *ast.ValueSpec:
+			hc.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			hc.checkReturn(n)
+		}
+		return true
+	})
+}
+
+func (hc *hotChecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := hc.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (hc *hotChecker) checkCall(call *ast.CallExpr) {
+	// Conversions first: T(x) parses as a call.
+	if tv, ok := hc.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		hc.checkConversion(call, tv.Type)
+		return
+	}
+	fun := ast.Unparen(call.Fun)
+	var fnObj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fnObj = hc.pass.objectOf(fun)
+	case *ast.SelectorExpr:
+		fnObj = hc.pass.objectOf(fun.Sel)
+	}
+	if fn, ok := fnObj.(*types.Func); ok && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "log":
+			hc.pass.Reportf(call.Pos(), "hotpath %s calls %s.%s (formats and allocates)",
+				hc.fd.Name.Name, fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	// Interface boxing at the call boundary.
+	sigType := hc.typeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == 0:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case params.Len() > 0:
+			pt = params.At(params.Len() - 1).Type()
+		}
+		if pt != nil {
+			hc.checkBoxing(arg, pt, "passing")
+		}
+	}
+}
+
+func (hc *hotChecker) checkConversion(call *ast.CallExpr, target types.Type) {
+	src := hc.typeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	toString := isString(target) && isByteOrRuneSlice(src)
+	fromString := isByteOrRuneSlice(target) && isString(src)
+	if toString || fromString {
+		hc.pass.Reportf(call.Pos(), "hotpath %s converts %s to %s (copies and allocates)",
+			hc.fd.Name.Name, src, target)
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func (hc *hotChecker) checkConcat(be *ast.BinaryExpr) {
+	if be.Op.String() != "+" {
+		return
+	}
+	tv, ok := hc.pass.TypesInfo.Types[be]
+	if !ok || tv.Value != nil { // constant-folded concat is free
+		return
+	}
+	if isString(tv.Type) {
+		hc.pass.Reportf(be.Pos(), "hotpath %s concatenates strings (allocates)", hc.fd.Name.Name)
+	}
+}
+
+func (hc *hotChecker) checkCompositeLit(cl *ast.CompositeLit) {
+	t := hc.typeOf(cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		hc.pass.Reportf(cl.Pos(), "hotpath %s builds a map literal (allocates); hoist it or use a sized make at init", hc.fd.Name.Name)
+	case *types.Slice:
+		hc.pass.Reportf(cl.Pos(), "hotpath %s builds a slice literal (allocates)", hc.fd.Name.Name)
+	}
+}
+
+// checkClosure flags literals that capture variables local to the
+// hotpath function: the shared environment forces a heap allocation.
+func (hc *hotChecker) checkClosure(lit *ast.FuncLit) {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := hc.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Declared inside the enclosing function but outside the literal.
+		if obj.Pos() >= hc.fd.Pos() && obj.Pos() < hc.fd.End() &&
+			(obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			captured = obj.Name()
+			return false
+		}
+		return true
+	})
+	if captured != "" {
+		hc.pass.Reportf(lit.Pos(), "hotpath %s creates a closure capturing %q (environment escapes to the heap)",
+			hc.fd.Name.Name, captured)
+	}
+}
+
+// checkBoxing reports a concrete non-pointer-shaped value flowing into
+// an interface: the value is copied to the heap. Pointer-shaped kinds
+// (pointers, channels, maps, funcs, unsafe pointers) fit in the
+// interface word; nil and existing interfaces convert for free.
+func (hc *hotChecker) checkBoxing(arg ast.Expr, target types.Type, verb string) {
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := hc.pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	}
+	hc.pass.Reportf(arg.Pos(), "hotpath %s: %s %s boxes a %s into an interface (allocates)",
+		hc.fd.Name.Name, verb, types.ExprString(arg), tv.Type)
+}
+
+func (hc *hotChecker) checkAssign(as *ast.AssignStmt) {
+	if as.Tok.String() != "=" {
+		return // := infers a concrete type; no interface target
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break // tuple assignment from one call; conversion is inside the callee
+		}
+		lt := hc.typeOf(lhs)
+		if lt == nil {
+			continue
+		}
+		hc.checkBoxing(as.Rhs[i], lt, "assigning")
+	}
+}
+
+func (hc *hotChecker) checkValueSpec(vs *ast.ValueSpec) {
+	if vs.Type == nil {
+		return
+	}
+	t := hc.typeOf(vs.Type)
+	if t == nil {
+		return
+	}
+	for _, v := range vs.Values {
+		hc.checkBoxing(v, t, "assigning")
+	}
+}
+
+func (hc *hotChecker) checkReturn(rs *ast.ReturnStmt) {
+	fnObj, ok := hc.pass.TypesInfo.Defs[hc.fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := fnObj.Type().(*types.Signature).Results()
+	if len(rs.Results) != results.Len() {
+		return // single-call tuple return
+	}
+	for i, r := range rs.Results {
+		hc.checkBoxing(r, results.At(i).Type(), "returning")
+	}
+}

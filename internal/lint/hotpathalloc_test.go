@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func TestHotPathAllocSeededViolations(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "testdata/hotpathalloc/bad")
+}
+
+func TestHotPathAllocConformingCode(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "testdata/hotpathalloc/good")
+}

@@ -2,7 +2,7 @@
 // dependency-free analysis framework (the container image this repo
 // builds in has no network, so golang.org/x/tools/go/analysis is not
 // available; the API here mirrors its shape so analyzers could be
-// ported verbatim if that dependency ever lands) plus five analyzers
+// ported verbatim if that dependency ever lands) plus nine analyzers
 // that mechanically enforce invariants the earlier PRs established by
 // convention:
 //
@@ -19,6 +19,26 @@
 //     sever it by passing context.Background()/context.TODO() onward.
 //   - errwrapped: sentinel errors are wrapped with %w, not stringified
 //     with %v/%s, so the fail-closed errors.Is checks keep working.
+//
+// The last four are flow-sensitive: they run over the intra-procedural
+// CFG builder (BuildCFG) and worklist dataflow engine
+// (ForwardFlow/BackwardFlow) in this package, so they reason about
+// execution paths — every return, panic edge, and loop back edge —
+// rather than syntax:
+//
+//   - locksafety: locks released on every exit path, no double-lock or
+//     RLock/Unlock mismatch, no blocking calls under a shard lock, and
+//     a consistent lock acquisition order.
+//   - goroutineleak: every go statement's goroutine can reach its
+//     function exit (a ctx/done/stop path), directly or through
+//     same-package callees.
+//   - hotpathalloc: //lint:hotpath functions stay free of fmt/log,
+//     string concat/conversion, capturing closures, interface boxing,
+//     map/slice literals, and go statements.
+//   - viewimmutable: exported methods of //lint:immutable
+//     generation-stamped read types never write receiver-reachable
+//     memory (outside Once/mutex-guarded memoization, verified against
+//     the locksafety dataflow) and return defensive copies.
 //
 // Findings are suppressed per line with
 //

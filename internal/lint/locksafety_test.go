@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func TestLockSafetySeededViolations(t *testing.T) {
+	linttest.Run(t, lint.LockSafety, "testdata/locksafety/bad")
+}
+
+func TestLockSafetyConformingCode(t *testing.T) {
+	linttest.Run(t, lint.LockSafety, "testdata/locksafety/good")
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// jsonDiagnostic is the machine-readable finding shape emitted by
+// WriteJSON. File is module-root-relative with forward slashes, so
+// output is stable across checkouts and operating systems.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// relPath rewrites an absolute diagnostic path relative to the module
+// root, in slash form. Paths outside the root (or an empty root) pass
+// through unchanged rather than growing ../ chains.
+func relPath(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// WriteJSON emits diags as one indented JSON array — [] for a clean
+// tree, so consumers can always json.Unmarshal the output.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteGitHub emits diags as GitHub Actions workflow commands:
+//
+//	::error file=internal/x/y.go,line=12,col=3,title=dnslint/locksafety::message
+//
+// so findings surface as inline annotations on the pull request diff.
+// Message data and property values are escaped per the workflow-command
+// grammar (%, CR, LF — properties additionally : and ,).
+func WriteGitHub(w io.Writer, root string, diags []Diagnostic) error {
+	for _, d := range diags {
+		_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=%s::%s\n",
+			ghProp(relPath(root, d.Pos.Filename)), d.Pos.Line, d.Pos.Column,
+			ghProp("dnslint/"+d.Analyzer), ghData(d.Message))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ghData escapes a workflow-command message.
+func ghData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghProp escapes a workflow-command property value, which additionally
+// reserves the property separators.
+func ghProp(s string) string {
+	s = ghData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

@@ -1,0 +1,102 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnstrust/internal/lint"
+)
+
+func outputDiags(root string) []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{
+			Analyzer: "locksafety",
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "x", "y.go"), Line: 12, Column: 3},
+			Message:  "lock s.mu acquired at y.go:10 is not released on this return path",
+		},
+		{
+			Analyzer: "hotpathalloc",
+			Pos:      token.Position{Filename: filepath.Join(root, "cmd", "d", "main.go"), Line: 7, Column: 1},
+			Message:  "hotpath Lookup calls fmt.Sprintf (formats and allocates): 100% avoidable,\nsee README",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	root := filepath.FromSlash("/work/mod")
+	var sb strings.Builder
+	if err := lint.WriteJSON(&sb, root, outputDiags(root)); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d findings, want 2", len(got))
+	}
+	if got[0].File != "internal/x/y.go" || got[0].Line != 12 || got[0].Col != 3 || got[0].Analyzer != "locksafety" {
+		t.Errorf("first finding = %+v, want repo-relative slash path internal/x/y.go:12:3 (locksafety)", got[0])
+	}
+	if !strings.Contains(got[1].Message, "\n") {
+		t.Errorf("JSON must carry the message verbatim (newline included): %q", got[1].Message)
+	}
+}
+
+func TestWriteJSONEmptyIsAnArray(t *testing.T) {
+	var sb strings.Builder
+	if err := lint.WriteJSON(&sb, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("clean tree must serialize as [], got %q", sb.String())
+	}
+}
+
+func TestWriteGitHub(t *testing.T) {
+	root := filepath.FromSlash("/work/mod")
+	var sb strings.Builder
+	if err := lint.WriteGitHub(&sb, root, outputDiags(root)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (escaped newlines must not split a command):\n%s", len(lines), sb.String())
+	}
+	// The message is command data, not a property: colons stay literal.
+	want0 := "::error file=internal/x/y.go,line=12,col=3,title=dnslint/locksafety::" +
+		"lock s.mu acquired at y.go:10 is not released on this return path"
+	if lines[0] != want0 {
+		t.Errorf("line 1 = %q\nwant     %q", lines[0], want0)
+	}
+	if !strings.Contains(lines[1], "%25 avoidable,%0Asee README") {
+		t.Errorf("message data must escape %% and newline: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[1], "::error file=cmd/d/main.go,line=7,col=1,title=dnslint/hotpathalloc::") {
+		t.Errorf("line 2 header = %q", lines[1])
+	}
+}
+
+func TestWriteGitHubPathOutsideRoot(t *testing.T) {
+	var sb strings.Builder
+	d := []lint.Diagnostic{{
+		Analyzer: "determinism",
+		Pos:      token.Position{Filename: filepath.FromSlash("/elsewhere/z.go"), Line: 1, Column: 1},
+		Message:  "m",
+	}}
+	if err := lint.WriteGitHub(&sb, filepath.FromSlash("/work/mod"), d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "file=/elsewhere/z.go,") {
+		t.Errorf("path outside the module root must pass through unchanged: %q", sb.String())
+	}
+}

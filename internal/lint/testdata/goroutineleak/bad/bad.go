@@ -1,0 +1,50 @@
+package a
+
+import "time"
+
+func spinForever() {
+	for {
+	}
+}
+
+func startSpinner() {
+	go spinForever() // want `goroutine can never terminate`
+}
+
+func tickLoop(stats func()) {
+	go func() { // want `goroutine can never terminate`
+		for range time.Tick(time.Second) {
+			stats()
+		}
+	}()
+}
+
+func tickerFieldLoop(stats func()) {
+	t := time.NewTicker(time.Second)
+	go func() { // want `goroutine can never terminate`
+		for range t.C {
+			stats()
+		}
+	}()
+}
+
+func emptySelect() {
+	go func() { // want `goroutine can never terminate`
+		select {}
+	}()
+}
+
+func divergesThroughHelper() {
+	go func() { // want `goroutine can never terminate`
+		spinForever()
+	}()
+}
+
+func loopWithWorkButNoExit(work chan int, out chan int) {
+	go func() { // want `goroutine can never terminate`
+		for {
+			v := <-work
+			out <- v * v
+		}
+	}()
+}

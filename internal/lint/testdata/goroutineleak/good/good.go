@@ -1,0 +1,68 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func ctxWorker(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+func rangeOverClosableChannel(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+func stopChannelTicker(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	go func() {
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+func tickerRangeWithBreak(t *time.Ticker, limit int) {
+	go func() {
+		n := 0
+		for range t.C {
+			n++
+			if n == limit {
+				break
+			}
+		}
+	}()
+}
+
+func oneShot(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func namedWorker(in chan int) {
+	go drain(in)
+}
+
+func drain(in chan int) {
+	for range in {
+	}
+}

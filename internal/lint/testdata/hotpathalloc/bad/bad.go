@@ -1,0 +1,69 @@
+package a
+
+import "fmt"
+
+type T struct {
+	name string
+	m    map[string]*T
+}
+
+//lint:hotpath
+func fmtCall(t *T) string {
+	return fmt.Sprintf("n=%s", t.name) // want `calls fmt\.Sprintf`
+}
+
+//lint:hotpath
+func concat(a, b string) string {
+	return a + b // want `concatenates strings`
+}
+
+//lint:hotpath
+func convertToString(b []byte) string {
+	return string(b) // want `converts \[\]byte to string`
+}
+
+//lint:hotpath
+func convertToBytes(s string) []byte {
+	return []byte(s) // want `converts string to \[\]byte`
+}
+
+//lint:hotpath
+func capturingClosure() func() int {
+	total := 0
+	return func() int { // want `closure capturing "total"`
+		total++
+		return total
+	}
+}
+
+//lint:hotpath
+func boxesInt(v int) any {
+	return v // want `boxes a int into an interface`
+}
+
+//lint:hotpath
+func boxesIntoCall(v int64, sink func(any)) {
+	sink(v) // want `boxes a int64 into an interface`
+}
+
+//lint:hotpath
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal`
+}
+
+//lint:hotpath
+func sliceLit(n int) []int {
+	return []int{n} // want `slice literal`
+}
+
+//lint:hotpath
+func spawns(done chan struct{}) {
+	go noop() // want `starts a goroutine`
+}
+
+func noop() {}
+
+// Unannotated functions may allocate freely: no findings here.
+func notAnnotated() string {
+	return fmt.Sprintf("free %d", 1)
+}

@@ -1,0 +1,55 @@
+package a
+
+type T struct {
+	name string
+	hits int64
+	m    map[string]*T
+}
+
+// The cache-hit shape: map lookup, counter bump, pointer returns.
+//
+//lint:hotpath
+func lookup(t *T, key string) *T {
+	if e := t.m[key]; e != nil {
+		t.hits++
+		return e
+	}
+	return nil
+}
+
+// make/new/append are deliberate, reviewed allocations — not flagged;
+// the AllocsPerRun gates own the runtime budget.
+//
+//lint:hotpath
+func sizedMake(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//lint:hotpath
+func constConcat() string {
+	return "a" + "b"
+}
+
+//lint:hotpath
+func pointerIntoInterface(t *T) any {
+	return t
+}
+
+//lint:hotpath
+func nilIntoInterface() any {
+	return nil
+}
+
+//lint:hotpath
+func nonCapturingClosure() func() int {
+	return func() int { return 42 }
+}
+
+//lint:hotpath
+func byteIndex(s string, i int) byte {
+	return s[i]
+}

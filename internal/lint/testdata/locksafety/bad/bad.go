@@ -1,0 +1,121 @@
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+	m  map[string]int
+}
+
+func leakOnEarlyReturn(s *S, bad bool) int {
+	s.mu.Lock()
+	if bad {
+		return -1 // want `s\.mu .* is still held when this path leaves the function`
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+func leakOnPanic(s *S) {
+	s.mu.Lock()
+	if s.n < 0 {
+		panic("negative") // want `s\.mu .* is still held`
+	}
+	s.mu.Unlock()
+}
+
+func leakAtEnd(s *S) {
+	s.mu.Lock()
+	s.n++ // want `s\.mu .* is still held`
+}
+
+func doubleLock(s *S) {
+	s.mu.Lock()
+	s.mu.Lock() // want `second Lock of s\.mu while already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func upgradeDeadlock(s *S) {
+	s.rw.RLock()
+	s.rw.Lock() // want `Lock of s\.rw while its RLock .* RWMutex upgrades deadlock`
+	s.rw.Unlock()
+}
+
+func wrongRelease(s *S) {
+	s.rw.RLock()
+	s.rw.Unlock() // want `s\.rw was RLocked .* but released with Unlock`
+}
+
+func wrongReleaseWrite(s *S) {
+	s.rw.Lock()
+	s.rw.RUnlock() // want `s\.rw was Locked .* but released with RUnlock`
+}
+
+func ioUnderLock(s *S, path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.WriteFile(path, nil, 0o644) // want `file I/O \(os\.WriteFile\) while s\.mu is held`
+}
+
+func recvUnderLock(s *S, ch chan int) int {
+	s.mu.Lock()
+	v := <-ch // want `channel receive while s\.mu is held`
+	s.mu.Unlock()
+	return v
+}
+
+func sendUnderLock(s *S, ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func waitUnderLock(s *S, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `WaitGroup\.Wait while s\.mu is held`
+}
+
+func selectUnderLock(s *S, a, b chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while s\.mu is held`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func rangeChanUnderLock(s *S, ch chan string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range ch { // want `range over channel ch while s\.mu is held`
+		s.m[k]++
+	}
+}
+
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func lockAB(p *Pair) {
+	p.a.Lock()
+	p.b.Lock() // want `inconsistent lock order`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *Pair) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

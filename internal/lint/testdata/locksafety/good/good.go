@@ -1,0 +1,99 @@
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func deferred(s *S) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func deferredInLiteral(s *S) {
+	s.mu.Lock()
+	defer func() {
+		s.m["closed"] = 1
+		s.mu.Unlock()
+	}()
+	s.m["x"]++
+}
+
+func earlyReturnReleases(s *S, k string) (int, bool) {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	return 0, false
+}
+
+func readThenWrite(s *S, k string) {
+	s.rw.RLock()
+	_, hit := s.m[k]
+	s.rw.RUnlock()
+	if !hit {
+		s.rw.Lock()
+		s.m[k] = 1
+		s.rw.Unlock()
+	}
+}
+
+func lockPerIteration(s *S, keys []string) {
+	for _, k := range keys {
+		s.mu.Lock()
+		s.m[k]++
+		s.mu.Unlock()
+	}
+}
+
+func panicPathDeferred(s *S, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v < 0 {
+		panic("bad value")
+	}
+	s.m["k"] = v
+}
+
+func nonBlockingSelectUnderLock(s *S, ch chan string) {
+	s.mu.Lock()
+	select {
+	case k := <-ch:
+		s.m[k]++
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func blockingAfterUnlock(s *S, wg *sync.WaitGroup, ch chan int) {
+	s.mu.Lock()
+	s.m["x"]++
+	s.mu.Unlock()
+	wg.Wait()
+	<-ch
+}
+
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func orderOnce(p *Pair) {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func orderTwice(p *Pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}

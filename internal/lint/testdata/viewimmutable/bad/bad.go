@@ -1,0 +1,50 @@
+package a
+
+// View is a generation-stamped read snapshot: frozen at commit.
+//
+//lint:immutable
+type View struct {
+	names []string
+	stats map[string]int
+	memo  *int
+}
+
+func (v *View) SetStat(k string, n int) {
+	v.stats[k] = n // want `write to v\.stats\[k\] on immutable \*View receiver`
+}
+
+func (v *View) AddName(n string) {
+	v.names = append(v.names, n) // want `v\.names`
+}
+
+func (v *View) Drop(k string) {
+	delete(v.stats, k) // want `delete on v\.stats`
+}
+
+func (v *View) Bump() {
+	*v.memo++ // want `increment of \*v\.memo`
+}
+
+func (v *View) WriteThroughAlias() {
+	s := v.stats
+	s["x"] = 1 // want `write to s\[`
+}
+
+func (v *View) Names() []string {
+	return v.names // want `returns internal v\.names without a defensive copy`
+}
+
+func (v *View) Stats() map[string]int {
+	return v.stats // want `returns internal v\.stats`
+}
+
+func (v *View) NamesTail() []string {
+	return v.names[1:] // want `returns internal v\.names\[1:\]`
+}
+
+// Mutating in a closure does not launder the write.
+func (v *View) DeferredWrite() {
+	func() {
+		v.stats["late"] = 1 // want `write to v\.stats`
+	}()
+}

@@ -1,0 +1,80 @@
+package a
+
+import "sync"
+
+// Snap is frozen at commit; memoized accessors use the repo's
+// Once/mutex idiom, reads copy out defensively.
+//
+//lint:immutable
+type Snap struct {
+	once  sync.Once
+	botMu sync.Mutex
+
+	names   []string
+	stats   map[string]int
+	summary string
+	bot     []string
+}
+
+func (s *Snap) Names() []string {
+	return append([]string(nil), s.names...)
+}
+
+func (s *Snap) Stats() map[string]int {
+	out := make(map[string]int, len(s.stats))
+	for k, v := range s.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// Once-guarded memoization is the sanctioned write.
+func (s *Snap) Summary() string {
+	s.once.Do(func() {
+		s.summary = "first: " + s.names[0]
+	})
+	return s.summary
+}
+
+// Mutex-guarded memoization: the lock dataflow proves s.botMu is held
+// at the write.
+func (s *Snap) Bottlenecks() []string {
+	s.botMu.Lock()
+	defer s.botMu.Unlock()
+	if s.bot == nil {
+		s.bot = append(s.bot, s.names...)
+	}
+	return append([]string(nil), s.bot...)
+}
+
+func (s *Snap) Count() int {
+	return len(s.names)
+}
+
+// Unexported methods are build-phase helpers: not checked.
+func (s *Snap) push(n string) {
+	s.names = append(s.names, n)
+}
+
+// Shared is an interned table whose accessors deliberately share
+// append-only internal arrays (the core.Graph contract).
+//
+//lint:immutable shared-returns
+type Shared struct {
+	hosts []string
+	mu    sync.Mutex
+	byID  map[int32]string
+}
+
+func (g *Shared) Hosts() []string {
+	return g.hosts
+}
+
+func (g *Shared) Name(id int32) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.byID == nil {
+		g.byID = map[int32]string{0: "root"}
+	}
+	return g.byID[id]
+}

@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ViewImmutable codifies the read-side contract PR 5 established by
+// hand: a generation-stamped read type (dnstrust.View, a detached
+// core.Graph epoch, delta.Delta) is frozen at commit. Types opt in
+// with //lint:immutable in their doc comment; every *exported* method
+// of a marked type is then checked:
+//
+//   - it must not write receiver-reachable memory (field assignments,
+//     stores through aliases of receiver fields, delete/clear/append
+//     on receiver-rooted maps and slices) — with two carve-outs for
+//     the repo's memoization idiom: writes inside a receiver-field
+//     sync.Once.Do literal, and writes made while a receiver-field
+//     mutex is held (checked flow-sensitively via the locksafety
+//     dataflow, so the guard must actually cover the write's path);
+//   - it must not return a receiver-rooted slice or map directly: the
+//     caller could mutate shared backing memory, so internal
+//     collections leave through defensive copies
+//     (append([]T(nil), ...) / maps.Clone). Types whose accessors
+//     deliberately share append-only internal arrays (core.Graph's
+//     interned tables) declare //lint:immutable shared-returns, which
+//     keeps the write checks but waives the copy rule.
+//
+// Unexported methods are construction/build-phase helpers and are not
+// checked.
+var ViewImmutable = &Analyzer{
+	Name: "viewimmutable",
+	Doc: "exported methods of //lint:immutable types must not write " +
+		"receiver-reachable memory (outside Once/mutex-guarded memoization) " +
+		"and must return defensive copies of internal slices/maps",
+	Run: runViewImmutable,
+}
+
+const immutableMarker = "lint:immutable"
+
+type immutableOpts struct {
+	sharedReturns bool
+}
+
+func runViewImmutable(pass *Pass) error {
+	marked := markedTypes(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if !fd.Name.IsExported() {
+				continue
+			}
+			recvType := baseTypeName(pass, fd.Recv.List[0].Type)
+			opts, isMarked := marked[recvType]
+			if !isMarked {
+				continue
+			}
+			checkImmutableMethod(pass, fd, opts)
+		}
+	}
+	return nil
+}
+
+// markedTypes finds //lint:immutable type declarations. The marker may
+// sit on the TypeSpec or on its enclosing GenDecl.
+func markedTypes(pass *Pass) map[*types.TypeName]immutableOpts {
+	marked := make(map[*types.TypeName]immutableOpts)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if !hasMarker(doc, immutableMarker) {
+					continue
+				}
+				tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				marked[tn] = immutableOpts{
+					sharedReturns: markerHasWord(doc, immutableMarker, "shared-returns"),
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func markerHasWord(doc *ast.CommentGroup, marker, word string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, marker); ok {
+			for _, w := range strings.Fields(rest) {
+				if w == word {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func baseTypeName(pass *Pass, recv ast.Expr) *types.TypeName {
+	t := ast.Unparen(recv)
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = ast.Unparen(st.X)
+	}
+	// Generic receivers (T[P]) do not occur on the marked types.
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	tn, _ := pass.objectOf(id).(*types.TypeName)
+	return tn
+}
+
+func checkImmutableMethod(pass *Pass, fd *ast.FuncDecl, opts immutableOpts) {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return // receiver unnamed: the method cannot reach it
+	}
+	recvObj := pass.TypesInfo.Defs[names[0]]
+	if recvObj == nil {
+		return
+	}
+
+	ic := &immutChecker{
+		pass:    pass,
+		fd:      fd,
+		recv:    recvObj,
+		opts:    opts,
+		tainted: map[types.Object]bool{recvObj: true},
+	}
+	ic.propagateAliases()
+	ic.collectOnceRegions()
+	ic.lockFacts = lockFactsPerNode(pass, fd.Body)
+	ic.check()
+}
+
+type immutChecker struct {
+	pass      *Pass
+	fd        *ast.FuncDecl
+	recv      types.Object
+	opts      immutableOpts
+	tainted   map[types.Object]bool // variables aliasing receiver-reachable memory
+	onceLits  []*ast.FuncLit        // literals passed to a receiver-field Once.Do
+	lockFacts map[ast.Node]lockFact
+}
+
+// propagateAliases runs the cowsafety-style taint fixpoint: a variable
+// assigned from a receiver-rooted expression aliases receiver memory.
+// Function calls launder taint (their results are fresh values unless
+// the callee shares, which the return rule polices at the callee).
+func (ic *immutChecker) propagateAliases() {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(ic.fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				if !ic.rooted(rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := ic.pass.objectOf(id)
+				if obj != nil && !ic.tainted[obj] {
+					ic.tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rooted reports whether expr reads storage reachable from the
+// receiver without passing through a function call.
+func (ic *immutChecker) rooted(expr ast.Expr) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := ic.pass.objectOf(e)
+			return obj != nil && ic.tainted[obj]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.TypeAssertExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// collectOnceRegions finds literals passed to recv-field sync.Once.Do.
+func (ic *immutChecker) collectOnceRegions() {
+	ast.Inspect(ic.fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Do" || len(call.Args) != 1 {
+			return true
+		}
+		fn, ok := ic.pass.objectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		if named := namedOf(fn.Type().(*types.Signature).Recv().Type()); named == nil || named.Obj().Name() != "Once" {
+			return true
+		}
+		if !ic.rooted(sel.X) {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+			ic.onceLits = append(ic.onceLits, lit)
+		}
+		return true
+	})
+}
+
+func (ic *immutChecker) inOnceRegion(pos token.Pos) bool {
+	for _, lit := range ic.onceLits {
+		if lit.Pos() <= pos && pos < lit.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedAt reports whether a receiver-field mutex is definitely held
+// at the statement owning the write.
+func (ic *immutChecker) guardedAt(stmt ast.Node) bool {
+	f, ok := ic.lockFacts[stmt]
+	if !ok {
+		return false
+	}
+	for _, st := range f {
+		if !st.maybe && st.root == ic.recv {
+			return true
+		}
+	}
+	return false
+}
+
+func (ic *immutChecker) check() {
+	// Walk statement-by-statement so each write can be matched with the
+	// lock fact of its enclosing statement node; literals are handled
+	// separately (no flow facts inside them: conservative unless Once).
+	var walkStmts func(n ast.Node, owner ast.Node)
+	checkWrite := func(owner ast.Node, pos token.Pos, what string) {
+		if ic.inOnceRegion(pos) {
+			return
+		}
+		if owner != nil && ic.guardedAt(owner) {
+			return
+		}
+		ic.pass.Reportf(pos,
+			"%s on immutable %s receiver: generation-stamped read state is frozen at commit (move the write to the builder, or guard it with the type's own Once/mutex memoization)",
+			what, types.ExprString(ic.fd.Recv.List[0].Type))
+	}
+
+	walkStmts = func(n ast.Node, owner ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// Literal bodies have no intra-procedural lock facts;
+				// writes inside are checked with owner=nil.
+				walkStmts(n.Body, nil)
+				return false
+			case ast.Stmt:
+				if owner == nil || n != owner {
+					// Recompute owner at each statement so nested
+					// statements map to their own lock facts.
+					if _, ok := ic.lockFacts[n]; ok {
+						owner = n
+					}
+				}
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					switch ast.Unparen(lhs).(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						if ic.rooted(lhs) {
+							checkWrite(owner, lhs.Pos(), "write to "+types.ExprString(lhs))
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				switch ast.Unparen(n.X).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					if ic.rooted(n.X) {
+						checkWrite(owner, n.Pos(), "increment of "+types.ExprString(n.X))
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+					switch id.Name {
+					case "delete", "clear":
+						if ic.isBuiltin(id) && ic.rooted(n.Args[0]) {
+							checkWrite(owner, n.Pos(), id.Name+" on "+types.ExprString(n.Args[0]))
+						}
+					case "append":
+						if ic.isBuiltin(id) && ic.rooted(n.Args[0]) && len(n.Args) > 1 {
+							checkWrite(owner, n.Pos(), "append to "+types.ExprString(n.Args[0])+" (may write its shared backing array)")
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				if !ic.opts.sharedReturns && owner != nil { // literals return their own values
+					ic.checkReturn(n)
+				}
+			}
+			return true
+		})
+	}
+	walkStmts(ic.fd.Body, nil)
+}
+
+func (ic *immutChecker) isBuiltin(id *ast.Ident) bool {
+	_, ok := ic.pass.objectOf(id).(*types.Builtin)
+	return ok
+}
+
+func (ic *immutChecker) checkReturn(rs *ast.ReturnStmt) {
+	for _, r := range rs.Results {
+		if !ic.rooted(r) {
+			continue
+		}
+		t := ic.pass.TypesInfo.Types[r].Type
+		if t == nil {
+			continue
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			ic.pass.Reportf(r.Pos(),
+				"immutable %s returns internal %s without a defensive copy: the caller can mutate shared memory (append to a nil slice / maps.Clone, or declare //lint:immutable shared-returns)",
+				types.ExprString(ic.fd.Recv.List[0].Type), types.ExprString(r))
+		}
+	}
+}

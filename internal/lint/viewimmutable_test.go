@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnstrust/internal/lint"
+	"dnstrust/internal/lint/linttest"
+)
+
+func TestViewImmutableSeededViolations(t *testing.T) {
+	linttest.Run(t, lint.ViewImmutable, "testdata/viewimmutable/bad")
+}
+
+func TestViewImmutableConformingCode(t *testing.T) {
+	linttest.Run(t, lint.ViewImmutable, "testdata/viewimmutable/good")
+}

@@ -74,6 +74,14 @@ func New(cfg Config) (*Proxy, error) {
 // before resolution, so a refused name costs no upstream traffic — the
 // attack the policy blocks is on the answer path, and the proxy never
 // walks into a chain the monitor already condemned.
+//
+// The refuse path is the serving-side hot loop under attack: every
+// blocked query pays one cache lookup and one reply header. Varargs box
+// their arguments at the call site — before logf's own nil check — so
+// each log line sits behind an explicit Logger guard to keep the
+// unlogged path allocation-free.
+//
+//lint:hotpath
 func (p *Proxy) ServeDNS(ctx context.Context, req *dnswire.Message) *dnswire.Message {
 	q := req.Questions[0]
 	resp := req.Reply()
@@ -90,14 +98,18 @@ func (p *Proxy) ServeDNS(ctx context.Context, req *dnswire.Message) *dnswire.Mes
 	switch v.Level {
 	case verdict.Refuse:
 		p.refused.Add(1)
-		p.logf("refuse %s: %s (tcb=%d cut=%d gen=%d)",
-			name, v.Reasons, v.TCBSize, v.Cut, v.Generation)
+		if p.cfg.Logger != nil {
+			//lint:allow hotpathalloc boxing happens only with logging enabled; the guard keeps the silent refuse path allocation-free
+			p.logf("refuse %s: %s (tcb=%d cut=%d gen=%d)", name, v.Reasons, v.TCBSize, v.Cut, v.Generation)
+		}
 		resp.RCode = dnswire.RCodeRefused
 		return resp
 	case verdict.Flag:
 		p.flagged.Add(1)
-		p.logf("flag %s: %s (tcb=%d cut=%d gen=%d provisional=%v)",
-			name, v.Reasons, v.TCBSize, v.Cut, v.Generation, v.Provisional)
+		if p.cfg.Logger != nil {
+			//lint:allow hotpathalloc boxing happens only with logging enabled; flagged answers are logged by contract
+			p.logf("flag %s: %s (tcb=%d cut=%d gen=%d provisional=%v)", name, v.Reasons, v.TCBSize, v.Cut, v.Generation, v.Provisional)
+		}
 	}
 
 	rctx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
@@ -112,7 +124,10 @@ func (p *Proxy) ServeDNS(ctx context.Context, req *dnswire.Message) *dnswire.Mes
 		// NOERROR with an empty answer section.
 	default:
 		p.failed.Add(1)
-		p.logf("servfail %s %s: %v", name, q.Type, err)
+		if p.cfg.Logger != nil {
+			//lint:allow hotpathalloc upstream failure already allocated; one log line per SERVFAIL is the diagnosis path
+			p.logf("servfail %s %s: %v", name, q.Type, err)
+		}
 		resp.RCode = dnswire.RCodeServFail
 	}
 	return resp

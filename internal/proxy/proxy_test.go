@@ -252,6 +252,62 @@ func TestProxyUnknownNameProvisional(t *testing.T) {
 	}
 }
 
+// replySink forces the alloc-gate baseline reply onto the heap.
+var replySink *dnswire.Message
+
 type testWriter struct{ t *testing.T }
 
 func (w testWriter) Write(p []byte) (int, error) { w.t.Logf("%s", p); return len(p), nil }
+
+// TestRefusePathAllocGate is the runtime complement of the
+// //lint:hotpath annotation on ServeDNS: with logging disabled, a warm
+// refused query — the path an attack hammers — must allocate nothing
+// beyond constructing the reply message itself. The baseline is
+// measured rather than hard-coded so the gate tracks dnswire's reply
+// shape instead of a magic number.
+//
+// alloc-gate: dnstrust/internal/proxy.(*Proxy).ServeDNS
+func TestRefusePathAllocGate(t *testing.T) {
+	ctx := context.Background()
+	world := policyWorld(t)
+	m, err := dnstrust.OpenWorld(ctx, world, dnstrust.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Add(ctx, "www.fbi.gov"); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := verdict.NewCache(m.At().Survey(), verdict.Config{TTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+
+	src := world.Registry.Source()
+	defer src.Close()
+	r, err := resolver.New(src, resolver.Config{Roots: world.Registry.RootServers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proxy.New(proxy.Config{Resolver: r, Cache: cache}) // no Logger: the silent path
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := dnswire.NewQuery(1, "www.fbi.gov", dnswire.TypeA, dnswire.ClassINET)
+	if resp := p.ServeDNS(ctx, req); resp.RCode != dnswire.RCodeRefused {
+		t.Fatalf("warm-up: %s, want REFUSED", resp)
+	}
+	// The reply must escape in the baseline exactly as ServeDNS's does,
+	// or the compiler stack-allocates it and the baseline undercounts.
+	base := testing.AllocsPerRun(1000, func() { replySink = req.Reply() })
+	got := testing.AllocsPerRun(1000, func() {
+		if p.ServeDNS(ctx, req).RCode != dnswire.RCodeRefused {
+			t.Fatal("not refused")
+		}
+	})
+	if got > base {
+		t.Errorf("refuse path allocates %.1f objects per query, want <= %.1f (reply construction only)", got, base)
+	}
+}

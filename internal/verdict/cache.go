@@ -192,6 +192,8 @@ func (c *Cache) shardFor(name string) *shard { return &c.shards[shardIndex(name)
 // miss. The hit path is lock-free and allocation-free: an atomic map
 // load, one hash, and an expiry check. Lookup never blocks on crawling —
 // unknown names get a provisional Flag verdict and a queued crawl.
+//
+//lint:hotpath
 func (c *Cache) Lookup(name string) *Verdict {
 	name = dnsname.Canonical(name)
 	sh := c.shardFor(name)

@@ -168,6 +168,8 @@ func TestCacheHitAndTTL(t *testing.T) {
 
 // TestCacheHitPathZeroAlloc is the acceptance gate on the hot path: a
 // warm lookup must not allocate.
+//
+// alloc-gate: dnstrust/internal/verdict.(*Cache).Lookup
 func TestCacheHitPathZeroAlloc(t *testing.T) {
 	world := policyWorld(t)
 	e := openEngine(t, world)
