@@ -9,8 +9,10 @@
 // snapshot, and the replay-rebuild baseline it is compared against —
 // the snapshot-load gate is what keeps restarts second-scale),
 // VerdictLookup (ns/name of the serving-path verdict cache hit under
-// generation churn), and ProxyServe (ns/name of the full proxy handler:
-// verdict plus iterative upstream resolution). All other shared
+// generation churn), ProxyServe (ns/name of the full proxy handler:
+// verdict plus iterative upstream resolution), and FleetMerge (ns/name
+// of the coordinator's id-remapping union of per-shard snapshot epochs
+// into one fleet view). All other shared
 // benchmarks are reported for information only. Benchmarks absent from
 // either report are skipped, so adding a new gated benchmark never
 // breaks CI against older baselines.
@@ -81,7 +83,8 @@ func gated(name string) bool {
 		strings.HasPrefix(name, "TimelineDiff/") ||
 		strings.HasPrefix(name, "SnapshotColdStart/") ||
 		strings.HasPrefix(name, "VerdictLookup/") ||
-		strings.HasPrefix(name, "ProxyServe/")
+		strings.HasPrefix(name, "ProxyServe/") ||
+		strings.HasPrefix(name, "FleetMerge/")
 }
 
 // buildScale extracts the per-op name count from a gated benchmark name

@@ -24,9 +24,14 @@
 // and the serving-path benchmarks (gated): the verdict cache hit path
 // under concurrent generation commits (held to an absolute >=100k
 // lookups/s floor by cmd/benchdiff) and the proxy handler end to end.
+// The fleet merge benchmark (gated) measures the coordinator's
+// id-remapping merge: three shard snapshots of the survey corpus are
+// decoded once up front, then each iteration unions them into a fresh
+// fleet view, reported as ns/name over the merged corpus.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -46,8 +51,10 @@ import (
 	"dnstrust/internal/crawler"
 	"dnstrust/internal/delta"
 	"dnstrust/internal/dnswire"
+	"dnstrust/internal/fleet"
 	"dnstrust/internal/proxy"
 	"dnstrust/internal/resolver"
+	"dnstrust/internal/snapshot"
 	"dnstrust/internal/topology"
 	"dnstrust/internal/transport"
 	"dnstrust/internal/verdict"
@@ -74,7 +81,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output file")
+	out := flag.String("out", "BENCH_8.json", "output file")
 	names := flag.Int("names", 1200, "benchmark corpus size")
 	seed := flag.Int64("seed", 5, "world generation seed")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-query round-trip for crawl benches")
@@ -219,6 +226,70 @@ func main() {
 		})
 	}
 	rep.Benchmarks = append(rep.Benchmarks, measureRetention())
+
+	// Fleet merge (gated): the corpus is partitioned over a three-shard
+	// consistent-hash ring, each partition crawled on its own engine and
+	// exported as a snapshot epoch once outside the timer; the benchmark
+	// then measures the coordinator's id-remapping union of those epochs
+	// into a fresh merged view — the cold-commit cost a fleet router pays
+	// per round, with zero transport traffic by construction.
+	{
+		ring := fleet.NewRing([]string{"s0", "s1", "s2"}, 0)
+		parts := ring.Assign(world.Corpus)
+		shardNames := ring.Shards()
+		shards := make([]fleet.Shard, len(shardNames))
+		for i, name := range shardNames {
+			tr := world.Registry.Source()
+			r, err := world.Registry.Resolver(tr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+				os.Exit(1)
+			}
+			e, err := crawler.NewEngine(r, world.Registry.ProbeFunc(tr), crawler.Config{Workers: 4, ShardName: name})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+				os.Exit(1)
+			}
+			if _, err := e.Add(context.Background(), parts[i]...); err != nil {
+				fmt.Fprintf(os.Stderr, "dnsbench: shard %s crawl: %v\n", name, err)
+				os.Exit(1)
+			}
+			var buf bytes.Buffer
+			if err := e.WriteSnapshot(&buf); err != nil {
+				fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+				os.Exit(1)
+			}
+			e.Close()
+			f, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+				os.Exit(1)
+			}
+			ep, err := fleet.DecodeEpoch(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dnsbench: %v\n", err)
+				os.Exit(1)
+			}
+			shards[i] = fleet.Shard{Name: name, Source: &fleet.FixedSource{Epoch: ep}}
+		}
+		run(fmt.Sprintf("FleetMerge/shards=%d/names=%d", len(shardNames), len(world.Corpus)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := fleet.New(shards, fleet.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fv, err := c.Commit(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fv.NumNames() != len(world.Corpus) {
+					b.Fatalf("merged %d of %d names", fv.NumNames(), len(world.Corpus))
+				}
+			}
+			b.ReportMetric(float64(len(world.Corpus))*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+		})
+	}
 
 	// Monitor-era benchmarks: incremental epoch adds vs one batch build,
 	// read throughput against immutable views during a crawl, and the

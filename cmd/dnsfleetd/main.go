@@ -1,0 +1,424 @@
+// Command dnsfleetd fronts a shared-nothing fleet of dnsmonitord
+// shards as one logical survey. Each shard crawls its own partition of
+// the corpus against its own store; dnsfleetd periodically pulls every
+// shard's snapshot (a conditional fetch — an unchanged shard costs one
+// request and zero bytes), remaps the shard-local zone/host/chain ids
+// into a unioned intern space, and serves the merged view through the
+// same read API a single monitor exposes.
+//
+// Usage:
+//
+//	dnsfleetd -shards s0=http://h0:8053,s1=http://h1:8053,s2=http://h2:8053
+//	          [-addr :8063] [-interval 30s] [-timeout 10s] [-quorum 0]
+//	          [-attempts 3] [-backoff 200ms] [-retain 8] [-snapshot fleet.snap]
+//
+// Endpoints:
+//
+//	GET  /summary            headline statistics of the merged generation
+//	GET  /tcb?name=N         trusted computing base of a surveyed name
+//	GET  /bottleneck?name=N  §3.2 min-cut analysis of a name
+//	GET  /generations        retained merged generations (-retain bounds it)
+//	GET  /diff?from=&to=     typed trust delta between two retained
+//	                         merged generations
+//	GET  /stats              fleet dimensions plus per-shard health
+//	POST /add                whitespace-separated names in the body are
+//	                         consistent-hashed to their owning shards,
+//	                         fanned out to the shards' /add endpoints,
+//	                         and folded into a fresh merged generation
+//
+// Merge semantics: shards are fetched concurrently each round, bounded
+// by -timeout. A shard that fails its fetch keeps its last merged
+// contribution and the view is marked stale; if fewer than -quorum
+// shards answer (0 = majority), the round aborts and the previous view
+// keeps serving. A round in which no shard changed reuses the current
+// generation. -snapshot persists the merged union snapshot (atomic
+// rename) after every new generation.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dnstrust/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8063", "HTTP listen address")
+	shardsFlag := flag.String("shards", "", "comma-separated name=url shard list (url is a dnsmonitord base, e.g. s0=http://host:8053)")
+	interval := flag.Duration("interval", 30*time.Second, "merge round period")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-round deadline: a dead shard costs at most this long")
+	quorum := flag.Int("quorum", 0, "shards that must answer for a round to commit (0 = majority)")
+	attempts := flag.Int("attempts", 3, "per-shard fetch attempts per round")
+	backoff := flag.Duration("backoff", 200*time.Millisecond, "first retry delay, doubling per attempt")
+	retain := flag.Int("retain", 8, "merged generations kept live for /generations and /diff")
+	snapFile := flag.String("snapshot", "", "persist the merged snapshot here after every new generation")
+	flag.Parse()
+
+	urls := map[string]string{}
+	var shards []fleet.Shard
+	for _, part := range strings.Split(*shardsFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok {
+			log.Fatalf("dnsfleetd: bad -shards entry %q (want name=url)", part)
+		}
+		url = strings.TrimRight(url, "/")
+		urls[name] = url
+		shards = append(shards, fleet.Shard{Name: name, Source: &fleet.HTTPSource{URL: url}})
+	}
+	if len(shards) == 0 {
+		log.Fatal("dnsfleetd: no shards configured (use -shards s0=http://host:8053,...)")
+	}
+
+	c, err := fleet.New(shards, fleet.Config{
+		Quorum:       *quorum,
+		Timeout:      *timeout,
+		Attempts:     *attempts,
+		Backoff:      *backoff,
+		Retain:       *retain,
+		SnapshotFile: *snapFile,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("dnsfleetd: %v", err)
+	}
+	srv := &server{c: c, ring: fleet.NewRing(c.ShardNames(), 0), urls: urls}
+
+	log.Printf("merging initial fleet state from %d shards...", len(shards))
+	start := time.Now()
+	fv, err := c.Commit(context.Background())
+	if err != nil {
+		log.Fatalf("dnsfleetd: initial merge: %v", err)
+	}
+	log.Printf("generation %d ready: %d names, %d nameservers across %d shards (%.1fs); serving on %s",
+		fv.Generation(), fv.NumNames(), fv.Survey().Graph.NumHosts(), len(shards),
+		time.Since(start).Seconds(), *addr)
+	if fv.Stale() {
+		log.Printf("dnsfleetd: serving a partial view: stale shards %v", fv.StaleShards())
+	}
+
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(*interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := c.Commit(context.Background()); err != nil {
+					log.Printf("dnsfleetd: merge round failed (previous generation still serving): %v", err)
+				}
+			}
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigc
+		log.Printf("%v: shutting down", sig)
+		close(stop)
+		os.Exit(0)
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /summary", srv.summary)
+	mux.HandleFunc("GET /tcb", srv.tcb)
+	mux.HandleFunc("GET /bottleneck", srv.bottleneck)
+	mux.HandleFunc("GET /generations", srv.generations)
+	mux.HandleFunc("GET /diff", srv.diff)
+	mux.HandleFunc("GET /stats", srv.stats)
+	mux.HandleFunc("POST /add", srv.add)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// server exposes one shared Coordinator. Reads answer from the latest
+// merged FleetView (immutable, never blocking behind a merge round);
+// /add fans out to the owning shards and then re-merges.
+type server struct {
+	c    *fleet.Coordinator
+	ring *fleet.Ring
+	urls map[string]string // shard name -> base URL, for /add fan-out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// view fetches the current merged view or fails the request (the
+// coordinator has one from boot; nil only happens before the initial
+// merge finishes).
+func (s *server) view(w http.ResponseWriter) (*fleet.FleetView, bool) {
+	v := s.c.Current()
+	if v == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("no merged generation yet"))
+		return nil, false
+	}
+	return v, true
+}
+
+func (s *server) summary(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.view(w)
+	if !ok {
+		return
+	}
+	sum := v.Summary()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":         v.Generation(),
+		"names":              sum.Names,
+		"servers":            sum.Servers,
+		"vulnerable_servers": sum.VulnerableServers,
+		"affected_names":     sum.AffectedNames,
+		"tcb_mean":           sum.TCB.Mean(),
+		"tcb_median":         sum.TCB.Median(),
+		"tcb_max":            sum.TCB.Max(),
+		"direct_mean":        sum.DirectMean,
+		"owned_mean":         sum.OwnedMean,
+		"stale":              v.Stale(),
+		"stale_shards":       v.StaleShards(),
+	})
+}
+
+func (s *server) tcb(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?name= parameter"))
+		return
+	}
+	v, ok := s.view(w)
+	if !ok {
+		return
+	}
+	tcb, err := v.TCB(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": v.Generation(),
+		"name":       name,
+		"shard":      s.ring.Owner(name),
+		"tcb_size":   len(tcb),
+		"tcb":        tcb,
+	})
+}
+
+func (s *server) bottleneck(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?name= parameter"))
+		return
+	}
+	v, ok := s.view(w)
+	if !ok {
+		return
+	}
+	res, err := v.Bottleneck(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":  v.Generation(),
+		"name":        name,
+		"shard":       s.ring.Owner(name),
+		"cut":         res.Cut,
+		"cut_size":    res.Size,
+		"safe_in_cut": res.SafeInCut,
+		"vuln_in_cut": res.VulnInCut,
+	})
+}
+
+func (s *server) generations(w http.ResponseWriter, r *http.Request) {
+	tl := s.c.Timeline()
+	out := make([]map[string]any, 0, len(tl))
+	for _, v := range tl {
+		g := v.Survey().Graph
+		out = append(out, map[string]any{
+			"generation":   v.Generation(),
+			"names":        v.NumNames(),
+			"servers":      g.NumHosts(),
+			"zones":        g.NumZones(),
+			"chains":       g.NumChains(),
+			"changed":      len(v.Changed()),
+			"stale":        v.Stale(),
+			"stale_shards": v.StaleShards(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"retained":    len(tl),
+		"generations": out,
+	})
+}
+
+// genParam parses an int64 query parameter, with a default when absent.
+func genParam(r *http.Request, key string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad ?%s=%q: %w", key, raw, err)
+	}
+	return v, nil
+}
+
+func (s *server) diff(w http.ResponseWriter, r *http.Request) {
+	tl := s.c.Timeline()
+	if len(tl) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no generations retained"))
+		return
+	}
+	from, err := genParam(r, "from", tl[0].Generation())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	to, err := genParam(r, "to", tl[len(tl)-1].Generation())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if from > to {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("from=%d exceeds to=%d", from, to))
+		return
+	}
+	d, err := s.c.Between(r.Context(), from, to)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.view(w)
+	if !ok {
+		return
+	}
+	g := v.Survey().Graph
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":   v.Generation(),
+		"names":        v.NumNames(),
+		"servers":      g.NumHosts(),
+		"zones":        g.NumZones(),
+		"chains":       g.NumChains(),
+		"stale":        v.Stale(),
+		"stale_shards": v.StaleShards(),
+		"shards":       s.c.Status(),
+	})
+}
+
+// addResult is one shard's answer to a /add fan-out.
+type addResult struct {
+	shard string
+	names int
+	err   error
+}
+
+// add consistent-hashes the posted names to their owning shards, fans
+// the partitions out to the shards' /add endpoints concurrently, and
+// re-merges. Names keep flowing to the shard that owns them, so a
+// later fan-out of the same name is an incremental no-op on the shard.
+func (s *server) add(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	names := strings.Fields(string(body))
+	if len(names) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("empty body: send whitespace-separated names"))
+		return
+	}
+	parts := s.ring.Assign(names)
+	shardNames := s.ring.Shards()
+	results := make(chan addResult, len(shardNames))
+	launched := 0
+	for i, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		launched++
+		go func(shard string, part []string) {
+			results <- addResult{shard: shard, names: len(part), err: postAdd(r.Context(), s.urls[shard], part)}
+		}(shardNames[i], p)
+	}
+	perShard := make(map[string]any, launched)
+	failed := 0
+	for i := 0; i < launched; i++ {
+		res := <-results
+		if res.err != nil {
+			failed++
+			perShard[res.shard] = map[string]any{"names": res.names, "error": res.err.Error()}
+			continue
+		}
+		perShard[res.shard] = map[string]any{"names": res.names}
+	}
+
+	fv, err := s.c.Commit(r.Context())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("re-merge failed (previous generation still serving): %w", err))
+		return
+	}
+	status := http.StatusOK
+	if failed > 0 {
+		// Partial fan-out: the merged view reflects what the healthy
+		// shards absorbed; the caller can retry the rest.
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, map[string]any{
+		"generation":    fv.Generation(),
+		"added":         len(names),
+		"names_total":   fv.NumNames(),
+		"shards":        perShard,
+		"failed_shards": failed,
+		"stale":         fv.Stale(),
+		"stale_shards":  fv.StaleShards(),
+	})
+}
+
+// postAdd forwards one shard's partition to its /add endpoint.
+func postAdd(ctx context.Context, baseURL string, names []string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/add",
+		strings.NewReader(strings.Join(names, "\n")))
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s/add: %s: %s", baseURL, resp.Status, strings.TrimSpace(string(snippet)))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

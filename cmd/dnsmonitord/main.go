@@ -7,6 +7,7 @@
 //	dnsmonitord [-addr :8053] [-names 20000] [-seed 1] [-workers 0] [-retain 8]
 //	            [-memo-file crawl.memo] [-snapshot session.snap]
 //	            [-record crawl.qlog] [-replay crawl.qlog] [-live]
+//	            [-shard-name s0]
 //
 // On startup the daemon generates the synthetic world, crawls the
 // initial corpus, and then serves:
@@ -28,10 +29,19 @@
 //	GET  /watch?since=&grow=&limit=
 //	                         names whose TCB grew by >= grow hosts (or
 //	                         past limit total) since generation `since`
+//	GET  /snapshot           stream the session snapshot (the fleet pull
+//	                         path); the generation doubles as the ETag,
+//	                         so If-None-Match answers 304 when nothing
+//	                         committed since the caller's last fetch
 //	POST /add                whitespace-separated names in the body are
 //	                         added incrementally; responds with the delta
 //	POST /snapshot           save the session snapshot now; responds with
 //	                         {generation, bytes, seconds}
+//
+// -shard-name labels the monitor as one shard of a fleet: snapshots
+// (files and GET /snapshot exports alike) carry the label, and a
+// dnsfleetd coordinator refuses to merge a shard that answers under
+// the wrong name.
 //
 // -snapshot makes the session durable: the epoch store is saved to the
 // file atomically after the initial crawl, after every committed /add,
@@ -87,6 +97,7 @@ func main() {
 	retain := flag.Int("retain", 8, "committed generations kept live for /generations, /diff, /watch")
 	memoFile := flag.String("memo-file", "", "persist the query memo here and resume from it")
 	snapshot := flag.String("snapshot", "", "persist the session snapshot here: restored at boot, saved after each crawl and on SIGTERM")
+	shardName := flag.String("shard-name", "", "label this monitor as one fleet shard: snapshots and GET /snapshot exports carry the name")
 	record := flag.String("record", "", "record every transport exchange into this query-log file (saved after each crawl)")
 	replay := flag.String("replay", "", "serve the session from this recorded query log (strict: unrecorded queries fail)")
 	live := flag.Bool("live", false, "boot the world's nameservers on loopback and crawl over real UDP/TCP sockets")
@@ -98,7 +109,7 @@ func main() {
 
 	ctx := context.Background()
 	opts := dnstrust.Options{Seed: *seed, Names: *names, Workers: *workers, Retain: *retain,
-		MemoFile: *memoFile, SnapshotFile: *snapshot}
+		MemoFile: *memoFile, SnapshotFile: *snapshot, ShardName: *shardName}
 	var recLog *dnstrust.QueryLog
 	if *record != "" {
 		recLog = transport.NewLog()
@@ -225,6 +236,7 @@ func main() {
 	mux.HandleFunc("GET /watch", srv.watch)
 	mux.HandleFunc("POST /add", srv.add)
 	mux.HandleFunc("POST /snapshot", srv.snapshot)
+	mux.HandleFunc("GET /snapshot", srv.snapshotGet)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -613,6 +625,43 @@ func (s *server) add(w http.ResponseWriter, r *http.Request) {
 		"seconds":           time.Since(start).Seconds(),
 		"tcb_sizes":         perName,
 	})
+}
+
+// snapshotGet streams the session snapshot to a fleet coordinator
+// (GET /snapshot). The committed generation doubles as the ETag, so a
+// coordinator's conditional refetch of an unchanged shard costs one
+// request and zero snapshot bytes.
+func (s *server) snapshotGet(w http.ResponseWriter, r *http.Request) {
+	gen := s.m.Generation()
+	etag := fmt.Sprintf(`"%d"`, gen)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	start := time.Now()
+	cw := &countingWriter{w: w}
+	if err := s.m.WriteSnapshot(cw); err != nil {
+		// The status line is already out; log and cut the stream short
+		// (the coordinator sees a truncated container and retries).
+		log.Printf("dnsmonitord: snapshot not served: %v", err)
+		return
+	}
+	log.Printf("snapshot: served generation %d (%d bytes, %.2fs)",
+		gen, cw.n, time.Since(start).Seconds())
+}
+
+// countingWriter sizes the streamed snapshot for the serve log line.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // snapshot saves the session snapshot on demand (POST /snapshot).

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnstrust"
+	"dnstrust/internal/transport"
+)
+
+// recordLog crawls the world once with recording on and saves the
+// query log, returning its path.
+func recordLog(t *testing.T, opts dnstrust.Options, dir, name string) string {
+	t.Helper()
+	lg := transport.NewLog()
+	opts.RecordLog = lg
+	world, err := dnstrust.NewWorld(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnstrust.OpenWorld(context.Background(), world, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(context.Background(), world.Corpus...); err != nil {
+		m.Close()
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if _, err := lg.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunDiffEmptyGeneration pins the -diff behavior against an empty
+// recording: the drift still exits 4, but the output names the empty
+// side explicitly instead of presenting the entire other recording as
+// ordinary churn.
+func TestRunDiffEmptyGeneration(t *testing.T) {
+	dir := t.TempDir()
+	opts := dnstrust.Options{Seed: 5, Names: 40}
+	full := recordLog(t, opts, dir, "full.qlog")
+	empty := filepath.Join(dir, "empty.qlog")
+	if _, err := transport.NewLog().SaveFile(empty); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name     string
+		old, new string
+	}{
+		{"empty-new", full, empty},
+		{"empty-old", empty, full},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := runDiff(context.Background(), tc.old, tc.new, opts, true, &stdout, &stderr)
+			if code != 4 {
+				t.Fatalf("exit code %d, want 4 (drift)\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+			}
+			out := stdout.String()
+			if !strings.Contains(out, "empty generation: "+empty) {
+				t.Fatalf("output does not name the empty recording:\n%s", out)
+			}
+			if !strings.Contains(out, "drift ") {
+				t.Fatalf("output carries no drift report:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestRunDiffAgreement: the same recording on both sides agrees, exits
+// 0, and emits no empty-generation warning.
+func TestRunDiffAgreement(t *testing.T) {
+	dir := t.TempDir()
+	opts := dnstrust.Options{Seed: 5, Names: 40}
+	full := recordLog(t, opts, dir, "full.qlog")
+
+	var stdout, stderr bytes.Buffer
+	code := runDiff(context.Background(), full, full, opts, true, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "no drift") {
+		t.Fatalf("agreeing recordings reported drift:\n%s", out)
+	}
+	if strings.Contains(out, "empty generation") {
+		t.Fatalf("spurious empty-generation warning:\n%s", out)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -81,8 +82,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dnssurvey: -diff needs two query-log files: dnssurvey -diff old.qlog new.qlog")
 			os.Exit(2)
 		}
-		runDiff(ctx, flag.Arg(0), flag.Arg(1), opts, *quiet)
-		return
+		os.Exit(runDiff(ctx, flag.Arg(0), flag.Arg(1), opts, *quiet, os.Stdout, os.Stderr))
 	}
 	if !*quiet {
 		opts.Progress = func(done, total int) {
@@ -275,72 +275,94 @@ func followLoop(ctx context.Context, m *dnstrust.Monitor, quiet, stats bool) {
 }
 
 // runDiff is the -diff mode: replay two recordings of the same corpus
-// through strict offline sources and print the typed trust delta.
-func runDiff(ctx context.Context, oldPath, newPath string, opts dnstrust.Options, quiet bool) {
-	load := func(path string) *dnstrust.QueryLog {
+// through strict offline sources and print the typed trust delta on
+// stdout. It returns the process exit code: 0 when the recordings
+// agree, 4 when drift was found, 1 on load or replay failure.
+func runDiff(ctx context.Context, oldPath, newPath string, opts dnstrust.Options, quiet bool, stdout, stderr io.Writer) int {
+	load := func(path string) (*dnstrust.QueryLog, int, error) {
 		lg := transport.NewLog()
 		n, err := lg.LoadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dnssurvey: %s: %v\n", path, err)
-			os.Exit(1)
+			return nil, 0, err
 		}
 		if !quiet {
-			fmt.Fprintf(os.Stderr, "loaded %s: %d recorded questions\n", path, n)
+			fmt.Fprintf(stderr, "loaded %s: %d recorded questions\n", path, n)
 		}
-		return lg
+		return lg, n, nil
 	}
-	oldLog, newLog := load(oldPath), load(newPath)
+	oldLog, oldN, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "dnssurvey: %s: %v\n", oldPath, err)
+		return 1
+	}
+	newLog, newN, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "dnssurvey: %s: %v\n", newPath, err)
+		return 1
+	}
+	// An empty recording is almost always an operational mistake — a
+	// crawl that never ran, a truncated copy — and diffing against it
+	// reports the entire other recording as drift. Say so explicitly,
+	// so the wholesale churn below cannot read as genuine movement.
+	for _, side := range []struct {
+		path string
+		n    int
+	}{{oldPath, oldN}, {newPath, newN}} {
+		if side.n == 0 {
+			fmt.Fprintf(stdout, "empty generation: %s holds no recorded questions; every surveyed name diffs against nothing\n", side.path)
+		}
+	}
 	start := time.Now()
 	d, err := dnstrust.DiffLogs(ctx, oldLog, newLog, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dnssurvey: diff: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dnssurvey: diff: %v\n", err)
+		return 1
 	}
 	// The diff only covers names that resolved in at least one
 	// recording; corpus entries missing from both (e.g. -names larger
 	// than what the logs were recorded with) are invisible to it and
 	// must not be reported as "agreeing".
 	if d.Compared < opts.Names {
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"dnssurvey: warning: only %d of %d corpus names resolved in either recording — were the logs recorded with the same -names/-seed?\n",
 			d.Compared, opts.Names)
 	}
 	if d.Empty() {
-		fmt.Printf("no drift: %s and %s agree on all %d surveyed names (%.1fs)\n",
+		fmt.Fprintf(stdout, "no drift: %s and %s agree on all %d surveyed names (%.1fs)\n",
 			oldPath, newPath, d.Compared, time.Since(start).Seconds())
-		return
+		return 0
 	}
 
-	fmt.Printf("drift %s -> %s:\n", oldPath, newPath)
+	fmt.Fprintf(stdout, "drift %s -> %s:\n", oldPath, newPath)
 	if len(d.NamesAdded) > 0 {
-		fmt.Printf("  names added:   %d %s\n", len(d.NamesAdded), preview(d.NamesAdded))
+		fmt.Fprintf(stdout, "  names added:   %d %s\n", len(d.NamesAdded), preview(d.NamesAdded))
 	}
 	if len(d.NamesRemoved) > 0 {
-		fmt.Printf("  names removed: %d %s\n", len(d.NamesRemoved), preview(d.NamesRemoved))
+		fmt.Fprintf(stdout, "  names removed: %d %s\n", len(d.NamesRemoved), preview(d.NamesRemoved))
 	}
 	if len(d.ZonesAdded) > 0 || len(d.ZonesRemoved) > 0 {
-		fmt.Printf("  zones: +%d -%d\n", len(d.ZonesAdded), len(d.ZonesRemoved))
+		fmt.Fprintf(stdout, "  zones: +%d -%d\n", len(d.ZonesAdded), len(d.ZonesRemoved))
 	}
 	if d.ChainsAdded > 0 || d.ChainsRemoved > 0 {
-		fmt.Printf("  delegation chains: +%d -%d\n", d.ChainsAdded, d.ChainsRemoved)
+		fmt.Fprintf(stdout, "  delegation chains: +%d -%d\n", d.ChainsAdded, d.ChainsRemoved)
 	}
 	for _, zc := range d.ZoneChanges {
-		fmt.Printf("  zone %s: NS +%v -%v\n", zc.Apex, zc.NSAdded, zc.NSRemoved)
+		fmt.Fprintf(stdout, "  zone %s: NS +%v -%v\n", zc.Apex, zc.NSAdded, zc.NSRemoved)
 	}
 	for _, c := range d.Changed {
-		fmt.Printf("  %s: TCB %d -> %d (+%d/-%d hosts), min-cut %d -> %d (safe %d -> %d)%s\n",
+		fmt.Fprintf(stdout, "  %s: TCB %d -> %d (+%d/-%d hosts), min-cut %d -> %d (safe %d -> %d)%s\n",
 			c.Name, c.OldTCB, c.NewTCB, len(c.TCBAdded), len(c.TCBRemoved),
 			c.OldCut, c.NewCut, c.OldSafe, c.NewSafe, chainNote(c))
 	}
 	for _, z := range d.Zombies {
-		fmt.Printf("  ZOMBIE %s (%s): still in %d names' TCB", z.Host, z.Kind, z.Names)
+		fmt.Fprintf(stdout, "  ZOMBIE %s (%s): still in %d names' TCB", z.Host, z.Kind, z.Names)
 		if len(z.Zones) > 0 {
-			fmt.Printf("; dropped by %v", z.Zones)
+			fmt.Fprintf(stdout, "; dropped by %v", z.Zones)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	fmt.Printf("%d names changed, %d zombies (%.1fs)\n", len(d.Changed), len(d.Zombies), time.Since(start).Seconds())
-	os.Exit(4)
+	fmt.Fprintf(stdout, "%d names changed, %d zombies (%.1fs)\n", len(d.Changed), len(d.Zombies), time.Since(start).Seconds())
+	return 4
 }
 
 func chainNote(c dnstrust.NameChange) string {

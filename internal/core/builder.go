@@ -189,23 +189,34 @@ func (b *Builder) Complete(name string, chain []string) {
 	delete(b.failed, name)
 	delete(b.failedChain, name)
 	delete(b.pending, name)
+	b.lock()
+	cid := b.internChainIDLocked(chain)
+	touched := b.completeLocked(name, cid)
+	b.unlock()
+	if touched {
+		b.touched = append(b.touched, name)
+	}
+}
+
+// completeLocked records name's chain mapping given an already interned
+// chain id, shared between the string event path (Complete) and the id
+// translation path (CompleteChain). It reports whether the mapping
+// changed and must be journaled; callers hold the store lock when
+// shared and append to the touched buffer outside it.
+func (b *Builder) completeLocked(name string, cid int32) bool {
 	st := b.st
 	if !b.shared {
 		// First live epoch: no reader exists and no history is needed —
 		// one compact map assignment, exactly the pre-timeline hot path.
-		cid := b.internChainIDLocked(chain)
 		st.base[name] = cid
 		st.chainNames[cid] = append(st.chainNames[cid], name)
-		return
+		return false
 	}
-	b.lock()
-	cid := b.internChainIDLocked(chain)
 	nv := nameVer{epoch: b.epoch + 1, cid: cid, present: true}
 	if vs, ok := st.names[name]; ok {
 		lv := vs.latest()
 		if lv.present && lv.cid == cid {
-			b.unlock()
-			return // unchanged mapping: no new version, no touch
+			return false // unchanged mapping: no new version, no touch
 		}
 		b.writeVersionLocked(name, vs, lv, nv)
 		if !lv.present {
@@ -213,8 +224,7 @@ func (b *Builder) Complete(name string, chain []string) {
 		}
 	} else if bcid, ok := st.base[name]; ok {
 		if bcid == cid {
-			b.unlock()
-			return // unchanged mapping
+			return false // unchanged mapping
 		}
 		// Re-chained: the base mapping becomes version 0.
 		delete(st.base, name)
@@ -226,8 +236,7 @@ func (b *Builder) Complete(name string, chain []string) {
 		b.versionedPresent++
 	}
 	st.chainNames[cid] = append(st.chainNames[cid], name)
-	b.unlock()
-	b.touched = append(b.touched, name)
+	return true
 }
 
 // Fail records one name whose walk failed. It supersedes any earlier
@@ -363,7 +372,14 @@ func (b *Builder) internChainIDLocked(chain []string) int32 {
 		}
 	}
 	b.idBuf = ids
+	return b.internChainFromIDsLocked(ids)
+}
 
+// internChainFromIDsLocked interns a chain already expressed as zone
+// ids — the tail of the string path above, and the whole path for id
+// translation (InternChain). Callers hold st.mu.
+func (b *Builder) internChainFromIDsLocked(ids []int32) int32 {
+	st := b.st
 	key := b.keyBuf[:0]
 	for _, id := range ids {
 		key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))

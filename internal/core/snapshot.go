@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"sort"
 
 	"dnstrust/internal/snapshot"
@@ -629,41 +628,13 @@ func (b *Builder) Epoch() int64 { return b.epoch }
 
 // --- encoding helpers ---
 
-// writeIDTable emits a table of id slices over one shared pool,
-// deduplicating by backing identity so aliasing structure (SCC closure
-// sharing, per-chain TCB copy-on-write) survives the round trip.
-func writeIDTable(w *snapshot.Writer, table [][]int32) {
-	const nilOff = math.MaxUint32
-	type sliceKey struct {
-		p *int32
-		n int
-	}
-	offs := make(map[sliceKey]uint32)
-	var pool []int32
-	ents := make([]int32, 0, 2*len(table))
-	for _, s := range table {
-		switch {
-		case s == nil:
-			ents = append(ents, -1, 0) // reads back as nilOff
-		case len(s) == 0:
-			ents = append(ents, 0, 0)
-		default:
-			k := sliceKey{&s[0], len(s)}
-			o, ok := offs[k]
-			if !ok {
-				o = uint32(len(pool))
-				offs[k] = o
-				pool = append(pool, s...)
-			}
-			ents = append(ents, int32(o), int32(len(s)))
-		}
-	}
-	w.U64(uint64(len(table)))
-	w.U64(uint64(len(pool)))
-	w.I32s(ents)
-	w.I32s(pool)
-	w.Pad8()
-}
+// The id-table codec lives in package snapshot (WriteIDTable /
+// ReadIDTable) so remapping readers — the fleet coordinator — can decode
+// these sections without reconstructing a store; thin wrappers keep the
+// call sites here short.
+func writeIDTable(w *snapshot.Writer, table [][]int32) { snapshot.WriteIDTable(w, table) }
+
+func readIDTable(d *snapshot.SectionReader) [][]int32 { return snapshot.ReadIDTable(d) }
 
 // corruptf wraps snapshot.ErrCorrupt with section context: the file's
 // checksums passed but its contents are not a consistent store.
@@ -678,35 +649,6 @@ func firstErr(ds ...*snapshot.SectionReader) error {
 		}
 	}
 	return nil
-}
-
-// readIDTable decodes a table written by writeIDTable, rebuilding the
-// aliasing structure: entries sharing a pool offset share one view.
-func readIDTable(d *snapshot.SectionReader) [][]int32 {
-	const nilOff = math.MaxUint32
-	n := d.Count(8)
-	poolLen := d.Count(4)
-	ents := d.I32s(2 * n)
-	pool := d.I32s(poolLen)
-	d.Pad8()
-	if d.Err() != nil {
-		return nil
-	}
-	out := make([][]int32, n)
-	for i := range out {
-		o, l := uint32(ents[2*i]), uint32(ents[2*i+1])
-		switch {
-		case o == nilOff:
-		case l == 0:
-			out[i] = []int32{}
-		case uint64(o)+uint64(l) <= uint64(poolLen):
-			out[i] = pool[o : o+l : o+l]
-		default:
-			d.Fail("id slice outside pool")
-			return nil
-		}
-	}
-	return out
 }
 
 // sortedKeys returns a map's string keys in sorted order.

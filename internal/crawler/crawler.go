@@ -45,6 +45,12 @@ type Config struct {
 	// Progress, when non-nil, receives the number of names completed so
 	// far at coarse intervals.
 	Progress func(done, total int)
+	// ShardName, when non-empty, labels this engine as one shard of a
+	// monitor fleet: WriteSnapshot appends a shard/meta section (shard
+	// name, committed generation, corpus hash) that the fleet
+	// coordinator reads back to identify and validate shard exports.
+	// Empty keeps snapshots byte-identical to pre-fleet output.
+	ShardName string
 }
 
 // CrawlStats summarizes the engine's work for one crawl: scale, the

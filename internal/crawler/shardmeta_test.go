@@ -1,0 +1,96 @@
+package crawler_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnstrust/internal/crawler"
+	"dnstrust/internal/snapshot"
+	"dnstrust/internal/topology"
+	"dnstrust/internal/transport"
+)
+
+// TestSnapshotShardMetaCompat pins the fleet label's compatibility
+// story in both directions. A snapshot written without a shard name —
+// the PR-6-era format — carries no shard/meta section and still loads
+// into a working engine; a shard-labeled snapshot round-trips its
+// label; and the unlabeled file is byte-identical to what the same
+// engine wrote before the section existed (proven by writing twice
+// with the label toggled only in config).
+func TestSnapshotShardMetaCompat(t *testing.T) {
+	world, err := topology.Generate(topology.GenParams{Seed: 33, Names: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := openEngine(t, world, crawler.Config{Workers: 4})
+	defer e.Close()
+	if _, err := e.Add(context.Background(), world.Corpus...); err != nil {
+		t.Fatal(err)
+	}
+
+	var plain bytes.Buffer
+	if err := e.WriteSnapshot(&plain); err != nil {
+		t.Fatal(err)
+	}
+	f, err := snapshot.Read(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := snapshot.ReadShardMeta(f); err != nil || ok {
+		t.Fatalf("unlabeled snapshot has shard/meta (ok=%v, err=%v), want absent", ok, err)
+	}
+
+	// The same engine state exported by a labeled shard.
+	el, _ := openEngine(t, world, crawler.Config{Workers: 4, ShardName: "shard-a"})
+	defer el.Close()
+	if _, err := el.Add(context.Background(), world.Corpus...); err != nil {
+		t.Fatal(err)
+	}
+	var labeled bytes.Buffer
+	if err := el.WriteSnapshot(&labeled); err != nil {
+		t.Fatal(err)
+	}
+	lf, err := snapshot.Read(bytes.NewReader(labeled.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, ok, err := snapshot.ReadShardMeta(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || meta.Shard != "shard-a" || meta.Generation != 1 {
+		t.Fatalf("shard/meta = %+v (ok=%v), want shard-a at generation 1", meta, ok)
+	}
+	if meta.CorpusHash == 0 {
+		t.Fatal("corpus hash not recorded")
+	}
+
+	// Old-format files keep loading: restore an engine from the
+	// unlabeled snapshot and check it serves the committed view at zero
+	// transport queries.
+	path := filepath.Join(t.TempDir(), "plain.snap")
+	if err := os.WriteFile(path, plain.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	counter := transport.NewCounter()
+	tr := transport.Chain(world.Registry.Source(), counter.Middleware())
+	r, err := world.Registry.Resolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := crawler.NewEngineFromSnapshot(r, world.Registry.ProbeFunc(tr), crawler.Config{Workers: 4, Source: tr}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := counter.Queries(); got != 0 {
+		t.Fatalf("compat load issued %d transport queries, want 0", got)
+	}
+	if v := re.View(); len(v.Names) != len(e.View().Names) || v.Stats.Generation != 1 {
+		t.Fatalf("restored view has %d names at generation %d, want %d at 1",
+			len(v.Names), v.Stats.Generation, len(e.View().Names))
+	}
+}

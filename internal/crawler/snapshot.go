@@ -3,6 +3,7 @@ package crawler
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"maps"
 	"sort"
@@ -18,6 +19,7 @@ import (
 //
 //	crawler/meta    generation, probed-host prefix, pending late ids
 //	crawler/banner  per-host version.bind banners (sorted host order)
+//	shard/meta      optional fleet-shard label (see snapshot.ShardMeta)
 //
 // Vulnerability tables are not stored: they are a pure function of the
 // banners and the vulnerability matrix (vulndb.DB.VulnsForBanner) and
@@ -61,7 +63,36 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 
+	// Fleet shards label their exports; without a shard name the file
+	// stays byte-identical to pre-fleet snapshots.
+	if e.cfg.ShardName != "" {
+		var names []string
+		if v := e.view.Load(); v != nil {
+			names = v.Names
+		}
+		meta := snapshot.ShardMeta{
+			Shard:      e.cfg.ShardName,
+			Generation: e.gen.Load(),
+			CorpusHash: hashNames(names),
+		}
+		if err := snapshot.WriteShardMeta(sw, meta); err != nil {
+			return err
+		}
+	}
+
 	return sw.Finish()
+}
+
+// hashNames fingerprints a sorted name list with FNV-1a, the corpus
+// hash carried in shard/meta so a coordinator can tell two shards
+// serving the same name partition apart from a repartition.
+func hashNames(names []string) uint64 {
+	h := fnv.New64a()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // NewEngineFromSnapshot opens a resident survey engine whose graph,

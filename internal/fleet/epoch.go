@@ -1,0 +1,238 @@
+// Package fleet turns N shard monitors into one logical survey: a
+// Coordinator ingests per-shard engine snapshots (Engine.WriteSnapshot
+// exports, fetched over HTTP from dnsmonitord or handed in directly),
+// remaps each shard's interned zone/host/chain ids into a unioned
+// intern space, and commits the merged result as a generation-stamped
+// FleetView exposing the single-monitor read API — Summary, TCB,
+// bottlenecks, change journal, diffs. cmd/dnsfleetd wraps it in a thin
+// router that consistent-hashes names to shards for /add fan-out and
+// serves the merged view.
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dnstrust/internal/snapshot"
+)
+
+// Host-chain sentinels, matching the core/hostchain section encoding.
+const (
+	chainNone  = -1 // no chain attached to the host
+	chainEmpty = -2 // attached chain is the empty chain
+)
+
+// NameChain is one surveyed name and its delegation chain id in the
+// shard's intern space.
+type NameChain struct {
+	Name  string
+	Chain int32
+}
+
+// NameError is one failed name and its error text.
+type NameError struct {
+	Name string
+	Err  string
+}
+
+// Epoch is one shard's committed state, decoded from an engine
+// snapshot into the raw id tables a merge needs — no store, no graph,
+// no hash indexes. All ids are in the shard's own intern space; the
+// Coordinator translates them through per-shard remap tables. An Epoch
+// is immutable once decoded; its strings are zero-copy views pinned by
+// the retained snapshot file.
+type Epoch struct {
+	// Generation is the shard engine's committed generation.
+	Generation int64
+	// Shard metadata from the optional shard/meta section; HasMeta
+	// reports whether the snapshot carried one.
+	Shard      string
+	CorpusHash uint64
+	HasMeta    bool
+
+	// Intern tables, indexed by shard-local id.
+	Hosts  []string
+	Zones  []string
+	Chains [][]int32 // per-chain zone ids, in traversal order
+	ZoneNS [][]int32 // per-zone NS host ids, sorted
+
+	// HostChain maps each host id to its address chain id, or the
+	// chainNone/chainEmpty sentinels.
+	HostChain []int32
+
+	// Names lists the resolved names with their chain ids, sorted by
+	// name; Failed lists the failed names, sorted.
+	Failed []NameError
+	Names  []NameChain
+
+	// Banner pairs (sorted by host) from the probe phase.
+	BannerHosts []string
+	Banners     []string
+
+	file *snapshot.File // pins the zero-copy string views
+}
+
+// DecodeEpoch decodes a shard engine snapshot into its raw tables. The
+// returned Epoch keeps a reference to f; callers must not Close f
+// while the Epoch (or anything remapped from its strings) is live.
+func DecodeEpoch(f *snapshot.File) (*Epoch, error) {
+	ep := &Epoch{file: f}
+
+	md := snapshot.NewSectionReader(f, "crawler/meta")
+	ep.Generation = md.I64()
+	if err := md.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: decode shard epoch: %w", err)
+	}
+
+	meta, ok, err := snapshot.ReadShardMeta(f)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: decode shard epoch: %w", err)
+	}
+	if ok {
+		ep.Shard, ep.CorpusHash, ep.HasMeta = meta.Shard, meta.CorpusHash, true
+	}
+
+	hd := snapshot.NewSectionReader(f, "core/hosts")
+	ep.Hosts = hd.Strings()
+	zd := snapshot.NewSectionReader(f, "core/zones")
+	ep.Zones = zd.Strings()
+	cd := snapshot.NewSectionReader(f, "core/chains")
+	ep.Chains = snapshot.ReadIDTable(cd)
+	nd := snapshot.NewSectionReader(f, "core/zonens")
+	ep.ZoneNS = snapshot.ReadIDTable(nd)
+	if err := firstErr(hd, zd, cd, nd); err != nil {
+		return nil, fmt.Errorf("fleet: decode shard epoch: %w", err)
+	}
+	if len(ep.ZoneNS) != len(ep.Zones) {
+		return nil, corruptf("core/zonens", "%d entries for %d zones", len(ep.ZoneNS), len(ep.Zones))
+	}
+	for z, ns := range ep.ZoneNS {
+		for _, h := range ns {
+			if int(h) >= len(ep.Hosts) || h < 0 {
+				return nil, corruptf("core/zonens", "zone %d references host %d of %d", z, h, len(ep.Hosts))
+			}
+		}
+	}
+	for c, ids := range ep.Chains {
+		for _, z := range ids {
+			if int(z) >= len(ep.Zones) || z < 0 {
+				return nil, corruptf("core/chains", "chain %d references zone %d of %d", c, z, len(ep.Zones))
+			}
+		}
+	}
+
+	hc := snapshot.NewSectionReader(f, "core/hostchain")
+	nHosts := hc.Count(12)
+	hc.I64s(nHosts) // attach epochs: merge-irrelevant, skipped
+	ep.HostChain = hc.I32s(nHosts)
+	if err := hc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: decode shard epoch: %w", err)
+	}
+	if nHosts != len(ep.Hosts) {
+		return nil, corruptf("core/hostchain", "%d entries for %d hosts", nHosts, len(ep.Hosts))
+	}
+	for h, cid := range ep.HostChain {
+		if cid != chainNone && cid != chainEmpty && (cid < 0 || int(cid) >= len(ep.Chains)) {
+			return nil, corruptf("core/hostchain", "host %d references chain %d of %d", h, cid, len(ep.Chains))
+		}
+	}
+
+	// Resolved names: the base table (first-epoch names, all present)
+	// plus the latest present version of each versioned name.
+	bd := snapshot.NewSectionReader(f, "core/base")
+	nBase := bd.Count(4)
+	baseCids := bd.I32s(nBase)
+	bd.Pad8()
+	baseNames := bd.Strings()
+	if err := bd.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: decode shard epoch: %w", err)
+	}
+	if len(baseNames) != nBase {
+		return nil, corruptf("core/base", "%d names for %d ids", len(baseNames), nBase)
+	}
+	ep.Names = make([]NameChain, 0, nBase)
+	for i, n := range baseNames {
+		if int(baseCids[i]) >= len(ep.Chains) || baseCids[i] < 0 {
+			return nil, corruptf("core/base", "name %q references chain %d of %d", n, baseCids[i], len(ep.Chains))
+		}
+		ep.Names = append(ep.Names, NameChain{Name: n, Chain: baseCids[i]})
+	}
+
+	vd := snapshot.NewSectionReader(f, "core/names")
+	nVer := vd.Count(4)
+	verTotal := vd.Count(16)
+	verCounts := vd.I32s(nVer)
+	vd.Pad8()
+	verPool := vd.Take(16 * verTotal)
+	verNames := vd.Strings()
+	if err := vd.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: decode shard epoch: %w", err)
+	}
+	if len(verNames) != nVer {
+		return nil, corruptf("core/names", "%d names for %d histories", len(verNames), nVer)
+	}
+	vp := 0
+	for i, n := range verNames {
+		cnt := int(verCounts[i])
+		if cnt < 1 || vp+cnt > verTotal {
+			return nil, corruptf("core/names", "history of %q overruns the version pool", n)
+		}
+		// Only the newest version matters for a merge: the shard's
+		// history is already linearized in its own store.
+		rec := verPool[16*(vp+cnt-1):]
+		cid := int32(binary.LittleEndian.Uint32(rec[8:]))
+		present := binary.LittleEndian.Uint32(rec[12:]) != 0
+		vp += cnt
+		if !present {
+			continue
+		}
+		if int(cid) >= len(ep.Chains) || cid < 0 {
+			return nil, corruptf("core/names", "name %q references chain %d of %d", n, cid, len(ep.Chains))
+		}
+		ep.Names = append(ep.Names, NameChain{Name: n, Chain: cid})
+	}
+	sort.Slice(ep.Names, func(i, j int) bool { return ep.Names[i].Name < ep.Names[j].Name })
+
+	fd := snapshot.NewSectionReader(f, "core/failed")
+	failedNames := fd.Strings()
+	failedErrs := fd.Strings()
+	if err := fd.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: decode shard epoch: %w", err)
+	}
+	if len(failedErrs) != len(failedNames) {
+		return nil, corruptf("core/failed", "%d errors for %d names", len(failedErrs), len(failedNames))
+	}
+	ep.Failed = make([]NameError, len(failedNames))
+	for i, n := range failedNames {
+		ep.Failed[i] = NameError{Name: n, Err: failedErrs[i]}
+	}
+
+	bnd := snapshot.NewSectionReader(f, "crawler/banner")
+	ep.BannerHosts = bnd.Strings()
+	ep.Banners = bnd.Strings()
+	if err := bnd.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: decode shard epoch: %w", err)
+	}
+	if len(ep.Banners) != len(ep.BannerHosts) {
+		return nil, corruptf("crawler/banner", "%d banners for %d hosts", len(ep.Banners), len(ep.BannerHosts))
+	}
+
+	return ep, nil
+}
+
+// corruptf wraps snapshot.ErrCorrupt with section context, mirroring
+// the core loader's convention.
+func corruptf(sec, format string, args ...any) error {
+	return fmt.Errorf("fleet: decode shard epoch: %w: %s: %s",
+		snapshot.ErrCorrupt, sec, fmt.Sprintf(format, args...))
+}
+
+func firstErr(ds ...*snapshot.SectionReader) error {
+	for _, d := range ds {
+		if err := d.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

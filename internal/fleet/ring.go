@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"dnstrust/internal/dnsname"
+)
+
+// Ring assigns names to shards by consistent hashing: each shard owns
+// a set of virtual points on a 64-bit circle, and a name belongs to
+// the shard owning the first point at or after the name's hash. The
+// assignment is deterministic in the shard-name set alone — routers
+// built independently from the same shard list agree on every name —
+// and adding or removing one shard moves only ~1/N of the names.
+type Ring struct {
+	shards []string
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int32
+}
+
+// DefaultReplicas is the virtual-node count per shard when NewRing is
+// given zero: enough for <10% load spread at small fleet sizes.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over the given shard names (order does not
+// matter; ties are broken deterministically).
+func NewRing(shards []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	sorted := append([]string(nil), shards...)
+	sort.Strings(sorted)
+	r := &Ring{shards: sorted, points: make([]ringPoint, 0, len(sorted)*replicas)}
+	for si, s := range sorted {
+		for i := 0; i < replicas; i++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", s, i)
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), shard: int32(si)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the ring's shard names, sorted.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }
+
+// OwnerIndex returns the index (into Shards()) of the shard owning a
+// name. Names are canonicalized first, so "WWW.Example." and
+// "www.example" land on the same shard.
+func (r *Ring) OwnerIndex(name string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(dnsname.Canonical(name)))
+	hv := h.Sum64()
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hv })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return int(r.points[i].shard)
+}
+
+// Owner returns the name of the shard owning a name, or "" for an
+// empty ring.
+func (r *Ring) Owner(name string) string {
+	i := r.OwnerIndex(name)
+	if i < 0 {
+		return ""
+	}
+	return r.shards[i]
+}
+
+// Assign groups names by owning shard, returned as one slice per
+// shard index (aligned with Shards()); names keep their relative
+// order within each group.
+func (r *Ring) Assign(names []string) [][]string {
+	out := make([][]string, len(r.shards))
+	for _, n := range names {
+		i := r.OwnerIndex(n)
+		if i >= 0 {
+			out[i] = append(out[i], n)
+		}
+	}
+	return out
+}

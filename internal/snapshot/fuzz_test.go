@@ -22,6 +22,17 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte(Magic))
 	f.Add(valid[:len(valid)-trailerSize])
 	f.Add([]byte("000000000")) // 8 < len < headerSize, non-magic prefix
+	// A file carrying the optional shard/meta section, so the fuzzer
+	// explores the fleet-label decode path too.
+	var mbuf bytes.Buffer
+	mw := NewWriter(&mbuf)
+	if err := WriteShardMeta(mw, ShardMeta{Shard: "s0", Generation: 3, CorpusHash: 17}); err != nil {
+		f.Fatal(err)
+	}
+	if err := mw.Finish(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mbuf.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sf, err := Read(bytes.NewReader(data))
 		if err != nil {
@@ -30,6 +41,7 @@ func FuzzRead(f *testing.F) {
 		for name := range sf.secs {
 			_ = sf.Section(name)
 		}
+		_, _, _ = ReadShardMeta(sf)
 	})
 }
 

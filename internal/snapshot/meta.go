@@ -1,0 +1,52 @@
+package snapshot
+
+import "strings"
+
+// ShardMetaSection is the optional section labeling a snapshot as one
+// shard of a monitor fleet. Snapshots written without a shard name omit
+// it entirely, so pre-fleet snapshots and readers are unaffected in both
+// directions: old files load under new code (the section is optional)
+// and new single-monitor files are byte-identical to old ones.
+const ShardMetaSection = "shard/meta"
+
+// ShardMeta identifies the shard a snapshot came from.
+type ShardMeta struct {
+	Shard      string // operator-assigned shard name
+	Generation int64  // monitor generation the snapshot captures
+	CorpusHash uint64 // FNV-1a over the shard's sorted resolved names
+}
+
+// WriteShardMeta appends a shard/meta section to an open snapshot
+// writer.
+func WriteShardMeta(w *Writer, m ShardMeta) error {
+	w.Begin(ShardMetaSection)
+	w.I64(m.Generation)
+	w.U64(m.CorpusHash)
+	if err := WriteStringTable(w, []string{m.Shard}); err != nil {
+		return err
+	}
+	return w.Err()
+}
+
+// ReadShardMeta decodes the shard/meta section, reporting ok=false
+// (with no error) when the snapshot has none.
+func ReadShardMeta(f *File) (m ShardMeta, ok bool, err error) {
+	if f.Section(ShardMetaSection) == nil {
+		return ShardMeta{}, false, nil
+	}
+	d := NewSectionReader(f, ShardMetaSection)
+	m.Generation = d.I64()
+	m.CorpusHash = d.U64()
+	names := d.Strings()
+	if err := d.Err(); err != nil {
+		return ShardMeta{}, false, err
+	}
+	if len(names) != 1 {
+		d.Fail("shard name table must hold exactly one entry")
+		return ShardMeta{}, false, d.Err()
+	}
+	// The decoded string is a view into the file; clone so the meta
+	// outlives the mapping.
+	m.Shard = strings.Clone(names[0])
+	return m, true, nil
+}

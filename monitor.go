@@ -144,10 +144,11 @@ func OpenWorld(_ context.Context, world *topology.World, opts Options) (*Monitor
 		return nil, errors.Join(err, src.Close())
 	}
 	cfg := crawler.Config{
-		Workers:  opts.Workers,
-		MemoFile: opts.MemoFile,
-		Progress: opts.Progress,
-		Source:   src,
+		Workers:   opts.Workers,
+		MemoFile:  opts.MemoFile,
+		Progress:  opts.Progress,
+		Source:    src,
+		ShardName: opts.ShardName,
 	}
 	var eng *crawler.Engine
 	if opts.SnapshotFile != "" {

@@ -82,6 +82,14 @@ type Options struct {
 	SnapshotFile string
 	// Progress receives crawl progress callbacks when non-nil.
 	Progress func(done, total int)
+	// ShardName, when non-empty, labels this session as one shard of a
+	// monitor fleet: every snapshot it writes (SnapshotFile, Monitor
+	// snapshot saves, and the dnsmonitord GET /snapshot endpoint)
+	// carries a shard/meta section naming the shard, its committed
+	// generation, and a hash of its resolved corpus, which the fleet
+	// coordinator (internal/fleet) reads back when merging shard epochs.
+	// Empty keeps snapshots byte-identical to pre-fleet output.
+	ShardName string
 
 	// Source, when non-nil, replaces the world's in-memory direct
 	// transport as the terminal the crawl queries: any transport.Source
